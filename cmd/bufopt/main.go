@@ -1,0 +1,53 @@
+// Command bufopt regenerates the Section III-D buffering-scheme
+// study: delay-optimal versus power-weighted buffering (the paper's
+// "power can be reduced by 20% at the cost of just above 2%
+// degradation in delay") and staggered repeater insertion (Miller
+// factor zero).
+//
+// Usage:
+//
+//	bufopt [-tech 90nm,65nm,45nm] [-length 10] [-weight 0.6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	techFlag := flag.String("tech", "90nm,65nm,45nm", "comma-separated technologies")
+	lengthFlag := flag.Float64("length", 10, "line length in mm")
+	weightFlag := flag.Float64("weight", 0.6, "power weight of the objective")
+	flag.Parse()
+
+	rows, err := experiments.BufferingStudy(experiments.BufferingConfig{
+		Techs:       strings.Split(*techFlag, ","),
+		LengthMM:    *lengthFlag,
+		PowerWeight: *weightFlag,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bufopt:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("BUFFERING-SCHEME STUDY (%.0f mm line, power weight %.2f)\n\n", *lengthFlag, *weightFlag)
+	fmt.Printf("%-6s %-14s %5s %6s %10s %10s\n", "tech", "design", "N", "size", "delay[ps]", "power[mW]")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-14s %5d %6g %10.1f %10.3f\n",
+			r.Tech, "delay-optimal", r.DelayOpt.N, r.DelayOpt.Size, r.DelayOpt.Delay*1e12, r.DelayOpt.Power.Total()*1e3)
+		fmt.Printf("%-6s %-14s %5d %6g %10.1f %10.3f\n",
+			r.Tech, "power-weighted", r.Weighted.N, r.Weighted.Size, r.Weighted.Delay*1e12, r.Weighted.Power.Total()*1e3)
+		fmt.Printf("%-6s %-14s %5d %6g %10.1f %10.3f\n",
+			r.Tech, "staggered", r.Staggered.N, r.Staggered.Size, r.Staggered.Delay*1e12, r.Staggered.Power.Total()*1e3)
+		fmt.Printf("%-6s   -> power saving %.1f%% for %.1f%% delay cost; staggering gains %.1f%% delay\n",
+			r.Tech, r.PowerSaving*100, r.DelayCost*100, r.StaggerDelayGain*100)
+	}
+	fmt.Println()
+	fmt.Println("(paper: ~20% power reduction for just above 2% delay degradation;")
+	fmt.Println(" this reproduction lands at ~8-16% for single-digit delay cost — same")
+	fmt.Println(" many-to-one shape, see EXPERIMENTS.md)")
+}

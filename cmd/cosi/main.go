@@ -1,0 +1,132 @@
+// Command cosi regenerates the paper's Table III: network-on-chip
+// synthesis for the VPROC (42-core) and DVOPD (26-core) test cases at
+// 90/65/45 nm (1.5/2.25/3.0 GHz), under the original (Bakoglu-based,
+// uncalibrated) interconnect model and under the proposed calibrated
+// predictive models, reporting each run's power, delay, area, and hop
+// count.
+//
+// Usage:
+//
+//	cosi [-tech 90nm,65nm,45nm] [-case VPROC,DVOPD] [-style swss|shielded|staggered]
+//	cosi -dot proposed -tech 90nm -case VPROC   # Graphviz topology dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/noc"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func main() {
+	techFlag := flag.String("tech", "90nm,65nm,45nm", "comma-separated technologies")
+	caseFlag := flag.String("case", "VPROC,DVOPD", "comma-separated test cases")
+	styleFlag := flag.String("style", "swss", "bus design style: swss, shielded, staggered")
+	dotFlag := flag.String("dot", "", "emit the Graphviz topology for one synthesis "+
+		"('proposed' or 'original'; requires single -tech and -case)")
+	simFlag := flag.Bool("sim", false, "run the cycle-based traffic simulation on each network")
+	flag.Parse()
+
+	style := wire.SWSS
+	switch strings.ToLower(*styleFlag) {
+	case "swss":
+	case "shielded":
+		style = wire.Shielded
+	case "staggered":
+		style = wire.Staggered
+	default:
+		fmt.Fprintf(os.Stderr, "cosi: unknown style %q\n", *styleFlag)
+		os.Exit(1)
+	}
+
+	if *dotFlag != "" {
+		if err := emitDOT(*dotFlag, *techFlag, *caseFlag, style); err != nil {
+			fmt.Fprintln(os.Stderr, "cosi:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rows, err := experiments.TableIII(experiments.TableIIIConfig{
+		Techs:    strings.Split(*techFlag, ","),
+		Cases:    strings.Split(*caseFlag, ","),
+		Style:    style,
+		Simulate: *simFlag,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosi:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("TABLE III: MODEL IMPACT ON NoC SYNTHESIS")
+	fmt.Println()
+	fmt.Printf("%-6s %-6s %-9s %9s %9s %9s %9s %9s %7s %7s %9s %9s %8s\n",
+		"tech", "case", "model", "dyn[mW]", "leak[mW]", "rtr[mW]", "tot[mW]",
+		"area[mm2]", "maxhop", "avghop", "lat[ns]", "links", "routers")
+	for _, r := range rows {
+		m := r.Metrics
+		fmt.Printf("%-6s %-6s %-9s %9.2f %9.3f %9.3f %9.2f %9.3f %7d %7.2f %9.2f %9d %8d",
+			r.Tech, r.Case, r.Model,
+			m.LinkDynamic*1e3, m.LinkLeakage*1e3, m.RouterPower*1e3, m.TotalPower()*1e3,
+			m.Area*1e6, m.MaxHops, m.AvgHops, m.AvgLatency*1e9, m.Links, m.Routers)
+		if r.Traffic != nil {
+			fmt.Printf("   sim: %.2fns over %d pkts", r.Traffic.AvgLatency*1e9, r.Traffic.PacketsDelivered)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("wire-length feasibility limit per model:")
+	seen := map[string]bool{}
+	for _, r := range rows {
+		key := r.Tech + "/" + r.Model
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Printf("  %-6s %-9s max feasible link %6.2f mm\n", r.Tech, r.Model, r.MaxLinkLength*1e3)
+	}
+	fmt.Println()
+	fmt.Println("(paper: proposed dynamic power up to ~3x the original's; original model")
+	fmt.Println(" optimistic in repeater count/size and in allowing excessively long wires;")
+	fmt.Println(" dynamic power rises 65nm -> 45nm with the 1.0V -> 1.1V library supply)")
+}
+
+// emitDOT synthesizes a single configuration and prints its Graphviz
+// topology to stdout.
+func emitDOT(modelName, techName, caseName string, style wire.Style) error {
+	if strings.Contains(techName, ",") || strings.Contains(caseName, ",") {
+		return fmt.Errorf("-dot requires a single -tech and -case")
+	}
+	tc, err := tech.Lookup(techName)
+	if err != nil {
+		return err
+	}
+	spec, err := noc.SpecByName(caseName)
+	if err != nil {
+		return err
+	}
+	var lm noc.LinkModel
+	switch modelName {
+	case "proposed":
+		lm, err = noc.NewProposedModel(tc, spec.DataWidth, style)
+	case "original":
+		lm, err = noc.NewOriginalModel(tc, spec.DataWidth, style)
+	default:
+		return fmt.Errorf("unknown model %q (want proposed or original)", modelName)
+	}
+	if err != nil {
+		return err
+	}
+	net, err := noc.Synthesize(spec, lm, noc.SynthOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, net.Summary())
+	return net.WriteDOT(os.Stdout)
+}

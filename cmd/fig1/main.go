@@ -1,0 +1,55 @@
+// Command fig1 regenerates the data behind the paper's Fig. 1: the
+// dependence of repeater intrinsic delay on input slew (near
+// quadratic) and on inverter size (essentially none). Output is a
+// plain table, one series per inverter size, suitable for plotting.
+//
+// Usage:
+//
+//	fig1 [-tech 90nm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/tech"
+)
+
+func main() {
+	techFlag := flag.String("tech", "90nm", "technology name")
+	flag.Parse()
+
+	tc, err := tech.Lookup(*techFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig1:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fig1: characterizing %s library...\n", tc.Name)
+	res, err := experiments.Fig1(tc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig1:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("FIG. 1: REPEATER INTRINSIC DELAY (%s, inverters, rising output)\n\n", res.Tech)
+	fmt.Printf("%8s %10s %14s\n", "size", "slew[ps]", "intrinsic[ps]")
+	last := -1.0
+	for _, p := range res.Points {
+		if p.Size != last {
+			if last >= 0 {
+				fmt.Println()
+			}
+			last = p.Size
+		}
+		fmt.Printf("%8g %10.1f %14.3f\n", p.Size, p.Slew*1e12, p.Intrinsic*1e12)
+	}
+	fmt.Println()
+	fmt.Printf("pooled quadratic fit: i(s) = %.4g + %.4g*s + %.4g*s^2  [s in seconds]\n",
+		res.QuadCoeffs[0], res.QuadCoeffs[1], res.QuadCoeffs[2])
+	fmt.Printf("max spread across sizes at fixed slew: %.3f ps\n", res.SizeSpreadMax*1e12)
+	fmt.Printf("min spread across slews at fixed size: %.3f ps\n", res.SlewSpreadMin*1e12)
+	fmt.Println("(paper: intrinsic delay is essentially independent of repeater size")
+	fmt.Println(" and depends nearly quadratically on input slew)")
+}

@@ -1,0 +1,65 @@
+// Command link designs one buffered global link from the command
+// line — the day-to-day use of the library: pick a technology, a
+// length, and a style; get the buffering solution and the predicted
+// delay/power/area, optionally cross-checked against the golden
+// sign-off engine.
+//
+// Usage:
+//
+//	link -tech 65nm -length 5 [-bits 128] [-style swss|shielded|staggered]
+//	     [-weight 0.5 | -fastest] [-golden]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	predint "repro"
+)
+
+func main() {
+	techFlag := flag.String("tech", "65nm", "technology node")
+	lengthFlag := flag.Float64("length", 5, "link length in mm")
+	bitsFlag := flag.Int("bits", 128, "bus width in bits")
+	styleFlag := flag.String("style", "swss", "design style: swss, shielded, staggered")
+	weightFlag := flag.Float64("weight", 0.5, "power weight of the buffering objective")
+	fastest := flag.Bool("fastest", false, "pure delay-optimal buffering")
+	golden := flag.Bool("golden", false, "cross-check with the golden engine (restricts to library cells; slow on first use)")
+	flag.Parse()
+
+	req := predint.LinkRequest{
+		Tech:             *techFlag,
+		LengthMM:         *lengthFlag,
+		Bits:             *bitsFlag,
+		Style:            predint.Style(*styleFlag),
+		PowerWeight:      *weightFlag,
+		DelayOptimal:     *fastest,
+		LibrarySizesOnly: *golden,
+	}
+	res, err := predint.DesignLink(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "link:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%g mm %d-bit link at %s (%s)\n", *lengthFlag, *bitsFlag, *techFlag, *styleFlag)
+	fmt.Printf("  buffering:       %d × INVD%g (uniformly spaced)\n", res.Repeaters, res.RepeaterSize)
+	fmt.Printf("  delay:           %.1f ps\n", res.Delay*1e12)
+	fmt.Printf("  output slew:     %.1f ps\n", res.OutputSlew*1e12)
+	fmt.Printf("  dynamic power:   %.3f mW\n", res.DynamicPower*1e3)
+	fmt.Printf("  leakage power:   %.4f mW\n", res.LeakagePower*1e3)
+	fmt.Printf("  area:            %.4f mm²\n", res.Area*1e6)
+	fmt.Printf("  wire R (bit):    %.1f Ω   wire C (bit): %.1f fF\n",
+		res.WireResistance, res.WireCapacitance*1e15)
+
+	if *golden {
+		fmt.Println("  running golden sign-off analysis...")
+		g, err := predint.GoldenLinkDelay(*techFlag, res.RepeaterSize, res.Repeaters, *lengthFlag, predint.Style(*styleFlag))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "link: golden:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  golden delay:    %.1f ps (model error %+.1f%%)\n", g*1e12, (res.Delay-g)/g*100)
+	}
+}

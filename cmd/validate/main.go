@@ -1,0 +1,88 @@
+// Command validate regenerates the paper's Table II: the accuracy of
+// the Bakoglu (B), Pamunuwa (P), and proposed (Prop) delay models
+// against the golden sign-off timing engine (PT column), for buffered
+// lines of 1–15 mm in three technologies and two design styles, plus
+// the runtime ratio (RT column).
+//
+// Usage:
+//
+//	validate [-tech 90nm,65nm,45nm] [-lengths 1,3,5,10,15] [-rt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	techFlag := flag.String("tech", "90nm,65nm,45nm", "comma-separated technologies")
+	lenFlag := flag.String("lengths", "1,3,5,10,15", "line lengths in mm")
+	rt := flag.Bool("rt", false, "measure the runtime-ratio column (slower)")
+	flag.Parse()
+
+	var lengths []float64
+	for _, s := range strings.Split(*lenFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validate: bad length:", err)
+			os.Exit(1)
+		}
+		lengths = append(lengths, v)
+	}
+
+	cfg := experiments.TableIIConfig{
+		Techs:          strings.Split(*techFlag, ","),
+		LengthsMM:      lengths,
+		MeasureRuntime: *rt,
+	}
+	fmt.Fprintln(os.Stderr, "validate: characterizing libraries and running golden analyses...")
+	rows, err := experiments.TableII(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("TABLE II: EVALUATION OF MODEL ACCURACY")
+	fmt.Println("(errors are (model - golden)/golden; PT is the golden sign-off delay)")
+	fmt.Println()
+	fmt.Printf("%-6s %-9s %6s %5s %5s %12s %8s %8s %8s %8s\n",
+		"tech", "style", "L[mm]", "N", "size", "PT[ps]", "B[%]", "P[%]", "Prop[%]", "RT[x]")
+	for _, r := range rows {
+		rtCol := "-"
+		if r.RuntimeRatio > 0 {
+			rtCol = fmt.Sprintf("%.0f", r.RuntimeRatio)
+		}
+		fmt.Printf("%-6s %-9s %6.1f %5d %5g %12.1f %+8.1f %+8.1f %+8.1f %8s\n",
+			r.Tech, r.Style, r.Length*1e3, r.N, r.Size, r.Golden*1e12,
+			r.ErrBakoglu*100, r.ErrPamunuwa*100, r.ErrProposed*100, rtCol)
+	}
+
+	// Summary lines matching the paper's prose.
+	var worstProp, worstBase float64
+	for _, r := range rows {
+		if a := abs(r.ErrProposed); a > worstProp {
+			worstProp = a
+		}
+		if a := abs(r.ErrBakoglu); a > worstBase {
+			worstBase = a
+		}
+		if a := abs(r.ErrPamunuwa); a > worstBase {
+			worstBase = a
+		}
+	}
+	fmt.Println()
+	fmt.Printf("worst |proposed| error: %.1f%%   worst |baseline| error: %.1f%%\n", worstProp*100, worstBase*100)
+	fmt.Println("(paper: proposed within ~12%, baselines -7%..+106%)")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,55 @@
+package predint_test
+
+// Executable godoc examples for the public facade.
+
+import (
+	"fmt"
+
+	predint "repro"
+)
+
+// ExampleDesignLink designs a 5 mm, 128-bit global link at 65 nm.
+func ExampleDesignLink() {
+	res, err := predint.DesignLink(predint.LinkRequest{
+		Tech:     "65nm",
+		LengthMM: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("repeaters: %d × D%g\n", res.Repeaters, res.RepeaterSize)
+	fmt.Printf("delay under 1 ns: %v\n", res.Delay < 1e-9)
+	// Output:
+	// repeaters: 3 × D60
+	// delay under 1 ns: true
+}
+
+// ExampleTechnologies lists the built-in nodes.
+func ExampleTechnologies() {
+	for _, name := range predint.Technologies()[:3] {
+		fmt.Println(name)
+	}
+	// Output:
+	// 90nm
+	// 65nm
+	// 45nm
+}
+
+// ExampleSynthesizeNoC synthesizes the DVOPD network under both
+// interconnect models and compares the reported power.
+func ExampleSynthesizeNoC() {
+	prop, err := predint.SynthesizeNoC(predint.NoCRequest{Case: "DVOPD", Tech: "90nm"})
+	if err != nil {
+		panic(err)
+	}
+	orig, err := predint.SynthesizeNoC(predint.NoCRequest{Case: "DVOPD", Tech: "90nm", UseOriginalModel: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accurate model reports more power: %v\n",
+		prop.Metrics.TotalPower() > orig.Metrics.TotalPower())
+	fmt.Printf("accurate model needs more routers: %v\n", prop.Routers > orig.Routers)
+	// Output:
+	// accurate model reports more power: true
+	// accurate model needs more routers: true
+}

@@ -1,0 +1,48 @@
+// Crosstalk: measure the physics behind the Miller-factor
+// abstractions. A full coupled three-line simulation sweeps the
+// aggressor activity and the neighbor spacing, reporting the victim
+// delay and the *empirical* Miller factor — the number the paper's
+// λ = 1.51 and the sign-off bound of 2.0 approximate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	predint "repro"
+)
+
+func main() {
+	const techName = "90nm"
+	fmt.Printf("Coupled-line crosstalk study (1 mm victim at %s, two aggressors)\n\n", techName)
+
+	fmt.Println("== aggressor activity at minimum spacing ==")
+	fmt.Printf("%-10s %12s %14s\n", "aggressors", "delay[ps]", "eff. Miller k")
+	for _, mode := range []string{"same", "quiet", "opposite"} {
+		res, err := predint.Crosstalk(predint.CrosstalkRequest{
+			Tech: techName, LengthMM: 1, Aggressors: mode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.1f %14.2f\n", mode, res.Delay*1e12, res.EffectiveMiller)
+	}
+
+	fmt.Println("\n== spacing sweep, worst-case (opposite) aggressors ==")
+	fmt.Printf("%-12s %12s %14s\n", "spacing", "delay[ps]", "eff. Miller k")
+	for _, sm := range []float64{1, 1.5, 2, 3} {
+		res, err := predint.Crosstalk(predint.CrosstalkRequest{
+			Tech: techName, LengthMM: 1, SpacingMult: sm, Aggressors: "opposite",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12.1f %14.2f\n", fmt.Sprintf("%.1f× min", sm), res.Delay*1e12, res.EffectiveMiller)
+	}
+
+	fmt.Println("\nReading the tables: worst-case switching amplifies the coupling")
+	fmt.Println("capacitance by ~2× (the sign-off assumption); quiet neighbors sit")
+	fmt.Println("near 1, same-direction switching near 0. Extra spacing shrinks the")
+	fmt.Println("coupling itself but the amplification ratio stays — which is why the")
+	fmt.Println("models treat λ and the geometry separately.")
+}

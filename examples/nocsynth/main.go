@@ -1,0 +1,52 @@
+// Nocsynth: synthesize the VPROC (42-core) network-on-chip at three
+// technology nodes under both interconnect models and show how model
+// accuracy changes the architecture the tool picks — the paper's
+// Table III story as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	predint "repro"
+)
+
+func main() {
+	fmt.Println("COSI-style NoC synthesis: VPROC, 42 cores, 128-bit links")
+	fmt.Println()
+	fmt.Printf("%-6s %-9s %9s %9s %9s %9s %7s %8s %9s\n",
+		"tech", "model", "dyn[mW]", "leak[mW]", "tot[mW]", "area[mm²]", "hops", "lat[ns]", "routers")
+
+	for _, techName := range []string{"90nm", "65nm", "45nm"} {
+		for _, useOriginal := range []bool{true, false} {
+			res, err := predint.SynthesizeNoC(predint.NoCRequest{
+				Case:             "VPROC",
+				Tech:             techName,
+				UseOriginalModel: useOriginal,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := "proposed"
+			if useOriginal {
+				name = "original"
+			}
+			m := res.Metrics
+			fmt.Printf("%-6s %-9s %9.2f %9.3f %9.2f %9.3f %7d %8.2f %9d\n",
+				techName, name,
+				m.LinkDynamic*1e3, m.LinkLeakage*1e3, m.TotalPower()*1e3,
+				m.Area*1e6, m.MaxHops, m.AvgLatency*1e9, res.Routers)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the table:")
+	fmt.Println(" * The original (Bakoglu/uncalibrated) model ignores coupling capacitance")
+	fmt.Println("   and under-buffers, so it reports roughly half the dynamic power and a")
+	fmt.Println("   fraction of the leakage and area — and it happily builds very long")
+	fmt.Println("   links the silicon could not actually close timing on.")
+	fmt.Println(" * Under the accurate model the wire-length limit tightens, so the tool")
+	fmt.Println("   inserts more routers: hop count and latency rise with each node.")
+	fmt.Println(" * Dynamic power rises from 65nm to 45nm because the 45nm low-power")
+	fmt.Println("   library runs at 1.1V versus 1.0V.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: design one 5 mm, 128-bit global link at 65 nm with the
+// calibrated predictive models and print its implementation and
+// predicted metrics — the few-line usage the library is built for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	predint "repro"
+)
+
+func main() {
+	res, err := predint.DesignLink(predint.LinkRequest{
+		Tech:     "65nm",
+		LengthMM: 5,
+		// Stick to characterized library cells so the golden
+		// cross-check below evaluates the same implementation.
+		LibrarySizesOnly: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("5 mm 128-bit global link at 65nm (SWSS, power-weighted buffering)")
+	fmt.Printf("  buffering:     %d repeaters of size D%g\n", res.Repeaters, res.RepeaterSize)
+	fmt.Printf("  delay:         %.1f ps (output slew %.1f ps)\n", res.Delay*1e12, res.OutputSlew*1e12)
+	fmt.Printf("  dynamic power: %.3f mW (whole bus, α=0.15 at 2.25 GHz)\n", res.DynamicPower*1e3)
+	fmt.Printf("  leakage power: %.3f mW\n", res.LeakagePower*1e3)
+	fmt.Printf("  silicon area:  %.4f mm²\n", res.Area*1e6)
+	fmt.Printf("  wire parasitics per bit: %.1f Ω, %.1f fF (scattering+barrier corrected)\n",
+		res.WireResistance, res.WireCapacitance*1e15)
+
+	// Compare against the golden sign-off engine for the same
+	// implementation (characterizes the 65nm library on first use).
+	fmt.Println("\nrunning golden sign-off analysis for the same line...")
+	golden, err := predint.GoldenLinkDelay("65nm", res.RepeaterSize, res.Repeaters, 5, predint.SWSS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  golden delay:  %.1f ps (model error %+.1f%%)\n",
+		golden*1e12, (res.Delay-golden)/golden*100)
+}

@@ -1,0 +1,49 @@
+// Techscaling: the interconnect-scaling study the paper's models make
+// cheap — one fixed 5 mm global link evaluated across all six
+// technology nodes (90 → 16 nm), with the nanometer resistance
+// corrections (electron scattering, barrier thickness) toggled to
+// show why the classic models drift as wires shrink.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	predint "repro"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func main() {
+	fmt.Println("A fixed 5 mm 128-bit global link across technology nodes")
+	fmt.Println()
+	fmt.Printf("%-6s %5s %6s | %10s %6s %6s | %9s %9s | %12s\n",
+		"tech", "Vdd", "w[nm]", "delay[ps]", "reps", "size", "dyn[mW]", "leak[mW]", "R corr. [%]")
+
+	for _, name := range predint.Technologies() {
+		res, err := predint.DesignLink(predint.LinkRequest{
+			Tech: name, LengthMM: 5, DelayOptimal: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tc := tech.MustLookup(name)
+		seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+		corr := (seg.Resistance()/seg.ClassicResistance() - 1) * 100
+
+		fmt.Printf("%-6s %5.2f %6.0f | %10.0f %6d %6g | %9.2f %9.4f | %12.1f\n",
+			name, tc.Vdd, tc.Global.Width*1e9,
+			res.Delay*1e12, res.Repeaters, res.RepeaterSize,
+			res.DynamicPower*1e3, res.LeakagePower*1e3, corr)
+	}
+
+	fmt.Println()
+	fmt.Println("Takeaways:")
+	fmt.Println(" * The same physical distance costs more delay at every new node: wire")
+	fmt.Println("   RC per mm rises faster than gates speed up (the 'future of wires').")
+	fmt.Println(" * The scattering + barrier corrections grow from a few percent at 90nm")
+	fmt.Println("   to a large fraction of total resistance at 16nm — models without them")
+	fmt.Println("   (rightmost column) are increasingly optimistic exactly where accuracy")
+	fmt.Println("   matters most.")
+	fmt.Println(" * The 45nm low-power node breaks the leakage trend (high Vth library).")
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"repro/internal/buffering"
+	"repro/internal/model"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+// BufferingRow is one row of the Section III-D buffering-scheme study:
+// for one technology and line length, the delay-optimal design, the
+// power-weighted design, and the staggered-insertion design, with the
+// tradeoffs the paper quotes (power reduction vs delay degradation).
+type BufferingRow struct {
+	Tech     string
+	Length   float64
+	DelayOpt buffering.Design
+	Weighted buffering.Design
+	// Staggered is the power-weighted design with staggered
+	// repeater insertion (Miller factor zero).
+	Staggered buffering.Design
+	// PowerSaving is 1 − weighted/delay-optimal total power.
+	PowerSaving float64
+	// DelayCost is weighted/delay-optimal delay − 1.
+	DelayCost float64
+	// StaggerDelayGain is 1 − staggered/weighted delay at equal
+	// weighting: the cross-talk avoidance benefit.
+	StaggerDelayGain float64
+}
+
+// BufferingConfig selects the sweep.
+type BufferingConfig struct {
+	// Techs lists technology names; default {90nm, 65nm, 45nm}.
+	Techs []string
+	// LengthMM is the line length in millimeters; default 10.
+	LengthMM float64
+	// PowerWeight is the weighted objective's power emphasis;
+	// default 0.6.
+	PowerWeight float64
+}
+
+func (c BufferingConfig) withDefaults() BufferingConfig {
+	if c.Techs == nil {
+		c.Techs = []string{"90nm", "65nm", "45nm"}
+	}
+	if c.LengthMM == 0 {
+		c.LengthMM = 10
+	}
+	if c.PowerWeight == 0 {
+		c.PowerWeight = 0.6
+	}
+	return c
+}
+
+// BufferingStudy regenerates the Section III-D results.
+func BufferingStudy(cfg BufferingConfig) ([]BufferingRow, error) {
+	c := cfg.withDefaults()
+	var rows []BufferingRow
+	for _, name := range c.Techs {
+		tc, err := tech.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		coeffs, err := model.Default(name)
+		if err != nil {
+			return nil, err
+		}
+		opts := buffering.Options{
+			Coeffs: coeffs,
+			Power:  model.PowerParams{Activity: 0.15, Freq: tc.Clock},
+		}
+		L := c.LengthMM * 1e-3
+		ref, err := buffering.DelayOptimal(wire.NewSegment(tc, L, wire.SWSS), opts)
+		if err != nil {
+			return nil, err
+		}
+		opts.PowerWeight = c.PowerWeight
+		weighted, err := buffering.Optimize(wire.NewSegment(tc, L, wire.SWSS), opts)
+		if err != nil {
+			return nil, err
+		}
+		stag, err := buffering.Optimize(wire.NewSegment(tc, L, wire.Staggered), opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BufferingRow{
+			Tech: name, Length: L,
+			DelayOpt: ref, Weighted: weighted, Staggered: stag,
+			PowerSaving:      1 - weighted.Power.Total()/ref.Power.Total(),
+			DelayCost:        weighted.Delay/ref.Delay - 1,
+			StaggerDelayGain: 1 - stag.Delay/weighted.Delay,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,104 @@
+// Package experiments implements the paper's evaluation artifacts —
+// every table and figure — as reusable functions: Fig. 1 (intrinsic
+// delay vs slew and size), Table I (fitting coefficients), Table II
+// (model accuracy against golden sign-off analysis), Table III (NoC
+// synthesis impact), and the Section III-D buffering-scheme studies.
+// Command-line tools and the benchmark harness are thin wrappers over
+// this package, so a result quoted anywhere in the repository can be
+// regenerated from exactly one implementation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/liberty"
+	"repro/internal/model"
+	"repro/internal/tech"
+)
+
+// Fig1Point is one point of the Fig. 1 reproduction: the fitted
+// intrinsic delay of an inverter at one (size, input slew) grid
+// point.
+type Fig1Point struct {
+	Size      float64
+	Slew      float64
+	Intrinsic float64
+}
+
+// Fig1Result carries the Fig. 1 data along with the quadratic fit the
+// paper draws through it.
+type Fig1Result struct {
+	Tech   string
+	Points []Fig1Point
+	// QuadCoeffs are the pooled quadratic coefficients (a0, a1, a2)
+	// of intrinsic delay vs slew.
+	QuadCoeffs [3]float64
+	// SizeSpreadMax is the largest intrinsic-delay spread across
+	// sizes at any fixed slew; SlewSpreadMin is the smallest spread
+	// across slews at any fixed size. Fig. 1's claim is
+	// SlewSpreadMin ≫ SizeSpreadMax.
+	SizeSpreadMax, SlewSpreadMin float64
+}
+
+// Fig1 regenerates the Fig. 1 data for a technology by characterizing
+// its library and extracting the intrinsic-delay intermediates of the
+// calibration (rising output of inverters, as in the paper).
+func Fig1(tc *tech.Technology) (*Fig1Result, error) {
+	lib, err := liberty.Get(tc)
+	if err != nil {
+		return nil, err
+	}
+	coeffs, rep, err := model.Calibrate(lib)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Tech: tc.Name}
+	res.QuadCoeffs = [3]float64{coeffs.Inv.Rise.A0, coeffs.Inv.Rise.A1, coeffs.Inv.Rise.A2}
+
+	bySlew := map[float64][]float64{}
+	bySize := map[float64][]float64{}
+	for _, p := range rep.Intrinsic {
+		if p.Kind != liberty.Inverter || !p.OutRising {
+			continue
+		}
+		res.Points = append(res.Points, Fig1Point{Size: p.Size, Slew: p.Slew, Intrinsic: p.Intrinsic})
+		bySlew[p.Slew] = append(bySlew[p.Slew], p.Intrinsic)
+		bySize[p.Size] = append(bySize[p.Size], p.Intrinsic)
+	}
+	if len(res.Points) == 0 {
+		return nil, fmt.Errorf("experiments: no inverter intrinsic data for %s", tc.Name)
+	}
+	sort.Slice(res.Points, func(i, j int) bool {
+		if res.Points[i].Size != res.Points[j].Size {
+			return res.Points[i].Size < res.Points[j].Size
+		}
+		return res.Points[i].Slew < res.Points[j].Slew
+	})
+	spread := func(v []float64) float64 {
+		lo, hi := v[0], v[0]
+		for _, x := range v {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return hi - lo
+	}
+	for _, v := range bySlew {
+		if s := spread(v); s > res.SizeSpreadMax {
+			res.SizeSpreadMax = s
+		}
+	}
+	first := true
+	for _, v := range bySize {
+		s := spread(v)
+		if first || s < res.SlewSpreadMin {
+			res.SlewSpreadMin = s
+			first = false
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,266 @@
+package liberty
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+// StandardSizes lists the repeater drive strengths the paper's
+// experiments use (its footnote lists INVD4 through INVD20).
+var StandardSizes = []float64{4, 6, 8, 12, 16, 20}
+
+// CharOpts tunes characterization. The zero value selects the
+// standard grid.
+type CharOpts struct {
+	// Sizes lists the drive strengths to characterize; defaults to
+	// StandardSizes.
+	Sizes []float64
+	// SlewAxis lists the input-slew breakpoints (s); defaults to a
+	// 10–500 ps grid that brackets the paper's 300 ps stimulus.
+	SlewAxis []float64
+	// LoadMultiples lists the load-axis breakpoints as multiples of
+	// each cell's own input capacitance — the Liberty convention of
+	// scaling the load axis to the cell's drive strength; defaults
+	// to {1, 4, 10, 30, 80}.
+	LoadMultiples []float64
+	// Kinds lists the cell kinds to build; defaults to both.
+	Kinds []CellKind
+}
+
+func (o CharOpts) withDefaults() CharOpts {
+	if o.Sizes == nil {
+		o.Sizes = StandardSizes
+	}
+	if o.SlewAxis == nil {
+		o.SlewAxis = []float64{10e-12, 50e-12, 150e-12, 300e-12, 500e-12}
+	}
+	if o.LoadMultiples == nil {
+		o.LoadMultiples = []float64{1, 4, 10, 30, 80}
+	}
+	if o.Kinds == nil {
+		o.Kinds = []CellKind{Inverter, Buffer}
+	}
+	return o
+}
+
+// bufferFirstStageRatio is the size ratio between a buffer's second
+// and first stages.
+const bufferFirstStageRatio = 4.0
+
+// Characterize builds a Library for the technology by simulating every
+// cell at every grid point with the spice substrate — the reproduction
+// of the paper's "generate the data set using SPICE simulations" step
+// for technologies without Liberty files.
+func Characterize(tc *tech.Technology, opts CharOpts) (*Library, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	lib := &Library{Tech: tc}
+	for _, kind := range o.Kinds {
+		for _, size := range o.Sizes {
+			// Load axis scaled to this cell's drive: multiples of
+			// the *equivalent inverter's* input capacitance so
+			// buffers (whose pin cap is the small first stage) still
+			// see loads matched to their output strength.
+			ref := spice.InverterInputCap(tc, size)
+			loads := make([]float64, len(o.LoadMultiples))
+			for i, m := range o.LoadMultiples {
+				loads[i] = m * ref
+			}
+			cell, err := characterizeCell(tc, kind, size, o.SlewAxis, loads)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: %s%s D%g: %w", tc.Name, kind, size, err)
+			}
+			lib.Cells = append(lib.Cells, cell)
+		}
+	}
+	return lib, nil
+}
+
+func characterizeCell(tc *tech.Technology, kind CellKind, size float64, slews, loads []float64) (*Cell, error) {
+	wn, wp := tc.InverterWidths(size)
+	cell := &Cell{
+		Name: fmt.Sprintf("%sD%g", kind, size),
+		Kind: kind,
+		Size: size,
+		WN:   wn,
+		WP:   wp,
+	}
+	var err error
+	if cell.DelayRise, err = NewTable(slews, loads); err != nil {
+		return nil, err
+	}
+	if cell.DelayFall, err = NewTable(slews, loads); err != nil {
+		return nil, err
+	}
+	if cell.SlewRise, err = NewTable(slews, loads); err != nil {
+		return nil, err
+	}
+	if cell.SlewFall, err = NewTable(slews, loads); err != nil {
+		return nil, err
+	}
+
+	switch kind {
+	case Inverter:
+		cell.InputCap = spice.InverterInputCap(tc, size)
+		cell.Leakage = inverterLeakage(tc, wn, wp)
+		cell.Area = LayoutArea(tc, wn, wp)
+	case Buffer:
+		s1 := firstStageSize(size)
+		wn1, wp1 := tc.InverterWidths(s1)
+		cell.InputCap = spice.InverterInputCap(tc, s1)
+		cell.Leakage = inverterLeakage(tc, wn1, wp1) + inverterLeakage(tc, wn, wp)
+		cell.Area = LayoutArea(tc, wn+wn1, wp+wp1)
+	}
+
+	for i, slew := range slews {
+		for j, load := range loads {
+			for _, outRising := range []bool{true, false} {
+				d, s, err := simulateArc(tc, kind, size, slew, load, outRising)
+				if err != nil {
+					return nil, fmt.Errorf("slew=%g load=%g rise=%v: %w", slew, load, outRising, err)
+				}
+				if outRising {
+					cell.DelayRise.Values[i][j] = d
+					cell.SlewRise.Values[i][j] = s
+				} else {
+					cell.DelayFall.Values[i][j] = d
+					cell.SlewFall.Values[i][j] = s
+				}
+			}
+		}
+	}
+	return cell, nil
+}
+
+func firstStageSize(size float64) float64 {
+	s1 := size / bufferFirstStageRatio
+	if s1 < 1 {
+		s1 = 1
+	}
+	return s1
+}
+
+// inverterLeakage returns the state-averaged leakage power of one
+// inverter stage: with the output high the nMOS leaks, with it low the
+// pMOS leaks, each weighted 1/2 — the paper's p_s = (p_sn + p_sp)/2.
+func inverterLeakage(tc *tech.Technology, wn, wp float64) float64 {
+	n := &spice.Mosfet{Kind: spice.NMOS, Width: wn, Params: tc.NMOS}
+	p := &spice.Mosfet{Kind: spice.PMOS, Width: wp, Params: tc.PMOS}
+	return tc.Vdd * (n.OffCurrent(tc.Vdd) + p.OffCurrent(tc.Vdd)) / 2
+}
+
+// simulateArc measures one (slew, load, direction) grid point.
+func simulateArc(tc *tech.Technology, kind CellKind, size, slew, load float64, outRising bool) (delay, outSlew float64, err error) {
+	dir := spice.Falling
+	if outRising {
+		dir = spice.Rising
+	}
+	switch kind {
+	case Inverter:
+		fix, err := spice.NewLoadedInverter(tc, size, slew, load, dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fix.Measure()
+	case Buffer:
+		return simulateBufferArc(tc, size, slew, load, dir)
+	default:
+		return 0, 0, fmt.Errorf("liberty: unknown cell kind %d", kind)
+	}
+}
+
+// simulateBufferArc builds and measures the two-stage buffer fixture:
+// in → inv(s/4) → mid → inv(s) → out with a lumped load.
+func simulateBufferArc(tc *tech.Technology, size, inSlew, load float64, outDir spice.Direction) (delay, outSlew float64, err error) {
+	c := spice.New()
+	in, mid, out, vdd := c.Node("in"), c.Node("mid"), c.Node("out"), c.Node("vdd")
+	if err := c.AddSource(vdd, spice.DC(tc.Vdd)); err != nil {
+		return 0, 0, err
+	}
+	ramp := spice.RampFromSlew(inSlew)
+	start := 0.2 * ramp
+	// Buffer is non-inverting: output direction == input direction.
+	var w spice.Waveform
+	var initMid, initOut float64
+	inDir := outDir
+	if outDir == spice.Rising {
+		w = spice.Ramp(0, tc.Vdd, start, ramp)
+		initMid, initOut = tc.Vdd, 0
+	} else {
+		w = spice.Ramp(tc.Vdd, 0, start, ramp)
+		initMid, initOut = 0, tc.Vdd
+	}
+	if err := c.AddSource(in, w); err != nil {
+		return 0, 0, err
+	}
+	s1 := firstStageSize(size)
+	spice.AddInverter(c, tc, s1, in, mid, vdd)
+	spice.AddInverter(c, tc, size, mid, out, vdd)
+	c.AddCapacitor(out, spice.Ground, load)
+
+	// Window: ramp plus charging scales of both stages.
+	wn, _ := tc.InverterWidths(size)
+	iOn := tc.PMOS.K * wn * tc.PNRatio
+	if nOn := tc.NMOS.K * wn; nOn < iOn {
+		iOn = nOn
+	}
+	ts := (load + spice.InverterInputCap(tc, size)) * tc.Vdd / iOn
+	if ts < 5e-12 {
+		ts = 5e-12
+	}
+	stop := start + ramp + 16*ts
+	step := inSlew / 80
+	if s := ts / 40; s < step {
+		step = s
+	}
+	if minStep := stop / 8000; step < minStep {
+		step = minStep
+	}
+
+	res, err := c.Transient(spice.TransientOpts{
+		Stop:     stop,
+		Step:     step,
+		InitialV: map[int]float64{mid: initMid, out: initOut},
+		Record:   []int{in, out},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	vin, vout := res.Voltage(in), res.Voltage(out)
+	delay, err = spice.Delay(res.Time, vin, vout, tc.Vdd, inDir, outDir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("buffer delay: %w", err)
+	}
+	outSlew, err = spice.Slew(res.Time, vout, tc.Vdd, outDir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("buffer slew: %w", err)
+	}
+	return delay, outSlew, nil
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Library{}
+)
+
+// Get returns the standard-grid library for a technology, memoized
+// process-wide: characterization is deterministic, so sharing the
+// result across callers is safe and keeps test times reasonable.
+func Get(tc *tech.Technology) (*Library, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if l, ok := cache[tc.Name]; ok {
+		return l, nil
+	}
+	l, err := Characterize(tc, CharOpts{})
+	if err != nil {
+		return nil, err
+	}
+	cache[tc.Name] = l
+	return l, nil
+}

@@ -1,0 +1,33 @@
+package liberty
+
+import "fmt"
+
+// FO4 returns the fanout-of-4 inverter delay of the library: the
+// worst-edge delay of an inverter driving four copies of itself, with
+// the input slew iterated to its self-consistent fixed point (the slew
+// a chain of FO4 stages converges to). FO4 is the canonical
+// technology speed metric; it anchors the characterized library
+// against physical expectations (≈ 25–45 ps at 90 nm high-performance,
+// shrinking with each node, slower for low-power flavors).
+func (l *Library) FO4(size float64) (float64, error) {
+	cell := l.Cell(fmt.Sprintf("INVD%g", size))
+	if cell == nil {
+		return 0, fmt.Errorf("liberty: no INVD%g in library", size)
+	}
+	load := 4 * cell.InputCap
+	// Fixed-point slew iteration: start from the smallest
+	// characterized slew and relax.
+	slew := cell.DelayRise.SlewAxis[0]
+	for i := 0; i < 50; i++ {
+		next := (cell.OutSlew(true, slew, load) + cell.OutSlew(false, slew, load)) / 2
+		if next <= 0 {
+			return 0, fmt.Errorf("liberty: FO4 slew iteration diverged")
+		}
+		if diff := next - slew; diff < 1e-15 && diff > -1e-15 {
+			slew = next
+			break
+		}
+		slew = next
+	}
+	return cell.WorstDelay(slew, load), nil
+}

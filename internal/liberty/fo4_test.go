@@ -1,0 +1,79 @@
+package liberty
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func TestFO4Magnitude(t *testing.T) {
+	lib, err := Get(tech.MustLookup("90nm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo4, err := lib.FO4(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90nm HP FO4 is canonically a few tens of ps.
+	if fo4 < 10e-12 || fo4 > 80e-12 {
+		t.Fatalf("90nm FO4 = %.1f ps outside the physical band", fo4*1e12)
+	}
+}
+
+func TestFO4SizeIndependent(t *testing.T) {
+	// FO4 is a relative metric: nearly the same for any drive
+	// strength.
+	lib, err := Get(tech.MustLookup("90nm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := lib.FO4(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lib.FO4(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := a / b; ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("FO4 not size-independent: D4=%.2fps D16=%.2fps", a*1e12, b*1e12)
+	}
+}
+
+func TestFO4ScalingTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes several libraries")
+	}
+	fo4 := func(name string) float64 {
+		lib, err := Get(tech.MustLookup(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := lib.FO4(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	f90, f65 := fo4("90nm"), fo4("65nm")
+	if !(f65 < f90) {
+		t.Errorf("FO4 did not improve 90→65nm: %.2f → %.2f ps", f90*1e12, f65*1e12)
+	}
+	// The 45nm node is a low-power flavor: its FO4 is allowed to be
+	// slower than 65nm HP, but must still beat 90nm HP's.
+	f45 := fo4("45nm")
+	if !(f45 < f90) {
+		t.Errorf("45nm LP FO4 %.2f ps not below 90nm HP %.2f ps", f45*1e12, f90*1e12)
+	}
+}
+
+func TestFO4UnknownSize(t *testing.T) {
+	lib, err := Get(tech.MustLookup("90nm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.FO4(7); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}

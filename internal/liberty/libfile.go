@@ -1,0 +1,556 @@
+package liberty
+
+// Liberty text-format support: Write emits a characterized Library in
+// a (simplified but syntactically conventional) .lib format — library
+// and cell groups, pin groups, NLDM timing tables with index_1/
+// index_2/values attributes — and Parse reads it back. This is how
+// the paper's flow consumes foundry data ("the required data set is
+// available from Liberty library files"): with these two functions the
+// characterization step and the calibration step can run on different
+// machines, and externally supplied libraries can be calibrated
+// against.
+//
+// Units follow Liberty convention: times in ps, capacitances in fF,
+// leakage in W, area in µm². Values are formatted with enough digits
+// to round-trip float64 exactly for practical purposes.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tech"
+)
+
+// unit conversions between SI (internal) and Liberty file units.
+const (
+	psPerSecond = 1e12
+	ffPerFarad  = 1e15
+	um2PerM2    = 1e12
+)
+
+// WriteLibrary emits the library in Liberty text format.
+func WriteLibrary(w io.Writer, lib *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (repro_%s) {\n", lib.Tech.Name)
+	fmt.Fprintf(bw, "  technology : %q;\n", lib.Tech.Name)
+	fmt.Fprintf(bw, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(bw, "  nom_voltage : %s;\n", fnum(lib.Tech.Vdd))
+
+	for _, c := range lib.Cells {
+		if err := writeCell(bw, c); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 12, 64) }
+
+func fslice(vals []float64, scale float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fnum(v * scale)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func writeCell(w io.Writer, c *Cell) error {
+	fmt.Fprintf(w, "  cell (%s) {\n", c.Name)
+	fmt.Fprintf(w, "    area : %s;\n", fnum(c.Area*um2PerM2))
+	fmt.Fprintf(w, "    cell_leakage_power : %s;\n", fnum(c.Leakage))
+	fmt.Fprintf(w, "    drive_strength : %s;\n", fnum(c.Size))
+	fmt.Fprintf(w, "    repro_wn : %s;\n", fnum(c.WN))
+	fmt.Fprintf(w, "    repro_wp : %s;\n", fnum(c.WP))
+	fmt.Fprintf(w, "    pin (A) {\n      direction : input;\n      capacitance : %s;\n    }\n",
+		fnum(c.InputCap*ffPerFarad))
+	fmt.Fprintf(w, "    pin (Y) {\n      direction : output;\n")
+	sense := "negative_unate"
+	if c.Kind == Buffer {
+		sense = "positive_unate"
+	}
+	fmt.Fprintf(w, "      timing () {\n        related_pin : \"A\";\n        timing_sense : %s;\n", sense)
+	writeTable(w, "cell_rise", c.DelayRise)
+	writeTable(w, "rise_transition", c.SlewRise)
+	writeTable(w, "cell_fall", c.DelayFall)
+	writeTable(w, "fall_transition", c.SlewFall)
+	fmt.Fprintf(w, "      }\n    }\n  }\n")
+	return nil
+}
+
+func writeTable(w io.Writer, name string, t *Table) {
+	fmt.Fprintf(w, "        %s (delay_template) {\n", name)
+	fmt.Fprintf(w, "          index_1 (%q);\n", fslice(t.SlewAxis, psPerSecond))
+	fmt.Fprintf(w, "          index_2 (%q);\n", fslice(t.LoadAxis, ffPerFarad))
+	fmt.Fprintf(w, "          values ( \\\n")
+	for i, row := range t.Values {
+		sep := ", \\"
+		if i == len(t.Values)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(w, "            %q%s\n", fslice(row, psPerSecond), sep)
+	}
+	fmt.Fprintf(w, "          );\n        }\n")
+}
+
+// --- parsing ---
+
+// libToken is one lexical unit of a Liberty file.
+type libToken struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokString
+	tokNumber
+	tokPunct // { } ( ) : ; ,
+	tokEOF
+)
+
+type lexer struct {
+	data []byte
+	pos  int
+	line int
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("liberty: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (libToken, error) {
+	for lx.pos < len(lx.data) {
+		c := lx.data[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '\\': // line continuation
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.data) && lx.data[lx.pos+1] == '*':
+			end := strings.Index(string(lx.data[lx.pos+2:]), "*/")
+			if end < 0 {
+				return libToken{}, lx.errf("unterminated comment")
+			}
+			lx.line += strings.Count(string(lx.data[lx.pos:lx.pos+end+4]), "\n")
+			lx.pos += end + 4
+		default:
+			return lx.scanToken()
+		}
+	}
+	return libToken{kind: tokEOF}, nil
+}
+
+func (lx *lexer) scanToken() (libToken, error) {
+	c := lx.data[lx.pos]
+	switch {
+	case strings.IndexByte("{}():;,", c) >= 0:
+		lx.pos++
+		return libToken{kind: tokPunct, text: string(c)}, nil
+	case c == '"':
+		start := lx.pos + 1
+		end := start
+		for end < len(lx.data) && lx.data[end] != '"' {
+			if lx.data[end] == '\n' {
+				lx.line++
+			}
+			end++
+		}
+		if end >= len(lx.data) {
+			return libToken{}, lx.errf("unterminated string")
+		}
+		lx.pos = end + 1
+		return libToken{kind: tokString, text: string(lx.data[start:end])}, nil
+	default:
+		start := lx.pos
+		for lx.pos < len(lx.data) && !strings.ContainsRune(" \t\r\n{}():;,\"\\", rune(lx.data[lx.pos])) {
+			lx.pos++
+		}
+		text := string(lx.data[start:lx.pos])
+		if text == "" {
+			return libToken{}, lx.errf("unexpected character %q", c)
+		}
+		if _, err := strconv.ParseFloat(text, 64); err == nil {
+			return libToken{kind: tokNumber, text: text}, nil
+		}
+		return libToken{kind: tokIdent, text: text}, nil
+	}
+}
+
+// parser consumes the token stream into a generic group tree, then
+// interprets it.
+type parser struct {
+	lx     *lexer
+	peeked *libToken
+}
+
+func (p *parser) next() (libToken, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lx.next()
+}
+
+func (p *parser) peek() (libToken, error) {
+	if p.peeked == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return libToken{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+// group is a parsed Liberty group: name, arguments, simple attributes,
+// and nested groups.
+type group struct {
+	name  string
+	args  []string
+	attrs map[string][]string // attribute name → argument list
+	subs  []*group
+}
+
+// parseGroup parses `( args ) { body }` for a group whose name token
+// was already consumed.
+func (p *parser) parseGroup(name string) (*group, error) {
+	g := &group{name: name, attrs: map[string][]string{}}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	g.args = args
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	if err := p.fillGroupBody(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// fillGroupBody parses the body of a group whose `{` was consumed.
+func (p *parser) fillGroupBody(g *group) error {
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case t.kind == tokPunct && t.text == "}":
+			return nil
+		case t.kind == tokEOF:
+			return p.lx.errf("unexpected EOF in group %s", g.name)
+		case t.kind == tokIdent:
+			nt, err := p.peek()
+			if err != nil {
+				return err
+			}
+			switch {
+			case nt.kind == tokPunct && nt.text == ":":
+				p.peeked = nil
+				val, err := p.parseValue()
+				if err != nil {
+					return err
+				}
+				g.attrs[t.text] = []string{val}
+			case nt.kind == tokPunct && nt.text == "(":
+				args, err := p.parseArgs()
+				if err != nil {
+					return err
+				}
+				after, err := p.peek()
+				if err != nil {
+					return err
+				}
+				if after.kind == tokPunct && after.text == "{" {
+					p.peeked = nil
+					sub := &group{name: t.text, args: args, attrs: map[string][]string{}}
+					if err := p.fillGroupBody(sub); err != nil {
+						return err
+					}
+					g.subs = append(g.subs, sub)
+				} else {
+					if err := p.expect(";"); err != nil {
+						return err
+					}
+					g.attrs[t.text] = args
+				}
+			default:
+				return p.lx.errf("unexpected token after %q", t.text)
+			}
+		default:
+			return p.lx.errf("unexpected token %q", t.text)
+		}
+	}
+}
+
+// parseArgs parses `( a, b, ... )`.
+func (p *parser) parseArgs() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []string
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t.kind == tokPunct && t.text == ")":
+			return args, nil
+		case t.kind == tokPunct && t.text == ",":
+		case t.kind == tokEOF:
+			return nil, p.lx.errf("unexpected EOF in argument list")
+		default:
+			args = append(args, t.text)
+		}
+	}
+}
+
+// parseValue parses the value of `attr : value ;`.
+func (p *parser) parseValue() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind == tokPunct {
+		return "", p.lx.errf("missing attribute value")
+	}
+	if err := p.expect(";"); err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) expect(punct string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokPunct || t.text != punct {
+		return p.lx.errf("expected %q, got %q", punct, t.text)
+	}
+	return nil
+}
+
+// ParseLibrary reads a Liberty file produced by WriteLibrary (or a
+// compatible subset) and reconstructs the Library. The technology
+// descriptor is resolved by the library's `technology` attribute
+// against the built-in set.
+func ParseLibrary(r io.Reader) (*Library, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{lx: &lexer{data: data, line: 1}}
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokIdent || t.text != "library" {
+		return nil, fmt.Errorf("liberty: file does not start with a library group")
+	}
+	root, err := p.parseGroup("library")
+	if err != nil {
+		return nil, err
+	}
+
+	techName := attrString(root, "technology")
+	if techName == "" {
+		return nil, fmt.Errorf("liberty: library missing technology attribute")
+	}
+	tc, err := tech.Lookup(techName)
+	if err != nil {
+		return nil, err
+	}
+	lib := &Library{Tech: tc}
+	for _, sub := range root.subs {
+		if sub.name != "cell" {
+			continue
+		}
+		cell, err := parseCell(sub)
+		if err != nil {
+			return nil, err
+		}
+		lib.Cells = append(lib.Cells, cell)
+	}
+	if len(lib.Cells) == 0 {
+		return nil, fmt.Errorf("liberty: library has no cells")
+	}
+	sort.Slice(lib.Cells, func(i, j int) bool {
+		a, b := lib.Cells[i], lib.Cells[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Size < b.Size
+	})
+	return lib, nil
+}
+
+func attrString(g *group, name string) string {
+	if v, ok := g.attrs[name]; ok && len(v) > 0 {
+		return v[0]
+	}
+	return ""
+}
+
+func attrFloat(g *group, name string) (float64, error) {
+	s := attrString(g, name)
+	if s == "" {
+		return 0, fmt.Errorf("liberty: missing attribute %q in %s", name, g.name)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseCell(g *group) (*Cell, error) {
+	if len(g.args) != 1 {
+		return nil, fmt.Errorf("liberty: cell group needs a name")
+	}
+	c := &Cell{Name: g.args[0]}
+	switch {
+	case strings.HasPrefix(c.Name, "INV"):
+		c.Kind = Inverter
+	case strings.HasPrefix(c.Name, "BUF"):
+		c.Kind = Buffer
+	default:
+		return nil, fmt.Errorf("liberty: cell %q has unknown kind prefix", c.Name)
+	}
+	var err error
+	if c.Area, err = attrFloat(g, "area"); err != nil {
+		return nil, err
+	}
+	c.Area /= um2PerM2
+	if c.Leakage, err = attrFloat(g, "cell_leakage_power"); err != nil {
+		return nil, err
+	}
+	if c.Size, err = attrFloat(g, "drive_strength"); err != nil {
+		return nil, err
+	}
+	if c.WN, err = attrFloat(g, "repro_wn"); err != nil {
+		return nil, err
+	}
+	if c.WP, err = attrFloat(g, "repro_wp"); err != nil {
+		return nil, err
+	}
+	for _, pin := range g.subs {
+		if pin.name != "pin" || len(pin.args) != 1 {
+			continue
+		}
+		switch pin.args[0] {
+		case "A":
+			cap, err := attrFloat(pin, "capacitance")
+			if err != nil {
+				return nil, err
+			}
+			c.InputCap = cap / ffPerFarad
+		case "Y":
+			for _, tg := range pin.subs {
+				if tg.name != "timing" {
+					continue
+				}
+				for _, tab := range tg.subs {
+					parsed, err := parseTable(tab)
+					if err != nil {
+						return nil, fmt.Errorf("cell %s: %w", c.Name, err)
+					}
+					switch tab.name {
+					case "cell_rise":
+						c.DelayRise = parsed
+					case "rise_transition":
+						c.SlewRise = parsed
+					case "cell_fall":
+						c.DelayFall = parsed
+					case "fall_transition":
+						c.SlewFall = parsed
+					}
+				}
+			}
+		}
+	}
+	if c.DelayRise == nil || c.DelayFall == nil || c.SlewRise == nil || c.SlewFall == nil {
+		return nil, fmt.Errorf("liberty: cell %s missing timing tables", c.Name)
+	}
+	if c.InputCap <= 0 {
+		return nil, fmt.Errorf("liberty: cell %s missing input capacitance", c.Name)
+	}
+	return c, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseTable(g *group) (*Table, error) {
+	idx1, ok := g.attrs["index_1"]
+	if !ok || len(idx1) != 1 {
+		return nil, fmt.Errorf("table %s missing index_1", g.name)
+	}
+	idx2, ok := g.attrs["index_2"]
+	if !ok || len(idx2) != 1 {
+		return nil, fmt.Errorf("table %s missing index_2", g.name)
+	}
+	rows, ok := g.attrs["values"]
+	if !ok {
+		return nil, fmt.Errorf("table %s missing values", g.name)
+	}
+	slews, err := parseFloatList(idx1[0])
+	if err != nil {
+		return nil, err
+	}
+	loads, err := parseFloatList(idx2[0])
+	if err != nil {
+		return nil, err
+	}
+	for i := range slews {
+		slews[i] /= psPerSecond
+	}
+	for i := range loads {
+		loads[i] /= ffPerFarad
+	}
+	t, err := NewTable(slews, loads)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != len(slews) {
+		return nil, fmt.Errorf("table %s has %d value rows for %d slews", g.name, len(rows), len(slews))
+	}
+	for i, rowStr := range rows {
+		vals, err := parseFloatList(rowStr)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(loads) {
+			return nil, fmt.Errorf("table %s row %d has %d values for %d loads", g.name, i, len(vals), len(loads))
+		}
+		for j, v := range vals {
+			t.Values[i][j] = v / psPerSecond
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,163 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// smallLib builds a quick two-cell library for round-trip tests.
+func smallLib(t *testing.T) *Library {
+	t.Helper()
+	lib, err := Characterize(tech.MustLookup("90nm"), CharOpts{
+		Sizes:         []float64{4, 8},
+		SlewAxis:      []float64{50e-12, 200e-12, 400e-12},
+		LoadMultiples: []float64{3, 20, 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestLibertyRoundTrip(t *testing.T) {
+	lib := smallLib(t)
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLibrary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n--- file ---\n%s", err, buf.String())
+	}
+	if got.Tech.Name != "90nm" {
+		t.Fatalf("tech %q", got.Tech.Name)
+	}
+	if len(got.Cells) != len(lib.Cells) {
+		t.Fatalf("cell count %d vs %d", len(got.Cells), len(lib.Cells))
+	}
+	relClose := func(a, b float64) bool {
+		den := math.Max(math.Abs(a), math.Abs(b))
+		return den == 0 || math.Abs(a-b) <= 1e-9*den
+	}
+	for _, orig := range lib.Cells {
+		back := got.Cell(orig.Name)
+		if back == nil {
+			t.Fatalf("cell %s lost", orig.Name)
+		}
+		if back.Kind != orig.Kind || back.Size != orig.Size {
+			t.Fatalf("cell %s identity changed", orig.Name)
+		}
+		if !relClose(back.InputCap, orig.InputCap) ||
+			!relClose(back.Leakage, orig.Leakage) ||
+			!relClose(back.Area, orig.Area) ||
+			!relClose(back.WN, orig.WN) || !relClose(back.WP, orig.WP) {
+			t.Fatalf("cell %s statics changed", orig.Name)
+		}
+		for _, pair := range []struct{ a, b *Table }{
+			{orig.DelayRise, back.DelayRise},
+			{orig.DelayFall, back.DelayFall},
+			{orig.SlewRise, back.SlewRise},
+			{orig.SlewFall, back.SlewFall},
+		} {
+			if len(pair.a.SlewAxis) != len(pair.b.SlewAxis) || len(pair.a.LoadAxis) != len(pair.b.LoadAxis) {
+				t.Fatalf("cell %s table axes changed", orig.Name)
+			}
+			for i := range pair.a.Values {
+				for j := range pair.a.Values[i] {
+					if !relClose(pair.a.Values[i][j], pair.b.Values[i][j]) {
+						t.Fatalf("cell %s table value drifted: %g vs %g",
+							orig.Name, pair.a.Values[i][j], pair.b.Values[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParsedLibraryIsUsable(t *testing.T) {
+	lib := smallLib(t)
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lookup semantics survive the round trip.
+	c := got.Cell("INVD8")
+	if c == nil {
+		t.Fatal("INVD8 missing")
+	}
+	d := c.Delay(true, 200e-12, 20*c.InputCap)
+	if d <= 0 || d > 1e-9 {
+		t.Fatalf("implausible delay %g from parsed library", d)
+	}
+}
+
+func TestParseLibraryErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"not a library", "cell (X) { }"},
+		{"unterminated", "library (l) { technology : \"90nm\";"},
+		{"no tech", "library (l) { cell (INVD4) { } }"},
+		{"unknown tech", `library (l) { technology : "7nm"; cell (INVD4) { } }`},
+		{"no cells", `library (l) { technology : "90nm"; }`},
+		{"bad kind", `library (l) { technology : "90nm"; cell (NAND2) { } }`},
+		{"unterminated string", `library (l) { technology : "90nm`},
+		{"unterminated comment", `library (l) { /* nope `},
+	}
+	for _, c := range cases {
+		if _, err := ParseLibrary(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseLibraryMissingTables(t *testing.T) {
+	in := `library (l) {
+  technology : "90nm";
+  cell (INVD4) {
+    area : 4.7; cell_leakage_power : 1e-7; drive_strength : 4;
+    repro_wn : 1.8e-6; repro_wp : 3.6e-6;
+    pin (A) { direction : input; capacitance : 9.7; }
+    pin (Y) { direction : output; timing () { related_pin : "A"; } }
+  }
+}`
+	if _, err := ParseLibrary(strings.NewReader(in)); err == nil {
+		t.Fatal("cell without timing tables accepted")
+	}
+}
+
+func TestParseHandlesCommentsAndContinuations(t *testing.T) {
+	lib := smallLib(t)
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	// Inject comments into the emitted file; the parser must cope.
+	text := strings.Replace(buf.String(), "library (", "/* header\ncomment */ library (", 1)
+	if _, err := ParseLibrary(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFloatList(t *testing.T) {
+	vals, err := parseFloatList(" 1, 2.5 , 3e-2,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[1] != 2.5 {
+		t.Fatalf("got %v", vals)
+	}
+	if _, err := parseFloatList("1, x"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}

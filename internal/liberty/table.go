@@ -1,0 +1,87 @@
+// Package liberty provides the NLDM-style cell library substrate: 2-D
+// delay/slew lookup tables indexed by input slew and output load,
+// cell-level attributes (input capacitance, leakage power, area), and
+// a characterization driver that fills the tables by running the
+// circuit-simulation substrate — exactly the role the foundry Liberty
+// (.lib) files play in the paper's flow.
+package liberty
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a two-dimensional NLDM lookup table over an input-slew axis
+// and a load-capacitance axis, with bilinear interpolation inside the
+// characterized window and linear extrapolation outside it (the
+// behavior sign-off tools adopt, with a warning, for out-of-range
+// queries).
+type Table struct {
+	// SlewAxis holds the input-slew breakpoints in seconds,
+	// strictly increasing.
+	SlewAxis []float64
+	// LoadAxis holds the load-capacitance breakpoints in farads,
+	// strictly increasing.
+	LoadAxis []float64
+	// Values is indexed [slew][load].
+	Values [][]float64
+}
+
+// NewTable allocates a table with the given axes and zero values.
+func NewTable(slews, loads []float64) (*Table, error) {
+	if len(slews) < 2 || len(loads) < 2 {
+		return nil, fmt.Errorf("liberty: table axes need ≥2 points (%d×%d)", len(slews), len(loads))
+	}
+	if !sort.Float64sAreSorted(slews) || !sort.Float64sAreSorted(loads) {
+		return nil, fmt.Errorf("liberty: table axes must be sorted")
+	}
+	for i := 1; i < len(slews); i++ {
+		if slews[i] == slews[i-1] {
+			return nil, fmt.Errorf("liberty: duplicate slew breakpoint %g", slews[i])
+		}
+	}
+	for i := 1; i < len(loads); i++ {
+		if loads[i] == loads[i-1] {
+			return nil, fmt.Errorf("liberty: duplicate load breakpoint %g", loads[i])
+		}
+	}
+	v := make([][]float64, len(slews))
+	for i := range v {
+		v[i] = make([]float64, len(loads))
+	}
+	return &Table{
+		SlewAxis: append([]float64(nil), slews...),
+		LoadAxis: append([]float64(nil), loads...),
+		Values:   v,
+	}, nil
+}
+
+// segment finds the axis interval [i, i+1] bracketing x, clamping to
+// the end intervals so the caller extrapolates linearly beyond the
+// characterized window.
+func segment(axis []float64, x float64) int {
+	i := sort.SearchFloat64s(axis, x)
+	switch {
+	case i <= 0:
+		return 0
+	case i >= len(axis):
+		return len(axis) - 2
+	default:
+		return i - 1
+	}
+}
+
+// Lookup returns the bilinearly interpolated value at (slew, load).
+func (t *Table) Lookup(slew, load float64) float64 {
+	i := segment(t.SlewAxis, slew)
+	j := segment(t.LoadAxis, load)
+	s0, s1 := t.SlewAxis[i], t.SlewAxis[i+1]
+	l0, l1 := t.LoadAxis[j], t.LoadAxis[j+1]
+	fs := (slew - s0) / (s1 - s0)
+	fl := (load - l0) / (l1 - l0)
+	v00 := t.Values[i][j]
+	v01 := t.Values[i][j+1]
+	v10 := t.Values[i+1][j]
+	v11 := t.Values[i+1][j+1]
+	return v00*(1-fs)*(1-fl) + v01*(1-fs)*fl + v10*fs*(1-fl) + v11*fs*fl
+}

@@ -1,0 +1,213 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/liberty"
+	"repro/internal/regress"
+)
+
+// IntrinsicPoint is one intermediate observation of the repeater
+// intrinsic delay — the load-axis intercept of the delay-vs-load
+// regression at one (cell, input slew) grid point. The collection of
+// these points is exactly the data behind the paper's Fig. 1.
+type IntrinsicPoint struct {
+	Kind      liberty.CellKind
+	OutRising bool
+	Size      float64 // drive strength
+	Slew      float64 // input slew (s)
+	Intrinsic float64 // fitted intrinsic delay (s)
+}
+
+// RdPoint is one intermediate observation of the drive resistance —
+// the load-axis slope at one (cell, input slew) grid point.
+type RdPoint struct {
+	Kind      liberty.CellKind
+	OutRising bool
+	Size      float64
+	WR        float64 // pulling-device width (m)
+	Slew      float64
+	Rd        float64 // Ω
+}
+
+// Report carries the calibration intermediates and fit diagnostics, so
+// tools can regenerate Fig. 1 and audit every regression.
+type Report struct {
+	Intrinsic []IntrinsicPoint
+	Rd        []RdPoint
+	// Fits maps a descriptive name ("inv/rise/intrinsic", …) to the
+	// regression diagnostics of that fit.
+	Fits map[string]regress.Fit
+}
+
+// Calibrate fits the full coefficient set for a library — the
+// reproduction of the paper's Table I derivation: linear regressions
+// of delay against load to split intrinsic delay from drive
+// resistance, a quadratic regression of intrinsic delay against slew,
+// zero-intercept regressions of the drive-resistance components
+// against reciprocal size, a multiple linear regression for output
+// slew, and linear regressions for input capacitance, leakage, and
+// area.
+func Calibrate(lib *liberty.Library) (*Coefficients, *Report, error) {
+	if lib == nil || len(lib.Cells) == 0 {
+		return nil, nil, fmt.Errorf("model: empty library")
+	}
+	coeffs := &Coefficients{Tech: lib.Tech.Name}
+	report := &Report{Fits: make(map[string]regress.Fit)}
+
+	for _, kind := range []liberty.CellKind{liberty.Inverter, liberty.Buffer} {
+		cells := lib.CellsOfKind(kind)
+		if len(cells) == 0 {
+			continue
+		}
+		kc := coeffs.kindCoeffs(kind)
+		for _, outRising := range []bool{true, false} {
+			ec, err := calibrateEdge(cells, kind, outRising, report)
+			if err != nil {
+				return nil, nil, fmt.Errorf("model: %v/%v: %w", kind, edgeName(outRising), err)
+			}
+			*kc.edge(outRising) = *ec
+		}
+		if err := calibrateStatics(cells, kind, kc, report); err != nil {
+			return nil, nil, fmt.Errorf("model: %v statics: %w", kind, err)
+		}
+	}
+	return coeffs, report, nil
+}
+
+func edgeName(outRising bool) string {
+	if outRising {
+		return "rise"
+	}
+	return "fall"
+}
+
+// calibrateEdge fits one (kind, edge) coefficient set from the NLDM
+// tables of all cells of that kind.
+func calibrateEdge(cells []*liberty.Cell, kind liberty.CellKind, outRising bool, report *Report) (*EdgeCoeffs, error) {
+	prefix := fmt.Sprintf("%s/%s", kind, edgeName(outRising))
+	ec := &EdgeCoeffs{}
+
+	var intrinsicSlews, intrinsicVals []float64
+	var invWr0, rd0Vals, invWr1, rd1Vals []float64
+	var slewRows [][]float64
+	var slewVals []float64
+
+	for _, cell := range cells {
+		wr := cell.WN
+		if outRising {
+			wr = cell.WP
+		}
+		delay := cell.DelayFall
+		outSlew := cell.SlewFall
+		if outRising {
+			delay = cell.DelayRise
+			outSlew = cell.SlewRise
+		}
+
+		// Per-slew linear regression of delay vs load: intercept is
+		// the intrinsic delay, slope the drive resistance.
+		var rdSlews, rdVals []float64
+		for i, s := range delay.SlewAxis {
+			fit, err := regress.Linear(delay.LoadAxis, delay.Values[i])
+			if err != nil {
+				return nil, fmt.Errorf("delay-vs-load at slew %g: %w", s, err)
+			}
+			intrinsicSlews = append(intrinsicSlews, s)
+			intrinsicVals = append(intrinsicVals, fit.Coeff[0])
+			rdSlews = append(rdSlews, s)
+			rdVals = append(rdVals, fit.Coeff[1])
+			report.Intrinsic = append(report.Intrinsic, IntrinsicPoint{
+				Kind: kind, OutRising: outRising, Size: cell.Size, Slew: s, Intrinsic: fit.Coeff[0],
+			})
+			report.Rd = append(report.Rd, RdPoint{
+				Kind: kind, OutRising: outRising, Size: cell.Size, WR: wr, Slew: s, Rd: fit.Coeff[1],
+			})
+		}
+		// Per-cell: r_d = rd0 + rd1·s.
+		fit, err := regress.Linear(rdSlews, rdVals)
+		if err != nil {
+			return nil, fmt.Errorf("rd-vs-slew for %s: %w", cell.Name, err)
+		}
+		invWr0 = append(invWr0, 1/wr)
+		rd0Vals = append(rd0Vals, fit.Coeff[0])
+		invWr1 = append(invWr1, 1/wr)
+		rd1Vals = append(rd1Vals, fit.Coeff[1])
+
+		// Output-slew observations for the multiple regression.
+		for i, s := range outSlew.SlewAxis {
+			for j, l := range outSlew.LoadAxis {
+				slewRows = append(slewRows, []float64{s / wr, l})
+				slewVals = append(slewVals, outSlew.Values[i][j])
+			}
+		}
+	}
+
+	// Intrinsic delay: quadratic in slew, pooled across sizes (the
+	// paper's Fig. 1 shows size-independence).
+	qfit, err := regress.Quadratic(intrinsicSlews, intrinsicVals)
+	if err != nil {
+		return nil, fmt.Errorf("intrinsic quadratic: %w", err)
+	}
+	ec.A0, ec.A1, ec.A2 = qfit.Coeff[0], qfit.Coeff[1], qfit.Coeff[2]
+	report.Fits[prefix+"/intrinsic"] = qfit
+
+	// Drive resistance components ∝ 1/w_r, zero intercept.
+	b0fit, err := regress.LinearZero(invWr0, rd0Vals)
+	if err != nil {
+		return nil, fmt.Errorf("beta0: %w", err)
+	}
+	ec.Beta0 = b0fit.Coeff[0]
+	report.Fits[prefix+"/beta0"] = b0fit
+
+	b1fit, err := regress.LinearZero(invWr1, rd1Vals)
+	if err != nil {
+		return nil, fmt.Errorf("beta1: %w", err)
+	}
+	ec.Beta1 = b1fit.Coeff[0]
+	report.Fits[prefix+"/beta1"] = b1fit
+
+	// Output slew: s_o = γ0 + γ1·s/w_r + γ2·c_l.
+	sfit, err := regress.Multi(slewRows, slewVals)
+	if err != nil {
+		return nil, fmt.Errorf("output slew: %w", err)
+	}
+	ec.Gamma0, ec.Gamma1, ec.Gamma2 = sfit.Coeff[0], sfit.Coeff[1], sfit.Coeff[2]
+	report.Fits[prefix+"/slew"] = sfit
+	return ec, nil
+}
+
+// calibrateStatics fits the input-capacitance, leakage, and area
+// models of one kind.
+func calibrateStatics(cells []*liberty.Cell, kind liberty.CellKind, kc *KindCoeffs, report *Report) error {
+	prefix := fmt.Sprint(kind)
+	var widthSum, cin, wn, leak, area []float64
+	for _, c := range cells {
+		widthSum = append(widthSum, c.WN+c.WP)
+		cin = append(cin, c.InputCap)
+		wn = append(wn, c.WN)
+		leak = append(leak, c.Leakage)
+		area = append(area, c.Area)
+	}
+	kfit, err := regress.LinearZero(widthSum, cin)
+	if err != nil {
+		return fmt.Errorf("kappa: %w", err)
+	}
+	kc.Kappa = kfit.Coeff[0]
+	report.Fits[prefix+"/kappa"] = kfit
+
+	lfit, err := regress.Linear(wn, leak)
+	if err != nil {
+		return fmt.Errorf("leakage: %w", err)
+	}
+	kc.Leak0, kc.Leak1 = lfit.Coeff[0], lfit.Coeff[1]
+	report.Fits[prefix+"/leakage"] = lfit
+
+	afit, err := regress.Linear(wn, area)
+	if err != nil {
+		return fmt.Errorf("area: %w", err)
+	}
+	kc.Area0, kc.Area1 = afit.Coeff[0], afit.Coeff[1]
+	report.Fits[prefix+"/area"] = afit
+	return nil
+}

@@ -1,0 +1,195 @@
+// Package model implements the paper's primary contribution: simple,
+// accurate closed-form predictive models for the delay, power, and
+// area of global buffered interconnects, together with the regression
+// pipeline that calibrates their coefficients against a characterized
+// cell library (the reproduction of the paper's Table I).
+//
+// The model set, following Section III of the paper:
+//
+//   - Repeater delay  d_r = i(s_i) + r_d(s_i, w_r)·c_l, with the
+//     intrinsic delay quadratic in input slew and independent of size,
+//     and the drive resistance linear in slew with both intercept and
+//     slope inversely proportional to the repeater size (the pulling
+//     device's width: pMOS for rise, nMOS for fall).
+//   - Output slew  s_o = γ0 + γ1·s_i/w_r + γ2·c_l.
+//   - Input capacitance  c_i = κ·(w_p + w_n).
+//   - Wire delay  d_w = r_w·(0.4·c_g + (λ/2)·c_c + 0.7·c_i), the
+//     Pamunuwa cross-talk-aware form, with wire resistance corrected
+//     for electron scattering and barrier thickness (package wire).
+//   - Leakage power linear in device width, averaged over states.
+//   - Dynamic power  α·c_l·v_dd²·f.
+//   - Repeater area linear in device width (regression), with a
+//     predictive row-height/contact-pitch variant for future nodes.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/liberty"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+// EdgeCoeffs holds the fitted delay/slew coefficients for one output
+// edge (rise or fall) of one repeater kind.
+type EdgeCoeffs struct {
+	// A0, A1, A2 define the intrinsic delay i(s) = A0 + A1·s + A2·s²
+	// (seconds, with s in seconds).
+	A0, A1, A2 float64
+	// Beta0, Beta1 define the drive resistance r_d = Beta0/w_r +
+	// (Beta1/w_r)·s with w_r in meters: Ω·m and Ω·m/s respectively.
+	Beta0, Beta1 float64
+	// Gamma0, Gamma1, Gamma2 define the output slew s_o = Gamma0 +
+	// Gamma1·s/w_r + Gamma2·c_l.
+	Gamma0, Gamma1, Gamma2 float64
+}
+
+// Intrinsic evaluates the intrinsic delay at input slew s.
+func (e *EdgeCoeffs) Intrinsic(s float64) float64 {
+	return e.A0 + e.A1*s + e.A2*s*s
+}
+
+// DriveResistance evaluates r_d for pulling-device width wr and input
+// slew s.
+func (e *EdgeCoeffs) DriveResistance(wr, s float64) float64 {
+	return e.Beta0/wr + e.Beta1/wr*s
+}
+
+// Delay evaluates the repeater delay for pulling-device width wr,
+// input slew s, and load capacitance cl.
+func (e *EdgeCoeffs) Delay(wr, s, cl float64) float64 {
+	return e.Intrinsic(s) + e.DriveResistance(wr, s)*cl
+}
+
+// OutSlew evaluates the output slew for the same arguments.
+func (e *EdgeCoeffs) OutSlew(wr, s, cl float64) float64 {
+	return e.Gamma0 + e.Gamma1*s/wr + e.Gamma2*cl
+}
+
+// KindCoeffs pairs the rise/fall edge coefficients of one repeater
+// kind with its input-capacitance slope.
+type KindCoeffs struct {
+	Rise, Fall EdgeCoeffs
+	// Kappa is the input-capacitance coefficient: c_i = Kappa·(w_p +
+	// w_n) over the *second-stage* widths (for buffers the first
+	// stage is size/4, which Kappa absorbs).
+	Kappa float64
+	// Leak0, Leak1 give the state-averaged leakage power as Leak0 +
+	// Leak1·w_n (watts, w_n in meters).
+	Leak0, Leak1 float64
+	// Area0, Area1 give the repeater layout area as Area0 +
+	// Area1·w_n (m²) — the regression-based area model for existing
+	// technologies.
+	Area0, Area1 float64
+}
+
+// Coefficients is the complete fitted model for one technology — one
+// row of the paper's Table I.
+type Coefficients struct {
+	// Tech is the technology name the coefficients were fitted for.
+	Tech string
+	// Inv and Buf are the per-kind coefficient sets.
+	Inv, Buf KindCoeffs
+}
+
+// kindCoeffs selects the per-kind set.
+func (c *Coefficients) kindCoeffs(kind liberty.CellKind) *KindCoeffs {
+	if kind == liberty.Buffer {
+		return &c.Buf
+	}
+	return &c.Inv
+}
+
+// edge selects the per-edge set.
+func (k *KindCoeffs) edge(outRising bool) *EdgeCoeffs {
+	if outRising {
+		return &k.Rise
+	}
+	return &k.Fall
+}
+
+// RepeaterDelay predicts the propagation delay (s) of a repeater of
+// the given kind whose pulling device has width wr (pMOS width for a
+// rising output, nMOS width for a falling output), for input slew si
+// and load cl.
+func (c *Coefficients) RepeaterDelay(kind liberty.CellKind, outRising bool, wr, si, cl float64) float64 {
+	return c.kindCoeffs(kind).edge(outRising).Delay(wr, si, cl)
+}
+
+// RepeaterOutSlew predicts the output slew (s) under the same
+// arguments.
+func (c *Coefficients) RepeaterOutSlew(kind liberty.CellKind, outRising bool, wr, si, cl float64) float64 {
+	return c.kindCoeffs(kind).edge(outRising).OutSlew(wr, si, cl)
+}
+
+// InputCap predicts the input capacitance (F) of a repeater with
+// second-stage widths wn, wp.
+func (c *Coefficients) InputCap(kind liberty.CellKind, wn, wp float64) float64 {
+	return c.kindCoeffs(kind).Kappa * (wn + wp)
+}
+
+// LeakagePower predicts the state-averaged leakage power (W) of a
+// repeater with nMOS width wn.
+func (c *Coefficients) LeakagePower(kind liberty.CellKind, wn float64) float64 {
+	k := c.kindCoeffs(kind)
+	return k.Leak0 + k.Leak1*wn
+}
+
+// RepeaterArea predicts the layout area (m²) of a repeater with nMOS
+// width wn using the regression-based model.
+func (c *Coefficients) RepeaterArea(kind liberty.CellKind, wn float64) float64 {
+	k := c.kindCoeffs(kind)
+	return k.Area0 + k.Area1*wn
+}
+
+// PredictiveArea returns the paper's forward-looking area model for
+// technologies without library data, built only from early
+// process/library development values:
+//
+//	N_f = (w_p + w_n)/(h_row − 4·p_contact)
+//	w_cell = (N_f + 1)·p_contact
+//	a_r = h_row·w_cell
+func PredictiveArea(t *tech.Technology, wn, wp float64) float64 {
+	usable := t.RowHeight - 4*t.ContactPitch
+	nf := (wn + wp) / usable
+	if nf < 1 {
+		nf = 1
+	}
+	wcell := (nf + 1) * t.ContactPitch
+	return t.RowHeight * wcell
+}
+
+// DynamicPower returns α·c_l·v_dd²·f — the paper's dynamic-power
+// equation for one switching node with activity factor alpha.
+func DynamicPower(alpha, cl, vdd, f float64) float64 {
+	return alpha * cl * vdd * vdd * f
+}
+
+// WireDelay predicts the delay (s) of one wire segment loaded by the
+// next repeater's input capacitance ci, using the enhanced Pamunuwa
+// form: the quiet capacitance weighted 0.4, coupling weighted by half
+// the style's Miller factor (1.51/2 for worst-case SWSS, 0 when
+// shielding or staggering neutralizes cross-talk), and the receiver
+// load weighted 0.7. The wire resistance includes the scattering and
+// barrier corrections.
+func WireDelay(seg wire.Segment, ci float64) float64 {
+	rw := seg.Resistance()
+	quiet, coupled := seg.DelayCaps()
+	lambda := seg.Style.MillerFactor()
+	return rw * (0.4*quiet + (lambda/2)*coupled + 0.7*ci)
+}
+
+// GateLoad returns the load capacitance the repeater-delay model sees
+// for a wire segment plus receiver: the quiet capacitance, the
+// coupling capacitance amplified by the worst-case Miller factor 2
+// (matching the sign-off assumption for simultaneous opposite
+// switching), and the receiver's input capacitance.
+func GateLoad(seg wire.Segment, ci float64) float64 {
+	quiet, coupled := seg.DelayCaps()
+	return quiet + 2*coupled + ci
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (c *Coefficients) String() string {
+	return fmt.Sprintf("model.Coefficients{%s}", c.Tech)
+}

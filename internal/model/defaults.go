@@ -1,0 +1,37 @@
+package model
+
+import "fmt"
+
+// Default returns the embedded pre-calibrated coefficient set for a
+// built-in technology — the shipped form of the paper's Table I. The
+// returned pointer refers to shared data and must not be mutated.
+//
+// The embedded values are produced by the full characterization +
+// regression pipeline (cmd/calibrate -emit-go); the model test suite
+// cross-checks them against a live calibration.
+func Default(techName string) (*Coefficients, error) {
+	c, ok := defaultCoefficients[techName]
+	if !ok {
+		return nil, fmt.Errorf("model: no embedded coefficients for %q", techName)
+	}
+	return c, nil
+}
+
+// MustDefault is Default for known-good names; it panics on failure.
+func MustDefault(techName string) *Coefficients {
+	c, err := Default(techName)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DefaultTechs returns the technology names with embedded
+// coefficients.
+func DefaultTechs() []string {
+	out := make([]string, 0, len(defaultCoefficients))
+	for k := range defaultCoefficients {
+		out = append(out, k)
+	}
+	return out
+}

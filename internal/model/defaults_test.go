@@ -1,0 +1,101 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func TestDefaultCoversAllTechs(t *testing.T) {
+	for _, name := range tech.Names() {
+		c, err := Default(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if c.Tech != name {
+			t.Errorf("%s: embedded Tech field %q", name, c.Tech)
+		}
+	}
+	if len(DefaultTechs()) != len(tech.Names()) {
+		t.Fatalf("DefaultTechs has %d entries, want %d", len(DefaultTechs()), len(tech.Names()))
+	}
+}
+
+func TestDefaultUnknown(t *testing.T) {
+	if _, err := Default("7nm"); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDefault should panic")
+		}
+	}()
+	MustDefault("7nm")
+}
+
+// The embedded coefficients must agree with a live calibration run —
+// they are generated artifacts, not hand-tuned numbers.
+func TestDefaultMatchesLiveCalibration(t *testing.T) {
+	live, _ := calibrated(t) // 90nm
+	emb := MustDefault("90nm")
+
+	closeRel := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		den := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 1e-9*den
+	}
+	pairs := []struct {
+		name string
+		a, b float64
+	}{
+		{"inv.rise.A0", live.Inv.Rise.A0, emb.Inv.Rise.A0},
+		{"inv.rise.Beta0", live.Inv.Rise.Beta0, emb.Inv.Rise.Beta0},
+		{"inv.fall.Gamma2", live.Inv.Fall.Gamma2, emb.Inv.Fall.Gamma2},
+		{"inv.Kappa", live.Inv.Kappa, emb.Inv.Kappa},
+		{"inv.Leak1", live.Inv.Leak1, emb.Inv.Leak1},
+		{"inv.Area1", live.Inv.Area1, emb.Inv.Area1},
+		{"buf.rise.A0", live.Buf.Rise.A0, emb.Buf.Rise.A0},
+		{"buf.Kappa", live.Buf.Kappa, emb.Buf.Kappa},
+	}
+	for _, p := range pairs {
+		if !closeRel(p.a, p.b) {
+			t.Errorf("%s: live %g vs embedded %g", p.name, p.a, p.b)
+		}
+	}
+}
+
+// Sanity of the embedded values across nodes: drive resistance
+// coefficients must be positive and Kappa must track the node's gate
+// capacitance scaling.
+func TestDefaultCrossNodeSanity(t *testing.T) {
+	for _, name := range tech.Names() {
+		c := MustDefault(name)
+		for _, e := range []EdgeCoeffs{c.Inv.Rise, c.Inv.Fall, c.Buf.Rise, c.Buf.Fall} {
+			if e.Beta0 <= 0 {
+				t.Errorf("%s: non-positive Beta0", name)
+			}
+			if e.Gamma2 <= 0 {
+				t.Errorf("%s: non-positive Gamma2 (slew must grow with load)", name)
+			}
+		}
+		if c.Inv.Kappa <= 0 || c.Inv.Leak1 <= 0 || c.Inv.Area1 <= 0 {
+			t.Errorf("%s: non-positive static coefficients", name)
+		}
+		// Buffers present a smaller pin cap than inverters of the
+		// same drive.
+		if c.Buf.Kappa >= c.Inv.Kappa {
+			t.Errorf("%s: buffer kappa %g not below inverter %g", name, c.Buf.Kappa, c.Inv.Kappa)
+		}
+	}
+	// Kappa shrinks with scaling (thinner gates, narrower devices
+	// dominate through width, but kappa is per-width: tracks CGate).
+	k90 := MustDefault("90nm").Inv.Kappa
+	k16 := MustDefault("16nm").Inv.Kappa
+	if !(k16 < k90) {
+		t.Errorf("inverter kappa did not shrink 90→16nm: %g vs %g", k90, k16)
+	}
+}

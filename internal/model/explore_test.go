@@ -1,0 +1,56 @@
+package model
+
+// Exploratory accuracy dump used while developing; kept as a skippable
+// diagnostic. Run with: go test ./internal/model -run Explore -v -explore
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/sta"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+var exploreFlag = flag.Bool("explore", false, "print model-vs-golden diagnostics")
+
+func TestExploreAccuracy(t *testing.T) {
+	if !*exploreFlag {
+		t.Skip("diagnostic; enable with -explore")
+	}
+	tc := tech.MustLookup("90nm")
+	lib, err := liberty.Get(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs, rep, err := Calibrate(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fit := range rep.Fits {
+		t.Logf("fit %-22s %s", name, fit)
+	}
+	for _, L := range []float64{1e-3, 3e-3, 5e-3, 10e-3} {
+		for _, n := range []int{2, 5, 10} {
+			for _, size := range []float64{8, 16} {
+				cellName := "INVD8"
+				if size == 16 {
+					cellName = "INVD16"
+				}
+				cell := lib.Cell(cellName)
+				seg := wire.NewSegment(tc, L, wire.SWSS)
+				golden, err := (&sta.Line{Cell: cell, N: n, Segment: seg, InputSlew: 300e-12}).Analyze()
+				if err != nil {
+					t.Fatalf("golden L=%g n=%d: %v", L, n, err)
+				}
+				pred, err := coeffs.LineDelay(LineSpec{Kind: liberty.Inverter, Size: size, N: n, Segment: seg, InputSlew: 300e-12})
+				if err != nil {
+					t.Fatal(err)
+				}
+				errPct := (pred.Delay - golden.Delay) / golden.Delay * 100
+				t.Logf("L=%4.0fmm n=%2d %s: golden=%8.1fps model=%8.1fps err=%+6.1f%%",
+					L*1e3, n, cellName, golden.Delay*1e12, pred.Delay*1e12, errPct)
+			}
+		}
+	}
+}

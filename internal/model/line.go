@@ -1,0 +1,177 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/liberty"
+	"repro/internal/wire"
+)
+
+// LineSpec describes a uniformly buffered interconnect for the
+// predictive model: the same geometry package sta analyzes, but
+// evaluated with closed-form equations instead of simulation.
+type LineSpec struct {
+	// Kind and Size select the repeater (Size in unit-inverter
+	// multiples).
+	Kind liberty.CellKind
+	Size float64
+	// N is the repeater count.
+	N int
+	// Segment is the full wire: length, layer, style, technology.
+	Segment wire.Segment
+	// InputSlew is the input 10–90% transition time (s).
+	InputSlew float64
+}
+
+// Validate reports whether the spec is evaluable.
+func (s *LineSpec) Validate() error {
+	if s.Size <= 0 {
+		return fmt.Errorf("model: non-positive size %g", s.Size)
+	}
+	if s.N < 1 {
+		return fmt.Errorf("model: need at least one repeater, got %d", s.N)
+	}
+	if s.InputSlew <= 0 {
+		return fmt.Errorf("model: non-positive input slew")
+	}
+	return s.Segment.Validate()
+}
+
+// LineTiming is the model's timing prediction for a line.
+type LineTiming struct {
+	// Delay is the worst-edge total delay (s).
+	Delay float64
+	// RiseDelay and FallDelay are per-starting-edge totals.
+	RiseDelay, FallDelay float64
+	// OutputSlew is the predicted slew at the receiver for the worst
+	// edge.
+	OutputSlew float64
+}
+
+// LineDelay predicts the delay of the line: the sum over stages of the
+// repeater delay (intrinsic + drive resistance × load) and the
+// enhanced Pamunuwa wire delay, with the model's own output-slew
+// equation propagating slew from stage to stage. Both starting edge
+// polarities are evaluated and the worst kept, mirroring the golden
+// analysis.
+func (c *Coefficients) LineDelay(spec LineSpec) (LineTiming, error) {
+	if err := spec.Validate(); err != nil {
+		return LineTiming{}, err
+	}
+	rise, riseSlew := c.lineEdge(spec, true)
+	fall, fallSlew := c.lineEdge(spec, false)
+	t := LineTiming{RiseDelay: rise, FallDelay: fall}
+	if rise >= fall {
+		t.Delay, t.OutputSlew = rise, riseSlew
+	} else {
+		t.Delay, t.OutputSlew = fall, fallSlew
+	}
+	return t, nil
+}
+
+// lineEdge evaluates one starting polarity.
+func (c *Coefficients) lineEdge(spec LineSpec, startRising bool) (total, outSlew float64) {
+	tc := spec.Segment.Tech
+	wn, wp := tc.InverterWidths(spec.Size)
+	ci := c.InputCap(spec.Kind, wn, wp)
+
+	stageSeg := spec.Segment
+	stageSeg.Length = spec.Segment.Length / float64(spec.N)
+	cl := GateLoad(stageSeg, ci)
+	dWire := WireDelay(stageSeg, ci)
+
+	slew := spec.InputSlew
+	outRising := startRising
+	if spec.Kind == liberty.Inverter {
+		outRising = !startRising
+	}
+	for i := 0; i < spec.N; i++ {
+		wr := wn
+		if outRising {
+			wr = wp
+		}
+		total += c.RepeaterDelay(spec.Kind, outRising, wr, slew, cl)
+		total += dWire
+		slew = c.RepeaterOutSlew(spec.Kind, outRising, wr, slew, cl)
+		if slew < 1e-15 {
+			slew = 1e-15 // numerical floor; extrapolation can undershoot
+		}
+		if spec.Kind == liberty.Inverter {
+			outRising = !outRising
+		}
+	}
+	return total, slew
+}
+
+// PowerParams supplies the dynamic-power operating point.
+type PowerParams struct {
+	// Activity is the switching activity factor α.
+	Activity float64
+	// Freq is the clock frequency (Hz).
+	Freq float64
+}
+
+// LinePower is the model's power prediction for one bit line.
+type LinePower struct {
+	// Dynamic is α·c_l·v_dd²·f summed over all stages (W).
+	Dynamic float64
+	// Leakage is the summed repeater leakage (W).
+	Leakage float64
+}
+
+// Total returns dynamic plus leakage power.
+func (p LinePower) Total() float64 { return p.Dynamic + p.Leakage }
+
+// LinePower predicts the power of the line. The dynamic load per
+// stage is the full wire capacitance (ground plus coupling — charge
+// delivered per transition does not care about Miller timing) plus the
+// next repeater's input capacitance.
+func (c *Coefficients) LinePower(spec LineSpec, pp PowerParams) (LinePower, error) {
+	if err := spec.Validate(); err != nil {
+		return LinePower{}, err
+	}
+	if pp.Activity < 0 || pp.Freq <= 0 {
+		return LinePower{}, fmt.Errorf("model: bad power params α=%g f=%g", pp.Activity, pp.Freq)
+	}
+	tc := spec.Segment.Tech
+	wn, wp := tc.InverterWidths(spec.Size)
+	ci := c.InputCap(spec.Kind, wn, wp)
+
+	stageSeg := spec.Segment
+	stageSeg.Length = spec.Segment.Length / float64(spec.N)
+	clPower := stageSeg.TotalCap() + ci
+
+	var p LinePower
+	p.Dynamic = float64(spec.N) * DynamicPower(pp.Activity, clPower, tc.Vdd, pp.Freq)
+	p.Leakage = float64(spec.N) * c.LeakagePower(spec.Kind, wn)
+	return p, nil
+}
+
+// LineArea is the model's area prediction for a bus.
+type LineArea struct {
+	// Repeaters is the total repeater area (m²) across all bits and
+	// stages.
+	Repeaters float64
+	// Wiring is the routed bus area (m²).
+	Wiring float64
+}
+
+// Total returns repeater plus wiring area.
+func (a LineArea) Total() float64 { return a.Repeaters + a.Wiring }
+
+// LineArea predicts the silicon area of an n-bit bus implemented as n
+// copies of the line.
+func (c *Coefficients) LineArea(spec LineSpec, bits int) (LineArea, error) {
+	if err := spec.Validate(); err != nil {
+		return LineArea{}, err
+	}
+	if bits < 1 {
+		return LineArea{}, fmt.Errorf("model: need at least one bit, got %d", bits)
+	}
+	tc := spec.Segment.Tech
+	wn, _ := tc.InverterWidths(spec.Size)
+	var a LineArea
+	a.Repeaters = float64(bits) * float64(spec.N) * c.RepeaterArea(spec.Kind, wn)
+	a.Wiring = spec.Segment.BusArea(bits)
+	return a, nil
+}

@@ -1,0 +1,43 @@
+package noc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the synthesized topology as a Graphviz digraph:
+// cores as boxes, routers as circles, links as edges annotated with
+// length and carried bandwidth. Positions are embedded (in mm) so
+// `neato -n` reproduces the floorplan.
+func (n *Network) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", n.Spec.Name)
+	fmt.Fprintf(bw, "  // model=%s tech=%s\n", n.Model.Name(), n.Model.Tech().Name)
+	fmt.Fprintf(bw, "  node [fontsize=10];\n")
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		shape := "box"
+		if nd.Kind == RouterNode {
+			shape = "circle"
+		}
+		fmt.Fprintf(bw, "  %q [shape=%s, pos=\"%.3f,%.3f!\"];\n",
+			nd.Name, shape, nd.X*1e3, nd.Y*1e3)
+	}
+	for li := range n.Links {
+		l := &n.Links[li]
+		fmt.Fprintf(bw, "  %q -> %q [label=\"%.2fmm/%.1fGbps\"];\n",
+			n.node(l.From).Name, n.node(l.To).Name,
+			l.Design.Length*1e3, n.linkBandwidth(l)/1e9)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// Summary returns a short human-readable description of the topology.
+func (n *Network) Summary() string {
+	m := n.Evaluate()
+	return fmt.Sprintf("%s/%s/%s: %d links, %d routers, %.1f mm wire, %.2f mW, max %d hops",
+		n.Spec.Name, n.Model.Tech().Name, n.Model.Name(),
+		m.Links, m.Routers, m.WireLength*1e3, m.TotalPower()*1e3, m.MaxHops)
+}

@@ -1,0 +1,35 @@
+package noc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	net := synthMini(t, proposed90(t))
+	var buf bytes.Buffer
+	if err := net.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", `"a"`, `"b"`, `"c"`, "->", "mm/", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// One edge per link.
+	if got := strings.Count(out, "->"); got != len(net.Links) {
+		t.Errorf("%d edges for %d links", got, len(net.Links))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	net := synthMini(t, proposed90(t))
+	s := net.Summary()
+	for _, want := range []string{"mini", "90nm", "proposed", "links"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

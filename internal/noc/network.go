@@ -1,0 +1,252 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeKind distinguishes specification cores from synthesized routers.
+type NodeKind int
+
+const (
+	// CoreNode is an endpoint from the specification.
+	CoreNode NodeKind = iota
+	// RouterNode was inserted by the synthesis.
+	RouterNode
+)
+
+// Node is a network vertex.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Name is the core name for CoreNode, a generated label for
+	// routers.
+	Name string
+	X, Y float64
+}
+
+// Link is a directed buffered bus between two nodes.
+type Link struct {
+	From, To int
+	Design   LinkDesign
+	// FlowIdx lists the indices (into Spec.Flows) of flows routed
+	// over this link.
+	FlowIdx []int
+}
+
+// Network is a synthesized topology with its routing.
+type Network struct {
+	Spec   *Spec
+	Model  LinkModel
+	Router RouterParams
+	Nodes  []Node
+	Links  []Link
+	// Routes maps each flow index to its ordered path of link
+	// indices.
+	Routes [][]int
+}
+
+// node returns the node with the given ID (IDs are slice indices).
+func (n *Network) node(id int) *Node { return &n.Nodes[id] }
+
+// linkBandwidth sums the bandwidth of all flows on a link.
+func (n *Network) linkBandwidth(l *Link) float64 {
+	bw := 0.0
+	for _, fi := range l.FlowIdx {
+		bw += n.Spec.Flows[fi].Bandwidth
+	}
+	return bw
+}
+
+// linkUtilization returns the link's capacity utilization in [0,1+].
+func (n *Network) linkUtilization(l *Link) float64 {
+	return n.linkBandwidth(l) / (float64(n.Spec.DataWidth) * n.Model.Tech().Clock)
+}
+
+// ports counts the degree (in + out links) of a node.
+func (n *Network) ports(id int) int {
+	p := 0
+	for i := range n.Links {
+		if n.Links[i].From == id || n.Links[i].To == id {
+			p++
+		}
+	}
+	return p
+}
+
+// RouterCount returns the number of synthesized routers.
+func (n *Network) RouterCount() int {
+	c := 0
+	for i := range n.Nodes {
+		if n.Nodes[i].Kind == RouterNode {
+			c++
+		}
+	}
+	return c
+}
+
+// Check validates the structural invariants of a synthesized network:
+// every flow has a connected route from its source to its destination,
+// link lengths match node geometry, capacities are respected, and
+// router radix stays within bounds. Synthesis output must always pass.
+func (n *Network) Check() error {
+	if len(n.Routes) != len(n.Spec.Flows) {
+		return fmt.Errorf("noc: %d routes for %d flows", len(n.Routes), len(n.Spec.Flows))
+	}
+	for fi, route := range n.Routes {
+		f := n.Spec.Flows[fi]
+		if len(route) == 0 {
+			return fmt.Errorf("noc: flow %d (%s→%s) unrouted", fi, f.Src, f.Dst)
+		}
+		src, err := n.Spec.Core(f.Src)
+		if err != nil {
+			return err
+		}
+		dst, err := n.Spec.Core(f.Dst)
+		if err != nil {
+			return err
+		}
+		cur := -1
+		for hop, li := range route {
+			if li < 0 || li >= len(n.Links) {
+				return fmt.Errorf("noc: flow %d references link %d", fi, li)
+			}
+			l := &n.Links[li]
+			if hop == 0 {
+				from := n.node(l.From)
+				if from.Kind != CoreNode || from.Name != src.Name {
+					return fmt.Errorf("noc: flow %d starts at %q, want %q", fi, from.Name, src.Name)
+				}
+			} else if l.From != cur {
+				return fmt.Errorf("noc: flow %d path disconnected at hop %d", fi, hop)
+			}
+			found := false
+			for _, idx := range l.FlowIdx {
+				if idx == fi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("noc: flow %d not registered on link %d", fi, li)
+			}
+			cur = l.To
+		}
+		last := n.node(cur)
+		if last.Kind != CoreNode || last.Name != dst.Name {
+			return fmt.Errorf("noc: flow %d ends at %q, want %q", fi, last.Name, dst.Name)
+		}
+	}
+	for li := range n.Links {
+		l := &n.Links[li]
+		want := math.Abs(n.node(l.From).X-n.node(l.To).X) + math.Abs(n.node(l.From).Y-n.node(l.To).Y)
+		if want == 0 {
+			return fmt.Errorf("noc: link %d has coincident endpoints", li)
+		}
+		// Tolerance covers the synthesis design cache's length
+		// quantization.
+		if math.Abs(l.Design.Length-want) > 0.51*lengthQuantum+1e-6*want {
+			return fmt.Errorf("noc: link %d length %g != geometry %g", li, l.Design.Length, want)
+		}
+		if u := n.linkUtilization(l); u > 1+1e-9 {
+			return fmt.Errorf("noc: link %d oversubscribed (%.0f%%)", li, u*100)
+		}
+		if len(l.FlowIdx) == 0 {
+			return fmt.Errorf("noc: link %d carries no flows", li)
+		}
+	}
+	for id := range n.Nodes {
+		if n.Nodes[id].Kind == RouterNode {
+			if p := n.ports(id); p > n.Router.MaxPorts {
+				return fmt.Errorf("noc: router %s radix %d exceeds %d", n.Nodes[id].Name, p, n.Router.MaxPorts)
+			}
+			if p := n.ports(id); p < 2 {
+				return fmt.Errorf("noc: router %s dangling (radix %d)", n.Nodes[id].Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Metrics is the evaluation the synthesis tool reports — the rows of
+// the paper's Table III.
+type Metrics struct {
+	// LinkDynamic and LinkLeakage are the interconnect power
+	// components (W).
+	LinkDynamic, LinkLeakage float64
+	// RouterPower is the total router power (W).
+	RouterPower float64
+	// Area is the total silicon area (m²): links plus routers.
+	Area float64
+	// LinkArea is the link-only component of Area.
+	LinkArea float64
+	// MaxHops and AvgHops count links traversed per flow.
+	MaxHops int
+	AvgHops float64
+	// AvgLatency is the mean flow latency (s): per hop, one link
+	// cycle plus the router pipeline.
+	AvgLatency float64
+	// Routers and Links count the topology elements.
+	Routers, Links int
+	// WireLength is the total routed link length (m).
+	WireLength float64
+}
+
+// TotalPower returns all power components summed.
+func (m Metrics) TotalPower() float64 { return m.LinkDynamic + m.LinkLeakage + m.RouterPower }
+
+// Evaluate computes the reported metrics of the network under its own
+// link model — exactly what the synthesis tool believes, which is the
+// number Table III compares across models.
+func (n *Network) Evaluate() Metrics {
+	var m Metrics
+	m.Links = len(n.Links)
+	m.Routers = n.RouterCount()
+
+	for li := range n.Links {
+		l := &n.Links[li]
+		// DynFull already includes the per-occupied-cycle toggle
+		// probability; utilization scales it to the carried traffic.
+		util := n.linkUtilization(l)
+		m.LinkDynamic += l.Design.DynAt(util)
+		m.LinkLeakage += l.Design.Leakage
+		m.LinkArea += l.Design.Area
+		m.WireLength += l.Design.Length
+	}
+	m.Area = m.LinkArea
+
+	for id := range n.Nodes {
+		if n.Nodes[id].Kind != RouterNode {
+			continue
+		}
+		ports := n.ports(id)
+		throughput := 0.0
+		for li := range n.Links {
+			if n.Links[li].From == id {
+				throughput += n.linkBandwidth(&n.Links[li])
+			}
+		}
+		m.RouterPower += n.Router.Power(throughput, ports)
+		m.Area += n.Router.Area(ports)
+	}
+
+	period := 1 / n.Model.Tech().Clock
+	var totLat float64
+	for _, route := range n.Routes {
+		hops := len(route)
+		if hops > m.MaxHops {
+			m.MaxHops = hops
+		}
+		m.AvgHops += float64(hops)
+		routers := hops - 1 // intermediate nodes are routers
+		if routers < 0 {
+			routers = 0
+		}
+		totLat += period * float64(hops+routers*n.Router.Cycles)
+	}
+	if len(n.Routes) > 0 {
+		m.AvgHops /= float64(len(n.Routes))
+		m.AvgLatency = totLat / float64(len(n.Routes))
+	}
+	return m
+}

@@ -1,0 +1,57 @@
+package noc
+
+import "repro/internal/tech"
+
+// RouterParams models the routers the synthesis inserts. Routers are
+// identical under both interconnect models (the paper's Table III
+// differences come from the link models), so a simple node-scaled
+// energy model suffices.
+type RouterParams struct {
+	// EnergyPerBit is the switching energy (J) to move one bit
+	// through the router (buffers + crossbar + arbitration).
+	EnergyPerBit float64
+	// LeakPerPort is the static power (W) per router port.
+	LeakPerPort float64
+	// AreaPerPort is the silicon area (m²) per router port.
+	AreaPerPort float64
+	// MaxPorts bounds the router radix the synthesis may build.
+	MaxPorts int
+	// Cycles is the pipeline depth of one router traversal.
+	Cycles int
+}
+
+// DefaultRouterParams returns router parameters scaled to a
+// technology. The 90nm anchor values (≈0.3 pJ/bit for a low-radix
+// shallow-buffer wormhole router, ≈0.1 mm² for five ports) follow
+// published 128-bit implementations; energy scales with C·V²
+// (∝ feature·Vdd²), leakage follows the node's device off-current, and
+// area follows feature².
+func DefaultRouterParams(tc *tech.Technology) RouterParams {
+	const (
+		refFeature = 90e-9
+		refVdd     = 1.2
+		refEnergy  = 0.3e-12 // J/bit at the 90nm anchor
+	)
+	scaleE := (tc.Feature / refFeature) * (tc.Vdd * tc.Vdd) / (refVdd * refVdd)
+	// Leakage per port: the off-current of ~400 unit-width nMOS
+	// devices' worth of gates, which tracks HP/LP flavors naturally.
+	leak := tc.Vdd * tc.NMOS.IOff * tc.UnitWidthN * 400
+	return RouterParams{
+		EnergyPerBit: refEnergy * scaleE,
+		LeakPerPort:  leak,
+		AreaPerPort:  2.5e6 * tc.Feature * tc.Feature,
+		MaxPorts:     8,
+		Cycles:       3,
+	}
+}
+
+// Power returns the router's power (W) for a given throughput
+// (bits/s) and port count.
+func (p RouterParams) Power(throughput float64, ports int) float64 {
+	return p.EnergyPerBit*throughput + p.LeakPerPort*float64(ports)
+}
+
+// Area returns the router's area (m²) for a port count.
+func (p RouterParams) Area(ports int) float64 {
+	return p.AreaPerPort * float64(ports)
+}

@@ -1,0 +1,87 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/tech"
+)
+
+// ScaledModel wraps a LinkModel and scales its delay and power
+// predictions — the instrument for sensitivity studies: how much do
+// the synthesized architecture and its reported metrics move when the
+// interconnect model is off by a given factor? The wire-length
+// feasibility frontier is re-derived from the scaled delay, so
+// perturbations propagate into *decisions*, not just reported numbers.
+//
+// DelayScale values below 1 are clamped by the base model's own
+// frontier (the base cannot design links it believes infeasible), so
+// optimism studies saturate there; pessimism (DelayScale ≥ 1) is
+// fully represented.
+type ScaledModel struct {
+	base                   LinkModel
+	delayScale, powerScale float64
+	maxLen                 float64
+}
+
+// NewScaledModel wraps base with the given scale factors (must be
+// positive).
+func NewScaledModel(base LinkModel, delayScale, powerScale float64) (*ScaledModel, error) {
+	if delayScale <= 0 || powerScale <= 0 {
+		return nil, fmt.Errorf("noc: non-positive scale factors %g/%g", delayScale, powerScale)
+	}
+	m := &ScaledModel{base: base, delayScale: delayScale, powerScale: powerScale}
+	m.maxLen = maxLengthSearch(m.design, 10e-6, 2e-3)
+	return m, nil
+}
+
+// Name implements LinkModel.
+func (m *ScaledModel) Name() string {
+	return fmt.Sprintf("%s×(d%.2f,p%.2f)", m.base.Name(), m.delayScale, m.powerScale)
+}
+
+// Tech implements LinkModel.
+func (m *ScaledModel) Tech() *tech.Technology { return m.base.Tech() }
+
+// MaxLength implements LinkModel.
+func (m *ScaledModel) MaxLength() float64 { return m.maxLen }
+
+// Design implements LinkModel.
+func (m *ScaledModel) Design(length float64) (LinkDesign, error) { return m.design(length) }
+
+// globalDesigner is implemented by base models that can be forced
+// onto the global layer. The scaled wrapper needs it: the base's
+// lowest-layer-first assignment uses the *unscaled* budget, so a link
+// whose intermediate-layer choice misses the scaled budget may still
+// be feasible on the global layer.
+type globalDesigner interface {
+	DesignGlobal(length float64) (LinkDesign, error)
+}
+
+func (m *ScaledModel) design(length float64) (LinkDesign, error) {
+	budget := timingMargin / m.base.Tech().Clock
+	scaleCheck := func(d LinkDesign) (LinkDesign, bool) {
+		d.Delay *= m.delayScale
+		d.DynFull *= m.powerScale
+		d.Leakage *= m.powerScale
+		return d, d.Delay <= budget
+	}
+	d, err := m.base.Design(length)
+	if err == nil {
+		if sd, ok := scaleCheck(d); ok {
+			return sd, nil
+		}
+		// The base's layer choice missed the scaled budget; escalate
+		// to the global layer if the base supports it.
+		if gd, ok := m.base.(globalDesigner); ok && d.Layer != "global" {
+			if d2, err2 := gd.DesignGlobal(length); err2 == nil {
+				if sd, ok := scaleCheck(d2); ok {
+					return sd, nil
+				}
+			}
+		}
+		return LinkDesign{}, fmt.Errorf("noc: scaled %gmm link exceeds budget %.0fps", length*1e3, budget*1e12)
+	}
+	return LinkDesign{}, err
+}
+
+var _ LinkModel = (*ScaledModel)(nil)

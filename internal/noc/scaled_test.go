@@ -1,0 +1,68 @@
+package noc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScaledModelBasics(t *testing.T) {
+	base := proposed90(t)
+	m, err := NewScaledModel(base, 1.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Name(), "proposed") {
+		t.Fatalf("name %q should reference the base", m.Name())
+	}
+	if m.Tech() != base.Tech() {
+		t.Fatal("tech passthrough")
+	}
+	d, err := m.Design(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := base.Design(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Delay-1.5*bd.Delay) > 1e-18 {
+		t.Fatalf("delay not scaled: %g vs %g", d.Delay, bd.Delay)
+	}
+	if math.Abs(d.DynFull-2*bd.DynFull) > 1e-12 || math.Abs(d.Leakage-2*bd.Leakage) > 1e-12 {
+		t.Fatal("power not scaled")
+	}
+}
+
+func TestScaledModelShrinksFrontier(t *testing.T) {
+	base := proposed90(t)
+	m, err := NewScaledModel(base, 2.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.MaxLength() < base.MaxLength()) {
+		t.Fatalf("2× delay scale did not shrink frontier: %g vs %g", m.MaxLength(), base.MaxLength())
+	}
+	// Beyond the scaled frontier the scaled model must reject.
+	if _, err := m.Design(m.MaxLength() * 1.1); err == nil {
+		t.Fatal("beyond-frontier design accepted")
+	}
+	// Identity scale preserves the frontier (within search tolerance).
+	id, err := NewScaledModel(base, 1.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(id.MaxLength()-base.MaxLength()) / base.MaxLength(); rel > 0.02 {
+		t.Fatalf("identity scale moved frontier by %.2f%%", rel*100)
+	}
+}
+
+func TestScaledModelValidation(t *testing.T) {
+	base := proposed90(t)
+	if _, err := NewScaledModel(base, 0, 1); err == nil {
+		t.Fatal("zero delay scale accepted")
+	}
+	if _, err := NewScaledModel(base, 1, -1); err == nil {
+		t.Fatal("negative power scale accepted")
+	}
+}

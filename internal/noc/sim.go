@@ -1,0 +1,249 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds a cycle-based traffic simulation of a synthesized
+// network — the validation companion the analytic Evaluate metrics
+// need: packets are injected per the specification's bandwidths,
+// serialized over links flit by flit, queued at contended buses, and
+// delayed by router pipelines. It answers the question the analytic
+// model cannot: do the synthesized capacities actually sustain the
+// offered traffic, and how far is real (queued) latency from the
+// zero-load number?
+
+// SimConfig tunes the traffic simulation.
+type SimConfig struct {
+	// Cycles is the measurement window in clock cycles
+	// (default 20000).
+	Cycles int
+	// Warmup cycles are simulated but excluded from statistics
+	// (default Cycles/10).
+	Warmup int
+	// PacketFlits is the packet size in flits (one flit = one
+	// DataWidth word per cycle; default 8).
+	PacketFlits int
+	// Drain allows in-flight packets to finish after injection
+	// stops (default 4·Cycles, bounded).
+	Drain int
+	// Burst injects packets in back-to-back trains of this many
+	// packets (default 1, smooth traffic). The long-term rate is
+	// unchanged; burstiness stresses the queues and raises latency
+	// without changing utilization.
+	Burst int
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Cycles == 0 {
+		c.Cycles = 20000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Cycles / 10
+	}
+	if c.PacketFlits == 0 {
+		c.PacketFlits = 8
+	}
+	if c.Drain == 0 {
+		c.Drain = 4 * c.Cycles
+	}
+	if c.Burst == 0 {
+		c.Burst = 1
+	}
+	return c
+}
+
+// SimResult reports the measured traffic statistics.
+type SimResult struct {
+	// PacketsInjected and PacketsDelivered count packets within the
+	// measurement window (all injected packets are eventually
+	// delivered or the simulation errors).
+	PacketsInjected, PacketsDelivered int
+	// AvgLatency is the mean packet latency (s): injection to tail
+	// arrival at the destination.
+	AvgLatency float64
+	// MaxLatency is the worst packet latency (s).
+	MaxLatency float64
+	// LinkUtilization is the measured busy fraction of each link
+	// over the measurement window, parallel to Network.Links.
+	LinkUtilization []float64
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	flow     int
+	route    []int
+	hop      int // index into route of the link it must traverse next
+	readyAt  int // cycle at which its tail is available at the current node
+	injected int // injection cycle
+}
+
+// Simulate runs the cycle-based traffic simulation. It is
+// deterministic: injection uses per-flow rate accumulators (no
+// randomness), and links arbitrate FIFO with ties broken by flow
+// index.
+func (n *Network) Simulate(cfg SimConfig) (*SimResult, error) {
+	c := cfg.withDefaults()
+	if err := n.Check(); err != nil {
+		return nil, err
+	}
+	capacity := float64(n.Spec.DataWidth) * n.Model.Tech().Clock
+
+	// Per-flow flit rate (flits per cycle) and packet accumulator.
+	rates := make([]float64, len(n.Spec.Flows))
+	for fi, f := range n.Spec.Flows {
+		rates[fi] = f.Bandwidth / capacity
+	}
+	acc := make([]float64, len(n.Spec.Flows))
+
+	queues := make([][]*packet, len(n.Links))
+	busyUntil := make([]int, len(n.Links))
+	busyCycles := make([]int, len(n.Links))
+
+	res := &SimResult{LinkUtilization: make([]float64, len(n.Links))}
+	var latencySum float64
+	period := 1 / n.Model.Tech().Clock
+
+	inFlight := 0
+	horizon := c.Warmup + c.Cycles
+	maxCycle := horizon + c.Drain
+
+	for cycle := 0; cycle < maxCycle; cycle++ {
+		// Inject. With Burst > 1, packets are withheld until a full
+		// train has accrued, then released back to back.
+		if cycle < horizon {
+			trainFlits := float64(c.Burst * c.PacketFlits)
+			for fi := range n.Spec.Flows {
+				acc[fi] += rates[fi]
+				for acc[fi] >= trainFlits {
+					acc[fi] -= trainFlits
+					for b := 0; b < c.Burst; b++ {
+						p := &packet{flow: fi, route: n.Routes[fi], readyAt: cycle, injected: cycle}
+						queues[p.route[0]] = append(queues[p.route[0]], p)
+						if cycle >= c.Warmup {
+							res.PacketsInjected++
+						}
+						inFlight++
+					}
+				}
+			}
+		}
+		// Advance links in deterministic order.
+		for li := range n.Links {
+			if busyUntil[li] > cycle {
+				if cycle >= c.Warmup && cycle < horizon {
+					busyCycles[li]++
+				}
+				continue
+			}
+			q := queues[li]
+			// Pick the first ready packet (FIFO with readiness).
+			pick := -1
+			for i, p := range q {
+				if p.readyAt <= cycle {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				continue
+			}
+			p := q[pick]
+			queues[li] = append(q[:pick], q[pick+1:]...)
+			done := cycle + c.PacketFlits // serialization over the bus
+			busyUntil[li] = done
+			if cycle >= c.Warmup && cycle < horizon {
+				busyCycles[li]++
+			}
+			// Where does the packet land?
+			p.hop++
+			if p.hop == len(p.route) {
+				// Delivered: tail arrives at done.
+				lat := float64(done-p.injected) * period
+				if p.injected >= c.Warmup && p.injected < horizon {
+					res.PacketsDelivered++
+					latencySum += lat
+					if lat > res.MaxLatency {
+						res.MaxLatency = lat
+					}
+				}
+				inFlight--
+				continue
+			}
+			// Next link: available after router pipeline.
+			next := p.route[p.hop]
+			p.readyAt = done + n.Router.Cycles
+			queues[next] = append(queues[next], p)
+		}
+		if cycle >= horizon && inFlight == 0 {
+			break
+		}
+	}
+	if inFlight > 0 {
+		return nil, fmt.Errorf("noc: %d packets still in flight after drain — offered load exceeds capacity", inFlight)
+	}
+	if res.PacketsDelivered > 0 {
+		res.AvgLatency = latencySum / float64(res.PacketsDelivered)
+	}
+	for li := range n.Links {
+		res.LinkUtilization[li] = float64(busyCycles[li]) / float64(c.Cycles)
+	}
+	return res, nil
+}
+
+// ZeroLoadLatency returns the analytic zero-load latency (s) of a
+// flow's route including packet serialization: per hop one cycle per
+// flit-serialized link word... in this simple store-and-forward model
+// a packet of F flits takes F cycles per link plus the router
+// pipeline between links.
+func (n *Network) ZeroLoadLatency(flow int, packetFlits int) float64 {
+	route := n.Routes[flow]
+	period := 1 / n.Model.Tech().Clock
+	cycles := len(route)*packetFlits + (len(route)-1)*n.Router.Cycles
+	return float64(cycles) * period
+}
+
+// AvgZeroLoadLatency averages ZeroLoadLatency over all flows
+// (unweighted — one vote per flow).
+func (n *Network) AvgZeroLoadLatency(packetFlits int) float64 {
+	if len(n.Routes) == 0 {
+		return 0
+	}
+	s := 0.0
+	for fi := range n.Routes {
+		s += n.ZeroLoadLatency(fi, packetFlits)
+	}
+	return s / float64(len(n.Routes))
+}
+
+// WeightedZeroLoadLatency averages ZeroLoadLatency weighted by flow
+// bandwidth — the quantity a per-packet average (such as Simulate's
+// AvgLatency) converges to at zero load, since packet counts are
+// proportional to bandwidth.
+func (n *Network) WeightedZeroLoadLatency(packetFlits int) float64 {
+	var s, w float64
+	for fi := range n.Routes {
+		bw := n.Spec.Flows[fi].Bandwidth
+		s += bw * n.ZeroLoadLatency(fi, packetFlits)
+		w += bw
+	}
+	if w == 0 {
+		return 0
+	}
+	return s / w
+}
+
+// utilizationError returns the worst absolute difference between the
+// simulation's measured link utilization and the analytic value —
+// used by tests to close the loop between the two.
+func utilizationError(n *Network, sim *SimResult) float64 {
+	worst := 0.0
+	for li := range n.Links {
+		analytic := n.linkUtilization(&n.Links[li])
+		if d := math.Abs(analytic - sim.LinkUtilization[li]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,161 @@
+package noc
+
+import "fmt"
+
+// This file provides the two SoC test cases of the paper's Table III:
+// VPROC, a video processor with 42 cores and 128-bit data widths, and
+// DVOPD, a dual video object plane decoder with 26 cores decoding two
+// streams in parallel. The published work describes the designs only
+// at that level, so the floorplans and flow tables here are synthetic
+// but shaped to match: VPROC as parallel processing pipelines with
+// memory-controller hotspots, DVOPD as two mirrored VOPD pipelines
+// (with the classic VOPD inter-core bandwidth table) plus shared
+// control traffic. Floorplan coordinates are for the 90nm node; use
+// Spec.Scale to shrink the die for smaller nodes.
+
+// vprocPitch is the VPROC core pitch at 90nm (meters): a 7×6 grid of
+// tiles on an ~10×9 mm die.
+const vprocPitch = 1.5e-3
+
+// VPROC returns the 42-core video-processor specification at 90nm
+// scale.
+func VPROC() *Spec {
+	s := &Spec{Name: "VPROC", DataWidth: 128}
+	// 7×6 tile grid.
+	const cols, rows = 7, 6
+	for i := 0; i < cols*rows; i++ {
+		col, row := i%cols, i/cols
+		s.Cores = append(s.Cores, Core{
+			Name: fmt.Sprintf("pe%02d", i),
+			X:    float64(col) * vprocPitch,
+			Y:    float64(row) * vprocPitch,
+		})
+	}
+	gbps := func(g float64) float64 { return g * 1e9 }
+	// Four processing pipelines of ten stages snaking through the
+	// grid (raster order within row bands), with stage-dependent
+	// bandwidths: front-end stages carry more traffic.
+	pipeline := func(start int, ids []int, base float64) {
+		for k := 0; k+1 < len(ids); k++ {
+			bw := base * (1 + 0.5*float64((start+k)%3))
+			s.Flows = append(s.Flows, Flow{
+				Src: fmt.Sprintf("pe%02d", ids[k]), Dst: fmt.Sprintf("pe%02d", ids[k+1]), Bandwidth: gbps(bw),
+			})
+		}
+	}
+	pipeline(0, []int{0, 1, 2, 3, 4, 5, 6, 13, 12, 11}, 4)
+	pipeline(1, []int{7, 8, 9, 10, 17, 16, 15, 14, 21, 22}, 3)
+	pipeline(2, []int{28, 29, 30, 31, 24, 23, 25, 32, 33, 34}, 3.5)
+	pipeline(3, []int{35, 36, 37, 38, 39, 40, 41, 27, 26, 20}, 2.5)
+	// Memory controllers at two corners; every fourth tile reads
+	// from one and writes to the other.
+	const memA, memB = 18, 19 // central tiles act as memory interfaces
+	for i := 0; i < cols*rows; i += 4 {
+		if i == memA || i == memB {
+			continue
+		}
+		s.Flows = append(s.Flows,
+			Flow{Src: fmt.Sprintf("pe%02d", memA), Dst: fmt.Sprintf("pe%02d", i), Bandwidth: gbps(1 + 0.25*float64(i%5))},
+			Flow{Src: fmt.Sprintf("pe%02d", i), Dst: fmt.Sprintf("pe%02d", memB), Bandwidth: gbps(0.5 + 0.25*float64(i%3))},
+		)
+	}
+	return s
+}
+
+// vopdBandwidths is the classic VOPD inter-core bandwidth table
+// (values in MB/s, from the published VOPD benchmark).
+var vopdBandwidths = []struct {
+	src, dst string
+	mbps     float64
+}{
+	{"vld", "run_le_dec", 70},
+	{"run_le_dec", "inv_scan", 362},
+	{"inv_scan", "ac_dc_pred", 362},
+	{"ac_dc_pred", "stripe_mem", 49},
+	{"stripe_mem", "iquant", 27},
+	{"ac_dc_pred", "iquant", 313},
+	{"iquant", "idct", 357},
+	{"idct", "up_samp", 353},
+	{"up_samp", "vop_rec", 300},
+	{"vop_rec", "pad", 313},
+	{"pad", "vop_mem", 313},
+	{"vop_mem", "vop_rec", 500},
+	{"arm", "idct", 16},
+	{"idct", "arm", 16},
+	{"vop_mem", "arm", 16},
+	{"mem_ctrl", "vld", 94},
+}
+
+// vopdCoreNames lists the 13 cores of one VOPD pipeline instance.
+var vopdCoreNames = []string{
+	"vld", "run_le_dec", "inv_scan", "ac_dc_pred", "stripe_mem",
+	"iquant", "idct", "up_samp", "vop_rec", "pad", "vop_mem", "arm",
+	"mem_ctrl",
+}
+
+// DVOPD returns the 26-core dual video-object-plane-decoder
+// specification at 90nm scale: two mirrored VOPD pipelines decoding
+// two streams in parallel, with cross traffic between the two ARM
+// control processors and the shared memory controllers.
+func DVOPD() *Spec {
+	s := &Spec{Name: "DVOPD", DataWidth: 128}
+	const pitch = 1.3e-3
+	// Each instance occupies a 13-tile serpentine on its half of the
+	// die (5 columns × 3 rows per half, top half instance 0,
+	// mirrored bottom half instance 1).
+	place := func(inst int) {
+		for i, name := range vopdCoreNames {
+			col, row := i%5, i/5
+			y := float64(row) * pitch
+			if inst == 1 {
+				y = float64(5)*pitch - y // mirror
+			}
+			s.Cores = append(s.Cores, Core{
+				Name: fmt.Sprintf("%s%d", name, inst),
+				X:    float64(col) * pitch,
+				Y:    y,
+			})
+		}
+	}
+	place(0)
+	place(1)
+	for inst := 0; inst < 2; inst++ {
+		for _, e := range vopdBandwidths {
+			s.Flows = append(s.Flows, Flow{
+				Src:       fmt.Sprintf("%s%d", e.src, inst),
+				Dst:       fmt.Sprintf("%s%d", e.dst, inst),
+				Bandwidth: e.mbps * 8e6, // MB/s → bits/s
+			})
+		}
+	}
+	// Cross traffic: the two control processors synchronize, and
+	// each decoder occasionally reads the other's reference memory.
+	cross := []Flow{
+		{Src: "arm0", Dst: "arm1", Bandwidth: 16 * 8e6},
+		{Src: "arm1", Dst: "arm0", Bandwidth: 16 * 8e6},
+		{Src: "vop_mem0", Dst: "vop_rec1", Bandwidth: 80 * 8e6},
+		{Src: "vop_mem1", Dst: "vop_rec0", Bandwidth: 80 * 8e6},
+	}
+	s.Flows = append(s.Flows, cross...)
+	return s
+}
+
+// TestCases returns both Table III specifications.
+func TestCases() []*Spec { return []*Spec{VPROC(), DVOPD()} }
+
+// SpecByName returns the named Table III test case. The floorplan is
+// the same physical size at every technology node — the paper
+// evaluates one SoC design across 90/65/45 nm, and its observation
+// that dynamic power *rises* from 65 to 45 nm (the 1.0 V → 1.1 V
+// library supply step) only holds when communication distances stay
+// fixed. Use Spec.Scale for die-shrink studies.
+func SpecByName(name string) (*Spec, error) {
+	switch name {
+	case "VPROC":
+		return VPROC(), nil
+	case "DVOPD":
+		return DVOPD(), nil
+	default:
+		return nil, fmt.Errorf("noc: unknown test case %q", name)
+	}
+}

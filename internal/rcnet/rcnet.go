@@ -1,0 +1,134 @@
+// Package rcnet builds and analyzes distributed RC networks for
+// interconnect wires — the stand-in for the SPEF parasitics that the
+// paper extracts with SOC Encounter. A wire segment becomes a uniform
+// RC ladder (resistance sections with capacitance at each internal
+// node), coupling capacitance is folded in with a caller-chosen Miller
+// factor, and the package computes the first two moments of the
+// response at any node, which yields Elmore delays for the baselines
+// and feeds the golden timing engine's accuracy checks.
+package rcnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// Ladder is a uniform RC ladder: Sections resistors in series from the
+// drive point, with a capacitor to ground after each. A lumped load
+// (the receiver's input capacitance) sits on the final node.
+type Ladder struct {
+	// R holds each section's series resistance (Ω), drive end first.
+	R []float64
+	// C holds the capacitance to ground at each section's far node
+	// (F); C[len-1] includes the load.
+	C []float64
+}
+
+// Sections returns the number of RC sections.
+func (l *Ladder) Sections() int { return len(l.R) }
+
+// TotalR returns the end-to-end resistance.
+func (l *Ladder) TotalR() float64 {
+	s := 0.0
+	for _, r := range l.R {
+		s += r
+	}
+	return s
+}
+
+// TotalC returns the total capacitance including the load.
+func (l *Ladder) TotalC() float64 {
+	s := 0.0
+	for _, c := range l.C {
+		s += c
+	}
+	return s
+}
+
+// FromSegment discretizes a wire segment into an n-section ladder.
+// The segment's capacitance is split per DelayCaps: the quiet part is
+// distributed as ground capacitance, while the coupled part is
+// amplified by the supplied Miller factor before being distributed —
+// golden sign-off analysis uses 2.0 (worst-case simultaneous opposite
+// switching), while model-side Elmore baselines may use other values.
+// load is the lumped receiver capacitance added at the far node.
+func FromSegment(seg wire.Segment, n int, miller, load float64) (*Ladder, error) {
+	if err := seg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("rcnet: need at least one section, got %d", n)
+	}
+	if load < 0 {
+		return nil, fmt.Errorf("rcnet: negative load %g", load)
+	}
+	quiet, coupled := seg.DelayCaps()
+	totalC := quiet + miller*coupled
+	rSec := seg.Resistance() / float64(n)
+	cSec := totalC / float64(n)
+	lad := &Ladder{R: make([]float64, n), C: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		lad.R[i] = rSec
+		lad.C[i] = cSec
+	}
+	lad.C[n-1] += load
+	return lad, nil
+}
+
+// Moments returns the first and second moments (m1, m2) of the voltage
+// transfer function at the ladder's far node, for a step applied at
+// the drive point. With H(s) = 1 + m1·s + m2·s² + …, m1 is the
+// negated Elmore delay. The standard RC-tree recursion applies: for
+// a ladder, the k-th node's m1 is −Σ_i R(path∩upstream)·C_i.
+func (l *Ladder) Moments() (m1, m2 float64) {
+	n := len(l.R)
+	// First moment: m1(node k) = −Σ_j R_shared(k,j)·C_j. For the far
+	// node, R_shared = cumulative resistance up to node j.
+	//
+	// Second moment via the two-pass method: m2(far) =
+	// Σ_j R_shared(far,j)·C_j·(−m1(j)) where m1(j) is the first
+	// moment at node j.
+	cumR := make([]float64, n) // resistance from source to node i
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += l.R[i]
+		cumR[i] = acc
+	}
+	// Prefix sums make every per-node m1 an O(1) combination:
+	// m1(j) = −( Σ_{i≤j} cumR_i·C_i + cumR_j·Σ_{i>j} C_i ).
+	prefRC := make([]float64, n+1) // Σ_{i<k} cumR_i·C_i
+	prefC := make([]float64, n+1)  // Σ_{i<k} C_i
+	for i := 0; i < n; i++ {
+		prefRC[i+1] = prefRC[i] + cumR[i]*l.C[i]
+		prefC[i+1] = prefC[i] + l.C[i]
+	}
+	totC := prefC[n]
+	m1At := func(j int) float64 {
+		return -(prefRC[j+1] + cumR[j]*(totC-prefC[j+1]))
+	}
+	m1 = m1At(n - 1)
+	for j := 0; j < n; j++ {
+		m2 += cumR[j] * l.C[j] * (-m1At(j))
+	}
+	return m1, m2
+}
+
+// ElmoreDelay returns the Elmore delay (−m1) at the far node.
+func (l *Ladder) ElmoreDelay() float64 {
+	m1, _ := l.Moments()
+	return -m1
+}
+
+// D2MDelay returns the D2M delay metric (Alpert et al.),
+// m1²/√m2 · ln 2, a well-known closed-form improvement over Elmore
+// for 50% delay on RC lines; exposed for cross-checks of the golden
+// transient engine.
+func (l *Ladder) D2MDelay() float64 {
+	m1, m2 := l.Moments()
+	if m2 <= 0 {
+		return -m1 * math.Ln2
+	}
+	return (m1 * m1) / math.Sqrt(m2) * math.Ln2
+}

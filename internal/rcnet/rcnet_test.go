@@ -1,0 +1,179 @@
+package rcnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func seg(t *testing.T, style wire.Style) wire.Segment {
+	t.Helper()
+	return wire.NewSegment(tech.MustLookup("90nm"), 1e-3, style)
+}
+
+func TestFromSegmentTotals(t *testing.T) {
+	s := seg(t, wire.SWSS)
+	load := 10e-15
+	lad, err := FromSegment(s, 32, 2.0, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lad.Sections() != 32 {
+		t.Fatalf("sections = %d", lad.Sections())
+	}
+	if math.Abs(lad.TotalR()-s.Resistance()) > 1e-9*s.Resistance() {
+		t.Fatalf("total R %g != segment R %g", lad.TotalR(), s.Resistance())
+	}
+	quiet, coupled := s.DelayCaps()
+	wantC := quiet + 2*coupled + load
+	if math.Abs(lad.TotalC()-wantC) > 1e-12*wantC {
+		t.Fatalf("total C %g != %g", lad.TotalC(), wantC)
+	}
+}
+
+func TestFromSegmentErrors(t *testing.T) {
+	s := seg(t, wire.SWSS)
+	if _, err := FromSegment(s, 0, 2, 0); err == nil {
+		t.Fatal("zero sections accepted")
+	}
+	if _, err := FromSegment(s, 8, 2, -1); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	bad := s
+	bad.Length = -1
+	if _, err := FromSegment(bad, 8, 2, 0); err == nil {
+		t.Fatal("invalid segment accepted")
+	}
+}
+
+// A single-section "ladder" is a lumped RC: Elmore delay = R·C.
+func TestElmoreLumped(t *testing.T) {
+	lad := &Ladder{R: []float64{1e3}, C: []float64{1e-12}}
+	if d := lad.ElmoreDelay(); math.Abs(d-1e-9) > 1e-15 {
+		t.Fatalf("lumped Elmore = %g, want 1ns", d)
+	}
+}
+
+// Distributed line: as sections → ∞, Elmore delay → R·C·(1/2 + …)
+// Actually for a uniform distributed line with total R, C (no load),
+// Elmore = RC·(n+1)/(2n) → RC/2.
+func TestElmoreDistributedLimit(t *testing.T) {
+	R, C := 1e3, 1e-12
+	mk := func(n int) *Ladder {
+		lad := &Ladder{R: make([]float64, n), C: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			lad.R[i] = R / float64(n)
+			lad.C[i] = C / float64(n)
+		}
+		return lad
+	}
+	d100 := mk(100).ElmoreDelay()
+	want := R * C * 101 / 200
+	if math.Abs(d100-want) > 1e-6*want {
+		t.Fatalf("distributed Elmore = %g, want %g", d100, want)
+	}
+	// Convergence toward RC/2 from above.
+	d4 := mk(4).ElmoreDelay()
+	if !(d4 > d100 && d100 > R*C/2) {
+		t.Fatalf("Elmore not converging: d4=%g d100=%g RC/2=%g", d4, d100, R*C/2)
+	}
+}
+
+// Hand-computed two-section moments.
+func TestMomentsTwoSection(t *testing.T) {
+	// R1=1, C1=1, R2=1, C2=1 (unit values).
+	// m1(far) = −(R1·(C1+C2) + R2·C2) = −3.
+	// m1(node1) = −(R1·(C1+C2)) = −2.
+	// m2(far) = Σ_j Rshared(far,j)·C_j·(−m1(j))
+	//        = R1·C1·2 + (R1+R2)·C2·3 = 2 + 6 = 8.
+	lad := &Ladder{R: []float64{1, 1}, C: []float64{1, 1}}
+	m1, m2 := lad.Moments()
+	if math.Abs(m1+3) > 1e-12 {
+		t.Fatalf("m1 = %g, want -3", m1)
+	}
+	if math.Abs(m2-8) > 1e-12 {
+		t.Fatalf("m2 = %g, want 8", m2)
+	}
+}
+
+func TestD2MBelowElmore(t *testing.T) {
+	// D2M is a provable lower bound tightener: for RC lines it sits
+	// below the Elmore bound (Elmore overestimates 50% delay).
+	s := seg(t, wire.SWSS)
+	lad, err := FromSegment(s, 50, 2.0, 5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, d2m := lad.ElmoreDelay(), lad.D2MDelay()
+	if d2m >= el {
+		t.Fatalf("D2M %g not below Elmore %g", d2m, el)
+	}
+	if d2m <= 0.2*el {
+		t.Fatalf("D2M %g implausibly far below Elmore %g", d2m, el)
+	}
+}
+
+func TestMillerFactorScalesCoupledOnly(t *testing.T) {
+	s := seg(t, wire.SWSS)
+	l1, err := FromSegment(s, 16, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := FromSegment(s, 16, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(l2.TotalC() > l1.TotalC()) {
+		t.Fatal("higher Miller factor must increase delay capacitance")
+	}
+	// Shielded segments have no coupled part: Miller is irrelevant.
+	sh := seg(t, wire.Shielded)
+	s1, err := FromSegment(sh, 16, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FromSegment(sh, 16, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.TotalC()-s2.TotalC()) > 1e-21 {
+		t.Fatal("Miller factor must not affect shielded wires")
+	}
+}
+
+// Property: for every style and section count, Elmore delay is
+// positive and grows quadratically-ish with length (doubling length
+// quadruples R·C product asymptotically).
+func TestElmoreLengthScaling(t *testing.T) {
+	tc := tech.MustLookup("65nm")
+	for _, style := range []wire.Style{wire.SWSS, wire.Shielded, wire.Staggered} {
+		short := wire.NewSegment(tc, 1e-3, style)
+		long := wire.NewSegment(tc, 2e-3, style)
+		ls, err := FromSegment(short, 64, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, err := FromSegment(long, 64, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := ll.ElmoreDelay() / ls.ElmoreDelay()
+		if math.Abs(ratio-4) > 0.05 {
+			t.Errorf("%v: unbuffered delay ratio %g, want ~4", style, ratio)
+		}
+	}
+}
+
+func BenchmarkMoments(b *testing.B) {
+	s := wire.NewSegment(tech.MustLookup("90nm"), 5e-3, wire.SWSS)
+	lad, err := FromSegment(s, 64, 2, 10e-15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lad.Moments()
+	}
+}

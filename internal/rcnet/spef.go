@@ -1,0 +1,166 @@
+package rcnet
+
+// SPEF-style exchange support: WriteSPEF emits an RC ladder as a
+// single-net parasitics file in the spirit of IEEE 1481 SPEF (the
+// format SOC Encounter's extractor hands to PrimeTime in the paper's
+// golden flow), and ParseSPEF reads such a file back into a Ladder.
+// Only the subset this repository produces is supported: one D_NET
+// with a chain topology from the driver pin to the receiver pin.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SPEF file units.
+const (
+	spefROhm = 1.0  // Ω
+	spefCfF  = 1e15 // file farads are fF
+)
+
+// WriteSPEF emits the ladder as a one-net SPEF fragment. netName
+// labels the net; the drive pin is "drv:O" and the receive pin
+// "rcv:I", with internal nodes netName:1..n-1.
+func WriteSPEF(w io.Writer, netName string, lad *Ladder) error {
+	if lad.Sections() == 0 {
+		return fmt.Errorf("rcnet: cannot write empty ladder")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "*SPEF \"IEEE 1481-1998\"\n")
+	fmt.Fprintf(bw, "*DESIGN \"%s\"\n", netName)
+	fmt.Fprintf(bw, "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n")
+
+	n := lad.Sections()
+	node := func(i int) string {
+		if i == n-1 {
+			return "rcv:I"
+		}
+		return fmt.Sprintf("%s:%d", netName, i+1)
+	}
+	fmt.Fprintf(bw, "*D_NET %s %s\n", netName, fnumSpef(lad.TotalC()*spefCfF))
+	fmt.Fprintf(bw, "*CONN\n*I drv:O O\n*I rcv:I I\n")
+	fmt.Fprintf(bw, "*CAP\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(bw, "%d %s %s\n", i+1, node(i), fnumSpef(lad.C[i]*spefCfF))
+	}
+	fmt.Fprintf(bw, "*RES\n")
+	prev := "drv:O"
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(bw, "%d %s %s %s\n", i+1, prev, node(i), fnumSpef(lad.R[i]*spefROhm))
+		prev = node(i)
+	}
+	fmt.Fprintf(bw, "*END\n")
+	return bw.Flush()
+}
+
+func fnumSpef(v float64) string { return strconv.FormatFloat(v, 'g', 12, 64) }
+
+// ParseSPEF reads a file produced by WriteSPEF (or a compatible
+// single-net chain) back into a Ladder. The net's resistor chain must
+// form a simple path starting at a pin of direction O.
+func ParseSPEF(r io.Reader) (*Ladder, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	caps := map[string]float64{}
+	type resistor struct {
+		a, b string
+		ohm  float64
+	}
+	var resistors []resistor
+	var drivePin string
+
+	section := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case strings.HasPrefix(text, "*I "):
+			if len(fields) == 3 && fields[2] == "O" {
+				drivePin = fields[1]
+			}
+		case text == "*CAP":
+			section = "cap"
+		case text == "*RES":
+			section = "res"
+		case text == "*END":
+			section = ""
+		case strings.HasPrefix(text, "*"):
+			// header/other directives: ignore
+		default:
+			switch section {
+			case "cap":
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("rcnet: spef line %d: bad cap entry", line)
+				}
+				v, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("rcnet: spef line %d: %v", line, err)
+				}
+				caps[fields[1]] += v / spefCfF
+			case "res":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("rcnet: spef line %d: bad res entry", line)
+				}
+				v, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("rcnet: spef line %d: %v", line, err)
+				}
+				resistors = append(resistors, resistor{a: fields[1], b: fields[2], ohm: v / spefROhm})
+			default:
+				return nil, fmt.Errorf("rcnet: spef line %d: data outside section", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if drivePin == "" {
+		return nil, fmt.Errorf("rcnet: spef has no output (driver) pin")
+	}
+	if len(resistors) == 0 {
+		return nil, fmt.Errorf("rcnet: spef has no resistors")
+	}
+
+	// Walk the chain from the driver pin.
+	adj := map[string][]resistor{}
+	for _, re := range resistors {
+		adj[re.a] = append(adj[re.a], re)
+		adj[re.b] = append(adj[re.b], resistor{a: re.b, b: re.a, ohm: re.ohm})
+	}
+	lad := &Ladder{}
+	visited := map[string]bool{drivePin: true}
+	cur := drivePin
+	for {
+		var next *resistor
+		for i := range adj[cur] {
+			re := adj[cur][i]
+			if !visited[re.b] {
+				if next != nil {
+					return nil, fmt.Errorf("rcnet: spef net branches at %s (not a chain)", cur)
+				}
+				next = &re
+			}
+		}
+		if next == nil {
+			break
+		}
+		visited[next.b] = true
+		lad.R = append(lad.R, next.ohm)
+		lad.C = append(lad.C, caps[next.b])
+		cur = next.b
+	}
+	if len(lad.R) != len(resistors) {
+		return nil, fmt.Errorf("rcnet: spef net is not a single chain (%d of %d resistors reachable)",
+			len(lad.R), len(resistors))
+	}
+	return lad, nil
+}

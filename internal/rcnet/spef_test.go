@@ -1,0 +1,142 @@
+package rcnet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func TestSPEFRoundTrip(t *testing.T) {
+	seg := wire.NewSegment(tech.MustLookup("90nm"), 3e-3, wire.SWSS)
+	lad, err := FromSegment(seg, 16, 2.0, 7e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, "net1", lad); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSPEF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n--- file ---\n%s", err, buf.String())
+	}
+	if back.Sections() != lad.Sections() {
+		t.Fatalf("sections %d vs %d", back.Sections(), lad.Sections())
+	}
+	relClose := func(a, b float64) bool {
+		den := math.Max(math.Abs(a), math.Abs(b))
+		return den == 0 || math.Abs(a-b) <= 1e-9*den
+	}
+	for i := range lad.R {
+		if !relClose(lad.R[i], back.R[i]) || !relClose(lad.C[i], back.C[i]) {
+			t.Fatalf("section %d drifted: R %g→%g, C %g→%g", i, lad.R[i], back.R[i], lad.C[i], back.C[i])
+		}
+	}
+	// Electrical equivalence: moments preserved.
+	m1a, m2a := lad.Moments()
+	m1b, m2b := back.Moments()
+	if !relClose(m1a, m1b) || !relClose(m2a, m2b) {
+		t.Fatalf("moments drifted: (%g,%g) vs (%g,%g)", m1a, m2a, m1b, m2b)
+	}
+}
+
+func TestSPEFWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, "x", &Ladder{}); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+}
+
+func TestSPEFParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no driver", "*CAP\n1 a:1 0.5\n*RES\n1 a:1 b:1 10\n*END\n"},
+		{"no resistors", "*I drv:O O\n*CAP\n1 n:1 0.5\n*END\n"},
+		{"bad cap", "*I drv:O O\n*CAP\n1 n:1 zz\n*END\n"},
+		{"bad res", "*I drv:O O\n*RES\n1 drv:O n:1 zz\n*END\n"},
+		{"data outside section", "*I drv:O O\n1 2 3\n"},
+		{"short cap line", "*I drv:O O\n*CAP\n1 n:1\n*END\n"},
+		{"short res line", "*I drv:O O\n*RES\n1 drv:O 10\n*END\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSPEF(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSPEFParseRejectsBranch(t *testing.T) {
+	in := `*I drv:O O
+*CAP
+1 a:1 0.5
+2 a:2 0.5
+3 a:3 0.5
+*RES
+1 drv:O a:1 10
+2 a:1 a:2 10
+3 a:1 a:3 10
+*END
+`
+	if _, err := ParseSPEF(strings.NewReader(in)); err == nil {
+		t.Fatal("branching net accepted as ladder")
+	}
+}
+
+func TestSPEFParseRejectsDisconnected(t *testing.T) {
+	in := `*I drv:O O
+*CAP
+1 a:1 0.5
+2 b:1 0.5
+*RES
+1 drv:O a:1 10
+2 b:1 b:2 10
+*END
+`
+	if _, err := ParseSPEF(strings.NewReader(in)); err == nil {
+		t.Fatal("disconnected net accepted")
+	}
+}
+
+func TestSPEFMinimalHandwritten(t *testing.T) {
+	// A hand-written two-section chain in file units (fF, Ω).
+	in := `*SPEF "IEEE 1481-1998"
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*D_NET n 3
+*CONN
+*I drv:O O
+*I rcv:I I
+*CAP
+1 n:1 1
+2 rcv:I 2
+*RES
+1 drv:O n:1 100
+2 n:1 rcv:I 200
+*END
+`
+	lad, err := ParseSPEF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lad.Sections() != 2 {
+		t.Fatalf("sections %d", lad.Sections())
+	}
+	if math.Abs(lad.R[0]-100) > 1e-9 || math.Abs(lad.R[1]-200) > 1e-9 {
+		t.Fatalf("R = %v", lad.R)
+	}
+	if math.Abs(lad.C[0]-1e-15) > 1e-24 || math.Abs(lad.C[1]-2e-15) > 1e-24 {
+		t.Fatalf("C = %v", lad.C)
+	}
+	// Elmore: 100·3f + 200·2f = 700 fs.
+	if d := lad.ElmoreDelay(); math.Abs(d-700e-15) > 1e-18 {
+		t.Fatalf("Elmore %g", d)
+	}
+}

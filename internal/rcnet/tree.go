@@ -1,0 +1,173 @@
+package rcnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tree is a general RC tree, the structure real extracted nets have
+// (a ladder is the special case with no branching). Node 0 is the
+// drive point; every other node i hangs from Parent[i] through series
+// resistance R[i] and carries capacitance C[i] to ground. Parents
+// must precede children (Parent[i] < i), which every construction in
+// this package guarantees.
+type Tree struct {
+	// Parent[i] is the index of node i's parent; Parent[0] is -1.
+	Parent []int
+	// R[i] is the resistance (Ω) between node i and its parent;
+	// R[0] is unused.
+	R []float64
+	// C[i] is the capacitance (F) at node i.
+	C []float64
+}
+
+// Validate checks the structural invariants.
+func (t *Tree) Validate() error {
+	n := len(t.Parent)
+	if n == 0 {
+		return fmt.Errorf("rcnet: empty tree")
+	}
+	if len(t.R) != n || len(t.C) != n {
+		return fmt.Errorf("rcnet: tree arrays disagree (%d/%d/%d)", n, len(t.R), len(t.C))
+	}
+	if t.Parent[0] != -1 {
+		return fmt.Errorf("rcnet: root must have parent -1")
+	}
+	for i := 1; i < n; i++ {
+		if t.Parent[i] < 0 || t.Parent[i] >= i {
+			return fmt.Errorf("rcnet: node %d has parent %d (need 0 ≤ parent < i)", i, t.Parent[i])
+		}
+		if t.R[i] <= 0 {
+			return fmt.Errorf("rcnet: node %d has non-positive branch resistance", i)
+		}
+		if t.C[i] < 0 {
+			return fmt.Errorf("rcnet: node %d has negative capacitance", i)
+		}
+	}
+	return nil
+}
+
+// Nodes returns the node count.
+func (t *Tree) Nodes() int { return len(t.Parent) }
+
+// TotalC returns the total tree capacitance.
+func (t *Tree) TotalC() float64 {
+	s := 0.0
+	for _, c := range t.C {
+		s += c
+	}
+	return s
+}
+
+// FromLadder converts a ladder into the equivalent chain-shaped tree.
+// The ladder's drive point becomes the (capacitance-free) root.
+func FromLadder(lad *Ladder) *Tree {
+	n := lad.Sections()
+	t := &Tree{
+		Parent: make([]int, n+1),
+		R:      make([]float64, n+1),
+		C:      make([]float64, n+1),
+	}
+	t.Parent[0] = -1
+	for i := 0; i < n; i++ {
+		t.Parent[i+1] = i
+		t.R[i+1] = lad.R[i]
+		t.C[i+1] = lad.C[i]
+	}
+	return t
+}
+
+// downstreamSums computes, for every node i, the sum over its subtree
+// of the supplied per-node weights.
+func (t *Tree) downstreamSums(weight []float64) []float64 {
+	n := len(t.Parent)
+	down := make([]float64, n)
+	copy(down, weight)
+	for i := n - 1; i >= 1; i-- { // children precede parents in this sweep
+		down[t.Parent[i]] += down[i]
+	}
+	return down
+}
+
+// Moments returns the first and second transfer-function moments
+// (m1, m2) at the given node for a step at the root: with
+// H(s) = 1 + m1·s + m2·s², −m1 is the node's Elmore delay. The
+// standard RC-tree recursion applies:
+//
+//	m1(k) = −Σ_e∈path(k) R_e · Cdown(e)
+//	m2(k) =  Σ_e∈path(k) R_e · Σ_{j below e} C_j·(−m1(j))
+func (t *Tree) Moments(node int) (m1, m2 float64) {
+	m1s := t.m1All()
+	// Second pass: weights C_j·(−m1_j).
+	n := len(t.Parent)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		w[j] = t.C[j] * (-m1s[j])
+	}
+	downW := t.downstreamSums(w)
+	for k := node; k > 0; k = t.Parent[k] {
+		m2 += t.R[k] * downW[k]
+	}
+	return m1s[node], m2
+}
+
+// m1All returns the first moment at every node.
+func (t *Tree) m1All() []float64 {
+	n := len(t.Parent)
+	downC := t.downstreamSums(t.C)
+	m1 := make([]float64, n)
+	for i := 1; i < n; i++ { // parents precede children
+		m1[i] = m1[t.Parent[i]] - t.R[i]*downC[i]
+	}
+	return m1
+}
+
+// ElmoreDelay returns the Elmore delay (−m1) at a node.
+func (t *Tree) ElmoreDelay(node int) float64 {
+	return -t.m1All()[node]
+}
+
+// ElmoreDelays returns the Elmore delay at every node.
+func (t *Tree) ElmoreDelays() []float64 {
+	m1 := t.m1All()
+	out := make([]float64, len(m1))
+	for i, v := range m1 {
+		out[i] = -v
+	}
+	return out
+}
+
+// Leaves returns the indices of all leaf nodes (no children).
+func (t *Tree) Leaves() []int {
+	n := len(t.Parent)
+	hasChild := make([]bool, n)
+	for i := 1; i < n; i++ {
+		hasChild[t.Parent[i]] = true
+	}
+	var out []int
+	for i := 1; i < n; i++ {
+		if !hasChild[i] {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 && n > 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// WorstElmore returns the largest leaf Elmore delay and the leaf index
+// it occurs at — the critical sink of the net.
+func (t *Tree) WorstElmore() (delay float64, node int) {
+	delays := t.ElmoreDelays()
+	node = 0
+	for _, leaf := range t.Leaves() {
+		if delays[leaf] > delay {
+			delay, node = delays[leaf], leaf
+		}
+	}
+	if math.IsNaN(delay) {
+		return 0, node
+	}
+	return delay, node
+}

@@ -1,0 +1,146 @@
+package rcnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func TestTreeValidate(t *testing.T) {
+	good := &Tree{Parent: []int{-1, 0, 1}, R: []float64{0, 1, 1}, C: []float64{0, 1e-15, 1e-15}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Tree{
+		{},
+		{Parent: []int{-1}, R: []float64{0, 1}, C: []float64{0}},
+		{Parent: []int{0}, R: []float64{0}, C: []float64{0}},
+		{Parent: []int{-1, 2}, R: []float64{0, 1}, C: []float64{0, 0}},
+		{Parent: []int{-1, 0}, R: []float64{0, 0}, C: []float64{0, 0}},
+		{Parent: []int{-1, 0}, R: []float64{0, 1}, C: []float64{0, -1}},
+	}
+	for i, bad := range cases {
+		if bad.Validate() == nil {
+			t.Errorf("case %d: invalid tree accepted", i)
+		}
+	}
+}
+
+func TestTreeMatchesLadder(t *testing.T) {
+	seg := wire.NewSegment(tech.MustLookup("90nm"), 2e-3, wire.SWSS)
+	lad, err := FromSegment(seg, 20, 2.0, 5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := FromLadder(lad)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lm1, lm2 := lad.Moments()
+	tm1, tm2 := tr.Moments(tr.Nodes() - 1)
+	if math.Abs(lm1-tm1) > 1e-15*math.Abs(lm1) {
+		t.Fatalf("m1 mismatch: %g vs %g", lm1, tm1)
+	}
+	if math.Abs(lm2-tm2) > 1e-12*math.Abs(lm2) {
+		t.Fatalf("m2 mismatch: %g vs %g", lm2, tm2)
+	}
+	if math.Abs(tr.TotalC()-lad.TotalC()) > 1e-24 {
+		t.Fatal("total C mismatch")
+	}
+}
+
+// Hand-computed branching example:
+//
+//	root ──R1── n1 ──R2── n2 (C2)
+//	             └──R3── n3 (C3)
+func TestTreeBranchMoments(t *testing.T) {
+	tr := &Tree{
+		Parent: []int{-1, 0, 1, 1},
+		R:      []float64{0, 1, 2, 3},
+		C:      []float64{0, 1, 1, 1}, // C1=C2=C3=1
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Elmore at n2: R1·(C1+C2+C3) + R2·C2 = 3 + 2 = 5.
+	// Elmore at n3: R1·3 + R3·C3 = 3 + 3 = 6.
+	d := tr.ElmoreDelays()
+	if math.Abs(d[2]-5) > 1e-12 || math.Abs(d[3]-6) > 1e-12 {
+		t.Fatalf("Elmore delays %v", d)
+	}
+	// Worst sink is n3.
+	worst, node := tr.WorstElmore()
+	if node != 3 || math.Abs(worst-6) > 1e-12 {
+		t.Fatalf("worst %g at %d", worst, node)
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != 2 || leaves[0] != 2 || leaves[1] != 3 {
+		t.Fatalf("leaves %v", leaves)
+	}
+	// m2 at n2 by hand:
+	//  m1(n1) = −R1·3 = −3; m1(n2) = −5; m1(n3) = −6.
+	//  weights w_j = C_j·(−m1_j): w1=3, w2=5, w3=6.
+	//  m2(n2) = R1·(w1+w2+w3) + R2·w2 = 14 + 10 = 24.
+	_, m2 := tr.Moments(2)
+	if math.Abs(m2-24) > 1e-12 {
+		t.Fatalf("m2 = %g, want 24", m2)
+	}
+}
+
+// Property: on any random chain, the tree moments equal the ladder
+// moments.
+func TestQuickTreeLadderEquivalence(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := int(seed%20) + 1
+		lad := &Ladder{R: make([]float64, n), C: make([]float64, n)}
+		x := float64(seed%97) + 1
+		for i := 0; i < n; i++ {
+			lad.R[i] = 10 + math.Mod(x*float64(i+1)*7.3, 90)
+			lad.C[i] = (1 + math.Mod(x*float64(i+1)*3.1, 9)) * 1e-15
+		}
+		tr := FromLadder(lad)
+		lm1, lm2 := lad.Moments()
+		tm1, tm2 := tr.Moments(tr.Nodes() - 1)
+		return math.Abs(lm1-tm1) <= 1e-12*math.Abs(lm1)+1e-30 &&
+			math.Abs(lm2-tm2) <= 1e-9*math.Abs(lm2)+1e-40
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Elmore delay is monotone along any root-to-leaf path.
+func TestQuickElmoreMonotoneAlongPath(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Build a random tree with parent(i) = random earlier node.
+		n := int(seed%30) + 2
+		tr := &Tree{Parent: make([]int, n), R: make([]float64, n), C: make([]float64, n)}
+		tr.Parent[0] = -1
+		state := uint64(seed)*2654435761 + 1
+		rnd := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state>>11) / float64(1<<53)
+		}
+		for i := 1; i < n; i++ {
+			tr.Parent[i] = int(rnd() * float64(i))
+			tr.R[i] = 1 + rnd()*100
+			tr.C[i] = rnd() * 1e-14
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		d := tr.ElmoreDelays()
+		for i := 1; i < n; i++ {
+			if d[i] < d[tr.Parent[i]]-1e-30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

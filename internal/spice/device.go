@@ -1,0 +1,119 @@
+// Package spice is the circuit-simulation substrate of the
+// reproduction: a small nonlinear transient simulator in the spirit of
+// SPICE, sufficient to characterize repeater cells (inverters and
+// buffers) the way the paper characterizes them with HSPICE and BSIM
+// models.
+//
+// Scope and deliberate simplifications:
+//
+//   - MOSFETs use the Sakurai–Newton alpha-power law with an
+//     EKV-style smoothed overdrive, which reproduces the phenomena the
+//     paper's models are fitted to — near-quadratic intrinsic delay vs
+//     input slew, drive resistance inversely proportional to width and
+//     linear in slew, slew strongly linear in load — without the
+//     hundreds of BSIM parameters.
+//   - Device capacitances are not built into the transistor model;
+//     the netlist builders add explicit linear gate, overlap (Miller),
+//     and diffusion capacitors. This keeps the nonlinear system small
+//     and the charge bookkeeping transparent.
+//   - Integration is backward Euler with a fixed step chosen from the
+//     stimulus; the circuits involved (a repeater driving a lumped
+//     load) are stiff-free at the step sizes used.
+//   - Voltage sources are ground-referenced (rails and inputs), so
+//     nodal analysis suffices — no MNA branch currents.
+package spice
+
+import (
+	"math"
+
+	"repro/internal/tech"
+)
+
+// DeviceKind distinguishes the two MOSFET polarities.
+type DeviceKind int
+
+const (
+	// NMOS conducts when the gate is high relative to the source.
+	NMOS DeviceKind = iota
+	// PMOS conducts when the gate is low relative to the source.
+	PMOS
+)
+
+// Mosfet is a transistor instance: an alpha-power-law drain-current
+// element between Drain and Source controlled by Gate. Width is the
+// device width in meters; Params carries the per-polarity technology
+// parameters.
+type Mosfet struct {
+	Kind                DeviceKind
+	Drain, Gate, Source int // node indices (see Circuit)
+	Width               float64
+	Params              tech.Device
+}
+
+// smoothOverdrive returns an everywhere-positive, smooth approximation
+// of max(0, vov) that transitions over ~2·n·vT, giving the solver a
+// continuous first derivative through threshold.
+func smoothOverdrive(vov, nvt float64) float64 {
+	s := 2 * nvt
+	x := vov / s
+	if x > 30 {
+		return vov // exp would overflow; asymptote is exact
+	}
+	return s * math.Log1p(math.Exp(x))
+}
+
+// Ids returns the drain-to-source current (A) of the device for the
+// given terminal voltages, positive flowing drain→source for NMOS.
+// The model is symmetric: if the nominal drain is biased below the
+// nominal source (NMOS), the terminals swap internally.
+func (m *Mosfet) Ids(vg, vd, vs float64) float64 {
+	p := m.Params
+	nvt := p.SubthresholdSlopeN * tech.ThermalVoltage
+
+	var vgs, vds, sign float64
+	switch m.Kind {
+	case NMOS:
+		if vd >= vs {
+			vgs, vds, sign = vg-vs, vd-vs, 1
+		} else { // swapped operation: physical source is the drain pin
+			vgs, vds, sign = vg-vd, vs-vd, -1
+		}
+	default: // PMOS: everything mirrors
+		if vd <= vs {
+			vgs, vds, sign = vs-vg, vs-vd, 1
+		} else {
+			vgs, vds, sign = vd-vg, vd-vs, -1
+		}
+	}
+
+	veff := smoothOverdrive(vgs-p.Vth, nvt)
+	if veff <= 0 {
+		return 0
+	}
+	idsat := p.K * m.Width * math.Pow(veff, p.Alpha)
+	vdsat := p.VdsatCoeff * math.Pow(veff, p.Alpha/2)
+	var id float64
+	if vds >= vdsat {
+		id = idsat
+	} else {
+		x := vds / vdsat
+		id = idsat * x * (2 - x)
+	}
+	id *= 1 + p.Lambda*vds
+	if m.Kind == PMOS {
+		// For PMOS, positive internal current flows source→drain;
+		// report as drain→source to match the NMOS convention.
+		return -sign * id
+	}
+	return sign * id
+}
+
+// OffCurrent returns the subthreshold (off-state) leakage current (A)
+// of a device of this width with Vgs = 0 and |Vds| = vdd, as the
+// characterization flow "measures" for the leakage-power model. It is
+// linear in width by construction, matching the paper's observation
+// that both subthreshold and gate-tunneling leakage scale with size.
+func (m *Mosfet) OffCurrent(vdd float64) float64 {
+	vt := tech.ThermalVoltage
+	return m.Params.IOff * m.Width * (1 - math.Exp(-vdd/vt))
+}

@@ -1,0 +1,95 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCrossing is returned when a waveform never crosses the
+// requested threshold in the requested direction.
+var ErrNoCrossing = errors.New("spice: waveform does not cross threshold")
+
+// Direction selects which edge of a waveform a measurement refers to.
+type Direction int
+
+const (
+	// Rising measures a low-to-high transition.
+	Rising Direction = iota
+	// Falling measures a high-to-low transition.
+	Falling
+)
+
+func (d Direction) String() string {
+	if d == Falling {
+		return "fall"
+	}
+	return "rise"
+}
+
+// CrossTime returns the first time at which the sampled waveform (t,v)
+// crosses the threshold in the given direction, using linear
+// interpolation between samples.
+func CrossTime(t, v []float64, threshold float64, dir Direction) (float64, error) {
+	if len(t) != len(v) || len(t) < 2 {
+		return 0, fmt.Errorf("spice: bad waveform (%d/%d samples)", len(t), len(v))
+	}
+	for i := 1; i < len(v); i++ {
+		a, b := v[i-1], v[i]
+		var hit bool
+		if dir == Rising {
+			hit = a < threshold && b >= threshold
+		} else {
+			hit = a > threshold && b <= threshold
+		}
+		if hit {
+			if b == a {
+				return t[i], nil
+			}
+			f := (threshold - a) / (b - a)
+			return t[i-1] + f*(t[i]-t[i-1]), nil
+		}
+	}
+	return 0, ErrNoCrossing
+}
+
+// Slew returns the 10%–90% transition time of the waveform between
+// rails 0 and vdd, in the given direction: for Rising the time from
+// 0.1·vdd to 0.9·vdd, for Falling from 0.9·vdd down to 0.1·vdd.
+func Slew(t, v []float64, vdd float64, dir Direction) (float64, error) {
+	lo, hi := 0.1*vdd, 0.9*vdd
+	if dir == Rising {
+		t1, err := CrossTime(t, v, lo, Rising)
+		if err != nil {
+			return 0, err
+		}
+		t2, err := CrossTime(t, v, hi, Rising)
+		if err != nil {
+			return 0, err
+		}
+		return t2 - t1, nil
+	}
+	t1, err := CrossTime(t, v, hi, Falling)
+	if err != nil {
+		return 0, err
+	}
+	t2, err := CrossTime(t, v, lo, Falling)
+	if err != nil {
+		return 0, err
+	}
+	return t2 - t1, nil
+}
+
+// Delay returns the 50%-to-50% propagation delay from the input
+// waveform (switching in dirIn) to the output waveform (switching in
+// dirOut), both referenced to rails 0..vdd.
+func Delay(t, vin, vout []float64, vdd float64, dirIn, dirOut Direction) (float64, error) {
+	tin, err := CrossTime(t, vin, 0.5*vdd, dirIn)
+	if err != nil {
+		return 0, fmt.Errorf("input: %w", err)
+	}
+	tout, err := CrossTime(t, vout, 0.5*vdd, dirOut)
+	if err != nil {
+		return 0, fmt.Errorf("output: %w", err)
+	}
+	return tout - tin, nil
+}

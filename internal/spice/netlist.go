@@ -1,0 +1,181 @@
+package spice
+
+import (
+	"fmt"
+
+	"repro/internal/tech"
+)
+
+// Gate-capacitance partition used when instantiating devices: the bulk
+// of the gate charge terminates on the channel/rails, while a fraction
+// overlaps the drain and produces the Miller kick that couples input
+// transitions onto the output.
+const (
+	gateChannelFrac = 0.80
+	gateOverlapFrac = 0.20
+)
+
+// InverterCells describes the node indices of one instantiated
+// inverter.
+type InverterCells struct {
+	In, Out, Vdd int
+	WN, WP       float64
+}
+
+// AddInverter instantiates a size-k inverter (k times the technology's
+// unit widths, constant P/N ratio) between the given nodes, including
+// its explicit device capacitances: channel gate capacitance to the
+// rails, gate-drain overlap (Miller) capacitance, and drain diffusion
+// capacitance on the output.
+func AddInverter(c *Circuit, tc *tech.Technology, size float64, in, out, vdd int) InverterCells {
+	wn, wp := tc.InverterWidths(size)
+	c.AddMosfet(&Mosfet{Kind: NMOS, Drain: out, Gate: in, Source: Ground, Width: wn, Params: tc.NMOS})
+	c.AddMosfet(&Mosfet{Kind: PMOS, Drain: out, Gate: in, Source: vdd, Width: wp, Params: tc.PMOS})
+
+	cgTotal := tc.NMOS.CGate*wn + tc.PMOS.CGate*wp
+	// Channel charge splits between the two rails; electrically both
+	// are AC ground, so a single capacitor to ground is equivalent.
+	c.AddCapacitor(in, Ground, gateChannelFrac*cgTotal)
+	c.AddCapacitor(in, out, gateOverlapFrac*cgTotal)
+	// Diffusion plus a small size-independent cell-internal routing
+	// parasitic: real cells do not scale perfectly with drive
+	// strength, which is what keeps the paper's regressions from
+	// being trivially exact.
+	fixed := cellFixedCap(tc)
+	c.AddCapacitor(out, Ground, tc.NMOS.CDiff*wn+tc.PMOS.CDiff*wp+fixed)
+	return InverterCells{In: in, Out: out, Vdd: vdd, WN: wn, WP: wp}
+}
+
+// cellFixedCap returns the size-independent intra-cell routing
+// parasitic on a repeater's output: a quarter of a unit-width
+// diffusion's worth of metal.
+func cellFixedCap(tc *tech.Technology) float64 {
+	return 0.25 * tc.NMOS.CDiff * tc.UnitWidthN
+}
+
+// InverterInputCap returns the static input capacitance (F) of a
+// size-k inverter as the characterization flow reports it to the
+// library: the full gate capacitance of both devices.
+func InverterInputCap(tc *tech.Technology, size float64) float64 {
+	wn, wp := tc.InverterWidths(size)
+	return tc.NMOS.CGate*wn + tc.PMOS.CGate*wp
+}
+
+// LoadedInverter is a ready-to-simulate characterization fixture: a
+// ramp-driven inverter with a lumped capacitive load, the circuit the
+// paper sweeps to build its repeater data set.
+type LoadedInverter struct {
+	Circuit *Circuit
+	Tech    *tech.Technology
+	In, Out int
+	// Dir is the *output* transition direction.
+	Dir Direction
+	// Slew is the input 10–90% transition time (s).
+	Slew float64
+	// Load is the lumped load capacitance (F).
+	Load float64
+	// Size is the repeater drive strength in unit-inverter multiples.
+	Size float64
+	// Stop is the suggested simulation end time.
+	Stop float64
+}
+
+// NewLoadedInverter builds the fixture. size is the repeater drive
+// strength (multiples of the unit inverter), inSlew the input 10–90%
+// transition time in seconds, load the lumped output load in farads,
+// and outDir the output transition to characterize (Rising output
+// means a falling input ramp).
+func NewLoadedInverter(tc *tech.Technology, size, inSlew, load float64, outDir Direction) (*LoadedInverter, error) {
+	if size <= 0 || inSlew <= 0 || load < 0 {
+		return nil, fmt.Errorf("spice: bad fixture parameters size=%g slew=%g load=%g", size, inSlew, load)
+	}
+	c := New()
+	in, out, vdd := c.Node("in"), c.Node("out"), c.Node("vdd")
+	if err := c.AddSource(vdd, DC(tc.Vdd)); err != nil {
+		return nil, err
+	}
+	ramp := RampFromSlew(inSlew)
+	start := 0.2 * ramp
+	var w Waveform
+	if outDir == Rising {
+		w = Ramp(tc.Vdd, 0, start, ramp) // falling input
+	} else {
+		w = Ramp(0, tc.Vdd, start, ramp)
+	}
+	if err := c.AddSource(in, w); err != nil {
+		return nil, err
+	}
+	AddInverter(c, tc, size, in, out, vdd)
+	c.AddCapacitor(out, Ground, load)
+
+	fix := &LoadedInverter{
+		Circuit: c, Tech: tc, In: in, Out: out,
+		Dir: outDir, Slew: inSlew, Load: load, Size: size,
+	}
+	// Settle time: input ramp plus a generous multiple of the output
+	// charging time scale (load over weaker-device drive current).
+	fix.Stop = start + ramp + fix.loadTimeScale()*14
+	return fix, nil
+}
+
+// loadTimeScale estimates the output charging time scale from the
+// weaker device's saturation current and the total load; it is used
+// only to size the simulation window and step.
+func (f *LoadedInverter) loadTimeScale() float64 {
+	tc := f.Tech
+	wn, wp := tc.InverterWidths(f.Size)
+	iOnN := tc.NMOS.K * wn
+	iOnP := tc.PMOS.K * wp
+	iOn := iOnN
+	if iOnP < iOn {
+		iOn = iOnP
+	}
+	cTot := f.Load + InverterInputCap(tc, f.Size)
+	ts := cTot * tc.Vdd / iOn
+	if ts < 5e-12 {
+		ts = 5e-12
+	}
+	return ts
+}
+
+// Measure runs the transient simulation and returns the propagation
+// delay (input 50% to output 50%) and the output 10–90% slew, both in
+// seconds.
+func (f *LoadedInverter) Measure() (delay, outSlew float64, err error) {
+	inDir := Falling
+	if f.Dir == Falling {
+		inDir = Rising
+	}
+	initOut := 0.0
+	if f.Dir == Falling {
+		initOut = f.Tech.Vdd
+	}
+	// Step: fine enough to resolve both the input ramp and the output
+	// transition, bounded so the total step count stays modest.
+	step := f.Slew / 80
+	if ts := f.loadTimeScale() / 40; ts < step {
+		step = ts
+	}
+	if minStep := f.Stop / 8000; step < minStep {
+		step = minStep
+	}
+	res, err := f.Circuit.Transient(TransientOpts{
+		Stop:     f.Stop,
+		Step:     step,
+		InitialV: map[int]float64{f.Out: initOut},
+		Record:   []int{f.In, f.Out},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	vin, vout := res.Voltage(f.In), res.Voltage(f.Out)
+	delay, err = Delay(res.Time, vin, vout, f.Tech.Vdd, inDir, f.Dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("delay measurement: %w", err)
+	}
+	outSlew, err = Slew(res.Time, vout, f.Tech.Vdd, f.Dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("slew measurement: %w", err)
+	}
+	return delay, outSlew, nil
+}

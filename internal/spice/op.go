@@ -1,0 +1,79 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// OperatingPoint solves the DC steady state of the circuit with every
+// source frozen at its value at the given time, by pseudo-transient
+// continuation: backward-Euler relaxation with geometrically growing
+// windows until the largest node-voltage movement per window falls
+// below tol (default 1 µV). This is more robust than a plain
+// Newton DC solve for circuits with strongly nonlinear devices, at the
+// cost of a few extra solves — a standard SPICE fallback strategy.
+//
+// init optionally seeds node voltages (helpful for bistable circuits
+// such as back-to-back inverters). The returned map holds the settled
+// voltage of every node.
+func (c *Circuit) OperatingPoint(atTime float64, init map[int]float64, tol float64) (map[int]float64, error) {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	// Frozen copy: same elements, constant sources.
+	fc := &Circuit{
+		names:     c.names,
+		byName:    c.byName,
+		resistors: c.resistors,
+		caps:      c.caps,
+		mosfets:   c.mosfets,
+		fixed:     make(map[int]Waveform, len(c.fixed)),
+	}
+	for _, s := range c.sources {
+		v := s.w(atTime)
+		fc.fixed[s.node] = DC(v)
+		fc.sources = append(fc.sources, source{s.node, DC(v)})
+	}
+	// Give cap-free nodes a settling time constant: add a tiny
+	// capacitor to ground on every node so the pseudo-transient has
+	// state everywhere.
+	fcCaps := append([]capacitor(nil), fc.caps...)
+	for i := 0; i < len(c.names); i++ {
+		fcCaps = append(fcCaps, capacitor{a: i, b: Ground, c: 1e-18})
+	}
+	fc.caps = fcCaps
+
+	cur := make(map[int]float64, len(c.names))
+	for k, v := range init {
+		cur[k] = v
+	}
+	window := 1e-12
+	for round := 0; round < 40; round++ {
+		res, err := fc.Transient(TransientOpts{
+			Stop:     window,
+			Step:     window / 64,
+			InitialV: cur,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spice: operating point: %w", err)
+		}
+		moved := 0.0
+		next := make(map[int]float64, len(c.names))
+		for node, wave := range res.V {
+			end := wave[len(wave)-1]
+			// Movement over the last half of the window indicates
+			// whether the node is still slewing.
+			mid := wave[len(wave)/2]
+			if d := math.Abs(end - mid); d > moved {
+				moved = d
+			}
+			next[node] = end
+		}
+		cur = next
+		if moved < tol {
+			return cur, nil
+		}
+		window *= 4
+	}
+	return nil, fmt.Errorf("spice: operating point did not settle")
+}

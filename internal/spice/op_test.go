@@ -1,0 +1,108 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func TestOperatingPointDivider(t *testing.T) {
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	c.AddResistor(in, mid, 3e3)
+	c.AddResistor(mid, Ground, 1e3)
+	if err := c.AddSource(in, DC(4)); err != nil {
+		t.Fatal(err)
+	}
+	op, err := c.OperatingPoint(0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op[mid]-1.0) > 1e-4 {
+		t.Fatalf("divider OP %g, want 1.0", op[mid])
+	}
+}
+
+func TestOperatingPointInverterRails(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	for _, cse := range []struct {
+		vin, wantOut float64
+	}{
+		{0, tc.Vdd},
+		{tc.Vdd, 0},
+	} {
+		c := New()
+		in, out, vdd := c.Node("in"), c.Node("out"), c.Node("vdd")
+		if err := c.AddSource(vdd, DC(tc.Vdd)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddSource(in, DC(cse.vin)); err != nil {
+			t.Fatal(err)
+		}
+		AddInverter(c, tc, 4, in, out, vdd)
+		op, err := c.OperatingPoint(0, map[int]float64{out: tc.Vdd / 2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(op[out]-cse.wantOut) > 0.02*tc.Vdd {
+			t.Fatalf("vin=%g: out %g, want %g", cse.vin, op[out], cse.wantOut)
+		}
+	}
+}
+
+func TestInverterVTCMonotone(t *testing.T) {
+	// The static transfer curve must fall monotonically from Vdd to
+	// 0 as the input sweeps upward, with the switching threshold
+	// somewhere mid-rail.
+	tc := tech.MustLookup("90nm")
+	prev := tc.Vdd + 1
+	var vm float64
+	for _, frac := range []float64{0, 0.2, 0.35, 0.5, 0.65, 0.8, 1.0} {
+		vin := frac * tc.Vdd
+		c := New()
+		in, out, vdd := c.Node("in"), c.Node("out"), c.Node("vdd")
+		if err := c.AddSource(vdd, DC(tc.Vdd)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddSource(in, DC(vin)); err != nil {
+			t.Fatal(err)
+		}
+		AddInverter(c, tc, 8, in, out, vdd)
+		op, err := c.OperatingPoint(0, map[int]float64{out: tc.Vdd * (1 - frac)}, 0)
+		if err != nil {
+			t.Fatalf("vin=%g: %v", vin, err)
+		}
+		vout := op[out]
+		if vout > prev+1e-3 {
+			t.Fatalf("VTC not monotone at vin=%g: %g after %g", vin, vout, prev)
+		}
+		if frac == 0.5 {
+			vm = vout
+		}
+		prev = vout
+	}
+	// At mid-rail input the output should be in transition, not
+	// pinned at a rail.
+	if vm < 0.05*tc.Vdd || vm > 0.95*tc.Vdd {
+		t.Fatalf("VTC at mid-rail pinned: %g", vm)
+	}
+}
+
+func TestOperatingPointFrozenWaveform(t *testing.T) {
+	// The OP must freeze time-varying sources at the requested time.
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	c.AddResistor(in, out, 1e3)
+	c.AddCapacitor(out, Ground, 1e-15)
+	if err := c.AddSource(in, Ramp(0, 2, 0, 10e-9)); err != nil {
+		t.Fatal(err)
+	}
+	op, err := c.OperatingPoint(5e-9, nil, 0) // mid-ramp: 1V
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op[out]-1.0) > 1e-3 {
+		t.Fatalf("frozen-source OP %g, want 1.0", op[out])
+	}
+}

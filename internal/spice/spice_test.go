@@ -1,0 +1,337 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func t90() *tech.Technology { return tech.MustLookup("90nm") }
+
+func TestRampWaveform(t *testing.T) {
+	w := Ramp(0, 1, 10e-12, 40e-12)
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {10e-12, 0}, {30e-12, 0.5}, {50e-12, 1}, {100e-12, 1},
+	}
+	for _, c := range cases {
+		if got := w(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Ramp(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	step := Ramp(1, 0, 5e-12, 0)
+	if step(4e-12) != 1 || step(6e-12) != 0 {
+		t.Error("zero-duration ramp should step")
+	}
+}
+
+func TestRampFromSlew(t *testing.T) {
+	if got := RampFromSlew(80e-12); math.Abs(got-100e-12) > 1e-15 {
+		t.Fatalf("RampFromSlew(80ps) = %g, want 100ps", got)
+	}
+}
+
+func TestNodeAllocation(t *testing.T) {
+	c := New()
+	if c.Node("0") != Ground || c.Node("gnd") != Ground {
+		t.Fatal("ground aliases")
+	}
+	a := c.Node("a")
+	if c.Node("a") != a {
+		t.Fatal("node not idempotent")
+	}
+	if c.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+func TestSourceErrors(t *testing.T) {
+	c := New()
+	n := c.Node("x")
+	if err := c.AddSource(Ground, DC(1)); err == nil {
+		t.Fatal("sourcing ground must fail")
+	}
+	if err := c.AddSource(n, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSource(n, DC(2)); err == nil {
+		t.Fatal("double source must fail")
+	}
+}
+
+// RC low-pass: step response must follow 1−exp(−t/RC).
+func TestTransientRCStep(t *testing.T) {
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	R, C := 1e3, 1e-12 // τ = 1ns
+	c.AddResistor(in, out, R)
+	c.AddCapacitor(out, Ground, C)
+	if err := c.AddSource(in, Ramp(0, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOpts{Stop: 5e-9, Step: 2e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := R * C
+	v := res.Voltage(out)
+	for i, tm := range res.Time {
+		want := 1 - math.Exp(-tm/tau)
+		if math.Abs(v[i]-want) > 0.01 {
+			t.Fatalf("t=%g: v=%g want %g", tm, v[i], want)
+		}
+	}
+}
+
+// Two-resistor divider: DC steady state must match analytic value.
+func TestTransientDivider(t *testing.T) {
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	c.AddResistor(in, mid, 2e3)
+	c.AddResistor(mid, Ground, 1e3)
+	c.AddCapacitor(mid, Ground, 1e-15)
+	if err := c.AddSource(in, DC(3)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOpts{Stop: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Voltage(mid)
+	if got := v[len(v)-1]; math.Abs(got-1.0) > 1e-3 {
+		t.Fatalf("divider settled at %g, want 1.0", got)
+	}
+}
+
+func TestTransientRejectsBadOpts(t *testing.T) {
+	c := New()
+	c.Node("a")
+	if _, err := c.Transient(TransientOpts{Stop: 0}); err == nil {
+		t.Fatal("zero stop accepted")
+	}
+}
+
+func TestFloatingNodeDetected(t *testing.T) {
+	c := New()
+	a, b := c.Node("a"), c.Node("b")
+	c.AddResistor(a, b, 1e3) // island with no path to ground/source
+	if _, err := c.Transient(TransientOpts{Stop: 1e-9}); err == nil {
+		t.Fatal("floating island should fail to solve")
+	}
+}
+
+func TestAddElementPanics(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative resistance must panic")
+			}
+		}()
+		c.AddResistor(a, Ground, -1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative capacitance must panic")
+			}
+		}()
+		c.AddCapacitor(a, Ground, -1e-15)
+	}()
+}
+
+func TestMosfetCurrentSigns(t *testing.T) {
+	tc := t90()
+	n := &Mosfet{Kind: NMOS, Width: 1e-6, Params: tc.NMOS}
+	p := &Mosfet{Kind: PMOS, Width: 1e-6, Params: tc.PMOS}
+	// NMOS on: gate and drain high → current drain→source (positive).
+	if i := n.Ids(tc.Vdd, tc.Vdd, 0); i <= 0 {
+		t.Fatalf("NMOS on-current = %g, want > 0", i)
+	}
+	// NMOS off: gate low → (near) zero.
+	if i := n.Ids(0, tc.Vdd, 0); math.Abs(i) > 1e-6 {
+		t.Fatalf("NMOS off-current = %g, want ~0", i)
+	}
+	// PMOS on: gate low, source at Vdd, drain low → current flows
+	// source→drain, i.e. negative drain→source.
+	if i := p.Ids(0, 0, tc.Vdd); i >= 0 {
+		t.Fatalf("PMOS on-current = %g, want < 0", i)
+	}
+	// PMOS off.
+	if i := p.Ids(tc.Vdd, 0, tc.Vdd); math.Abs(i) > 1e-6 {
+		t.Fatalf("PMOS off-current = %g, want ~0", i)
+	}
+}
+
+func TestMosfetSaturationMonotoneInWidth(t *testing.T) {
+	tc := t90()
+	small := &Mosfet{Kind: NMOS, Width: 1e-6, Params: tc.NMOS}
+	big := &Mosfet{Kind: NMOS, Width: 2e-6, Params: tc.NMOS}
+	is, ib := small.Ids(tc.Vdd, tc.Vdd, 0), big.Ids(tc.Vdd, tc.Vdd, 0)
+	if math.Abs(ib/is-2) > 1e-9 {
+		t.Fatalf("saturation current not linear in width: %g vs %g", is, ib)
+	}
+}
+
+func TestMosfetCurrentContinuity(t *testing.T) {
+	// Scan Vds through the saturation knee; current must be smooth
+	// (no jumps) and monotone non-decreasing for fixed Vgs.
+	tc := t90()
+	m := &Mosfet{Kind: NMOS, Width: 1e-6, Params: tc.NMOS}
+	fullScale := m.Ids(tc.Vdd, tc.Vdd, 0)
+	prev := 0.0
+	for vds := 0.0; vds <= tc.Vdd; vds += 0.001 {
+		id := m.Ids(tc.Vdd, vds, 0)
+		if id < prev-1e-9 {
+			t.Fatalf("current non-monotone at Vds=%g: %g < %g", vds, id, prev)
+		}
+		// No jump larger than 2% of full scale per 1 mV step.
+		if vds > 0 && math.Abs(id-prev) > 0.02*fullScale {
+			t.Fatalf("current jump at Vds=%g: %g → %g", vds, prev, id)
+		}
+		prev = id
+	}
+}
+
+func TestOffCurrentLinearInWidth(t *testing.T) {
+	tc := t90()
+	a := &Mosfet{Kind: NMOS, Width: 1e-6, Params: tc.NMOS}
+	b := &Mosfet{Kind: NMOS, Width: 3e-6, Params: tc.NMOS}
+	if r := b.OffCurrent(tc.Vdd) / a.OffCurrent(tc.Vdd); math.Abs(r-3) > 1e-9 {
+		t.Fatalf("off-current ratio %g, want 3", r)
+	}
+}
+
+// The core physics check: a simulated inverter must switch, with
+// plausible delay, and its delay must increase with load and decrease
+// with size.
+func TestInverterSwitches(t *testing.T) {
+	tc := t90()
+	fix, err := NewLoadedInverter(tc, 8, 60e-12, 20e-15, Falling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, slew, err := fix.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay < 1e-12 || delay > 1e-9 {
+		t.Fatalf("implausible inverter delay %g s", delay)
+	}
+	if slew < 1e-12 || slew > 2e-9 {
+		t.Fatalf("implausible output slew %g s", slew)
+	}
+}
+
+func TestInverterDelayMonotoneInLoad(t *testing.T) {
+	tc := t90()
+	var prev float64
+	for i, load := range []float64{5e-15, 20e-15, 80e-15} {
+		fix, err := NewLoadedInverter(tc, 8, 60e-12, load, Rising)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := fix.Measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && d <= prev {
+			t.Fatalf("delay not increasing with load: %g then %g", prev, d)
+		}
+		prev = d
+	}
+}
+
+func TestInverterDelayDecreasesWithSize(t *testing.T) {
+	tc := t90()
+	load := 100e-15
+	small, err := NewLoadedInverter(tc, 4, 60e-12, load, Falling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewLoadedInverter(tc, 16, 60e-12, load, Falling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _, err := small.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := big.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db >= ds {
+		t.Fatalf("bigger driver slower: D4=%g D16=%g", ds, db)
+	}
+}
+
+func TestInverterBothEdges(t *testing.T) {
+	tc := t90()
+	for _, dir := range []Direction{Rising, Falling} {
+		fix, err := NewLoadedInverter(tc, 6, 80e-12, 30e-15, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, s, err := fix.Measure()
+		if err != nil {
+			t.Fatalf("%v edge: %v", dir, err)
+		}
+		if d <= 0 || s <= 0 {
+			t.Fatalf("%v edge: non-positive measurements d=%g s=%g", dir, d, s)
+		}
+	}
+}
+
+func TestFixtureParameterValidation(t *testing.T) {
+	tc := t90()
+	if _, err := NewLoadedInverter(tc, 0, 60e-12, 1e-15, Rising); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewLoadedInverter(tc, 4, 0, 1e-15, Rising); err == nil {
+		t.Fatal("zero slew accepted")
+	}
+	if _, err := NewLoadedInverter(tc, 4, 60e-12, -1, Rising); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}
+
+func TestCrossTimeAndSlew(t *testing.T) {
+	tt := []float64{0, 1, 2, 3, 4}
+	v := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	ct, err := CrossTime(tt, v, 0.5, Rising)
+	if err != nil || math.Abs(ct-2) > 1e-12 {
+		t.Fatalf("cross = %g err=%v", ct, err)
+	}
+	if _, err := CrossTime(tt, v, 0.5, Falling); err == nil {
+		t.Fatal("no falling crossing exists")
+	}
+	sl, err := Slew(tt, v, 1.0, Rising)
+	if err != nil || math.Abs(sl-3.2) > 1e-9 {
+		t.Fatalf("slew = %g err=%v", sl, err)
+	}
+	if _, err := CrossTime([]float64{0}, []float64{0}, 0.5, Rising); err == nil {
+		t.Fatal("single-sample waveform accepted")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Rising.String() != "rise" || Falling.String() != "fall" {
+		t.Fatal("direction strings")
+	}
+}
+
+func BenchmarkInverterCharacterizationPoint(b *testing.B) {
+	tc := t90()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fix, err := NewLoadedInverter(tc, 8, 60e-12, 20e-15, Falling)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fix.Measure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

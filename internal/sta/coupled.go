@@ -1,0 +1,369 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rcnet"
+	"repro/internal/wire"
+)
+
+// AggressorMode selects what the victim wire's two neighbors do
+// during a coupled-line simulation.
+type AggressorMode int
+
+const (
+	// Quiet neighbors hold a constant rail.
+	Quiet AggressorMode = iota
+	// Opposite neighbors switch simultaneously in the opposite
+	// direction — the worst-case Miller scenario.
+	Opposite
+	// Same neighbors switch simultaneously in the same direction —
+	// the best case (coupling capacitance carries no net charge).
+	Same
+)
+
+func (m AggressorMode) String() string {
+	switch m {
+	case Opposite:
+		return "opposite"
+	case Same:
+		return "same"
+	default:
+		return "quiet"
+	}
+}
+
+// CoupledConfig describes a victim line with two identical aggressor
+// neighbors, all three driven through linear (Thevenin) driver
+// resistances — the classic crosstalk testbench, used here to
+// validate the Miller-factor abstractions (the model's λ = 1.51, the
+// golden engine's 2.0) against the actual coupled physics.
+type CoupledConfig struct {
+	// Seg is the victim's geometry (length, layer, width, spacing);
+	// the style's Miller factor is irrelevant here — coupling is
+	// simulated explicitly.
+	Seg wire.Segment
+	// Sections is the per-line discretization (default 24).
+	Sections int
+	// DriverR is each line's driver resistance (Ω).
+	DriverR float64
+	// LoadC is each line's receiver load (F).
+	LoadC float64
+	// InSlew is the victim input 10–90% transition time (s);
+	// aggressors switch with the same slew, aligned in time.
+	InSlew float64
+	// Mode selects the aggressor activity.
+	Mode AggressorMode
+}
+
+// SimulateCoupled runs a transient analysis of the three-line system
+// (rising victim) and returns the victim's 50% delay from its source
+// ramp and its far-end 10–90% slew. The system is linear, so one
+// polarity suffices.
+func SimulateCoupled(cfg CoupledConfig) (delay, outSlew float64, err error) {
+	if err := cfg.Seg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if cfg.DriverR <= 0 || cfg.InSlew <= 0 || cfg.LoadC < 0 {
+		return 0, 0, fmt.Errorf("sta: bad coupled config (R=%g slew=%g load=%g)", cfg.DriverR, cfg.InSlew, cfg.LoadC)
+	}
+	n := cfg.Sections
+	if n <= 0 {
+		n = 24
+	}
+
+	// Per-line parasitics (explicit coupling: take raw ground and
+	// one-sided coupling, not the style-folded values).
+	rTot := cfg.Seg.Resistance()
+	cgTot := wire.GroundCapPerMeter(cfg.Seg.Tech, cfg.Seg.Layer, cfg.Seg.Width) * cfg.Seg.Length
+	ccTot := wire.CouplingCapPerMeter(cfg.Seg.Tech, cfg.Seg.Layer, cfg.Seg.Spacing) * cfg.Seg.Length
+
+	rSec := rTot / float64(n)
+	cgSec := cgTot / float64(n)
+	ccSec := ccTot / float64(n)
+
+	// Node layout: per line k ∈ {0:victim, 1, 2}, nodes k·n … k·n+n−1
+	// from driver to receiver. Each line has its own source through
+	// DriverR into node k·n.
+	total := 3 * n
+	g := 1 / rSec
+	gDrv := 1 / cfg.DriverR
+
+	// Conductance matrix (constant) and capacitance structure.
+	G := make([][]float64, total)
+	C := make([][]float64, total)
+	for i := range G {
+		G[i] = make([]float64, total)
+		C[i] = make([]float64, total)
+	}
+	idx := func(line, sec int) int { return line*n + sec }
+	for line := 0; line < 3; line++ {
+		for s := 0; s < n; s++ {
+			i := idx(line, s)
+			// Series resistance toward the driver.
+			if s == 0 {
+				G[i][i] += gDrv
+			} else {
+				j := idx(line, s-1)
+				G[i][i] += g
+				G[i][j] -= g
+				G[j][j] += g
+				G[j][i] -= g
+			}
+			// Ground capacitance (plus receiver load at the end).
+			C[i][i] += cgSec
+			if s == n-1 {
+				C[i][i] += cfg.LoadC
+			}
+		}
+	}
+	// Coupling: victim (line 0) to each aggressor, section by
+	// section. Aggressor-to-aggressor coupling is negligible (they
+	// are not adjacent).
+	for s := 0; s < n; s++ {
+		v := idx(0, s)
+		for _, line := range []int{1, 2} {
+			a := idx(line, s)
+			C[v][v] += ccSec
+			C[a][a] += ccSec
+			C[v][a] -= ccSec
+			C[a][v] -= ccSec
+		}
+	}
+
+	vdd := cfg.Seg.Tech.Vdd
+	ramp := cfg.InSlew / 0.8
+	t0 := 0.1 * ramp
+	victimSrc := func(t float64) float64 {
+		switch {
+		case t <= t0:
+			return 0
+		case t >= t0+ramp:
+			return vdd
+		default:
+			return vdd * (t - t0) / ramp
+		}
+	}
+	aggSrc := func(t float64) float64 {
+		switch cfg.Mode {
+		case Opposite:
+			return vdd - victimSrc(t)
+		case Same:
+			return victimSrc(t)
+		default:
+			return 0
+		}
+	}
+
+	// Initial conditions: steady state at t=0.
+	v := make([]float64, total)
+	for s := 0; s < n; s++ {
+		for _, line := range []int{1, 2} {
+			v[idx(line, s)] = aggSrc(0)
+		}
+	}
+
+	// Timebase from the victim's Elmore scale.
+	elmore := rTot * (cgTot + 2*ccTot + cfg.LoadC)
+	stop := t0 + ramp + 14*elmore + 3*cfg.InSlew
+	dt := math.Min(cfg.InSlew, math.Max(elmore, 1e-14)) / 60
+	if floor := stop / 30000; dt < floor {
+		dt = floor
+	}
+
+	// Backward Euler: (G + C/dt)·v' = C/dt·v + b(t). The matrix is
+	// constant: LU-factor once.
+	A := make([][]float64, total)
+	for i := range A {
+		A[i] = make([]float64, total)
+		for j := range A[i] {
+			A[i][j] = G[i][j] + C[i][j]/dt
+		}
+	}
+	lu, perm, err := luFactor(A)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sta: coupled system singular: %w", err)
+	}
+
+	rhs := make([]float64, total)
+	var times, vFar, vSrc []float64
+	times = append(times, 0)
+	vFar = append(vFar, v[idx(0, n-1)])
+	vSrc = append(vSrc, victimSrc(0))
+
+	steps := int(math.Ceil(stop / dt))
+	for sNum := 1; sNum <= steps; sNum++ {
+		t := float64(sNum) * dt
+		for i := 0; i < total; i++ {
+			acc := 0.0
+			row := C[i]
+			for j, c := range row {
+				if c != 0 {
+					acc += c * v[j]
+				}
+			}
+			rhs[i] = acc / dt
+		}
+		rhs[idx(0, 0)] += gDrv * victimSrc(t)
+		rhs[idx(1, 0)] += gDrv * aggSrc(t)
+		rhs[idx(2, 0)] += gDrv * aggSrc(t)
+		luSolve(lu, perm, rhs, v)
+		times = append(times, t)
+		vFar = append(vFar, v[idx(0, n-1)])
+		vSrc = append(vSrc, victimSrc(t))
+	}
+
+	cross := func(wave []float64, th float64) (float64, bool) {
+		for i := 1; i < len(wave); i++ {
+			if wave[i-1] < th && wave[i] >= th {
+				f := (th - wave[i-1]) / (wave[i] - wave[i-1])
+				return times[i-1] + f*(times[i]-times[i-1]), true
+			}
+		}
+		return 0, false
+	}
+	tSrc, ok := cross(vSrc, vdd/2)
+	if !ok {
+		return 0, 0, fmt.Errorf("sta: victim source never switched")
+	}
+	tFar, ok := cross(vFar, vdd/2)
+	if !ok {
+		return 0, 0, fmt.Errorf("sta: victim far end never crossed 50%% (window %g)", stop)
+	}
+	t10, ok1 := cross(vFar, 0.1*vdd)
+	t90, ok2 := cross(vFar, 0.9*vdd)
+	if !ok1 || !ok2 {
+		return 0, 0, fmt.Errorf("sta: victim transition incomplete")
+	}
+	return tFar - tSrc, t90 - t10, nil
+}
+
+// luFactor performs LU decomposition with partial pivoting, returning
+// the packed factors and the permutation.
+func luFactor(a [][]float64) ([][]float64, []int, error) {
+	n := len(a)
+	lu := make([][]float64, n)
+	for i := range lu {
+		lu[i] = append([]float64(nil), a[i]...)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		p, best := col, math.Abs(lu[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[r][col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best == 0 {
+			return nil, nil, fmt.Errorf("singular at column %d", col)
+		}
+		lu[col], lu[p] = lu[p], lu[col]
+		perm[col], perm[p] = perm[p], perm[col]
+		inv := 1 / lu[col][col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r][col] * inv
+			lu[r][col] = f
+			if f == 0 {
+				continue
+			}
+			for c := col + 1; c < n; c++ {
+				lu[r][c] -= f * lu[col][c]
+			}
+		}
+	}
+	return lu, perm, nil
+}
+
+// luSolve solves LU·x = b[perm] into out.
+func luSolve(lu [][]float64, perm []int, b []float64, out []float64) {
+	n := len(lu)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[perm[i]]
+		for j := 0; j < i; j++ {
+			s -= lu[i][j] * y[j]
+		}
+		y[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i][j] * out[j]
+		}
+		out[i] = s / lu[i][i]
+	}
+}
+
+// EffectiveMiller extracts the empirical Miller factor of a coupled
+// configuration: the k for which an *uncoupled* line with capacitance
+// c_g + k·c_c (per the victim's geometry) matches the coupled
+// simulation's delay. This is the quantity the paper's λ and the
+// golden engine's 2.0 approximate.
+func EffectiveMiller(cfg CoupledConfig) (float64, error) {
+	target, _, err := SimulateCoupled(cfg)
+	if err != nil {
+		return 0, err
+	}
+	single := func(k float64) (float64, error) {
+		return simulateSingleFolded(cfg, k)
+	}
+	lo, hi := 0.0, 4.0
+	dLo, err := single(lo)
+	if err != nil {
+		return 0, err
+	}
+	dHi, err := single(hi)
+	if err != nil {
+		return 0, err
+	}
+	if target <= dLo {
+		return 0, nil
+	}
+	if target >= dHi {
+		return hi, nil
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		d, err := single(mid)
+		if err != nil {
+			return 0, err
+		}
+		if d < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// simulateSingleFolded runs the victim line alone with its coupling
+// capacitance folded to ground scaled by k.
+func simulateSingleFolded(cfg CoupledConfig, k float64) (float64, error) {
+	n := cfg.Sections
+	if n <= 0 {
+		n = 24
+	}
+	rTot := cfg.Seg.Resistance()
+	cgTot := wire.GroundCapPerMeter(cfg.Seg.Tech, cfg.Seg.Layer, cfg.Seg.Width) * cfg.Seg.Length
+	ccTot := 2 * wire.CouplingCapPerMeter(cfg.Seg.Tech, cfg.Seg.Layer, cfg.Seg.Spacing) * cfg.Seg.Length
+
+	// Build a driver-resistance-prefixed RC ladder: ladderSim drives
+	// node 0 through R[0], which is exactly the Thevenin driver.
+	lad := &rcnet.Ladder{
+		R: make([]float64, n+1),
+		C: make([]float64, n+1),
+	}
+	lad.R[0] = cfg.DriverR
+	for i := 1; i <= n; i++ {
+		lad.R[i] = rTot / float64(n)
+		lad.C[i] = (cgTot + k*ccTot) / float64(n)
+	}
+	lad.C[n] += cfg.LoadC
+	d, _, err := ladderSim(lad, cfg.Seg.Tech.Vdd, cfg.InSlew)
+	return d, err
+}

@@ -1,0 +1,125 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func coupledCfg(mode AggressorMode) CoupledConfig {
+	tc := tech.MustLookup("90nm")
+	return CoupledConfig{
+		Seg:      wire.NewSegment(tc, 1e-3, wire.SWSS),
+		DriverR:  200,
+		LoadC:    10e-15,
+		InSlew:   100e-12,
+		Mode:     mode,
+		Sections: 16,
+	}
+}
+
+func TestCoupledOrdering(t *testing.T) {
+	// The fundamental crosstalk ordering: opposite-switching
+	// aggressors slow the victim, same-direction aggressors speed
+	// it up, quiet neighbors sit in between.
+	dQuiet, _, err := SimulateCoupled(coupledCfg(Quiet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOpp, _, err := SimulateCoupled(coupledCfg(Opposite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSame, _, err := SimulateCoupled(coupledCfg(Same))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dOpp > dQuiet && dQuiet > dSame) {
+		t.Fatalf("crosstalk ordering violated: opp=%.2fps quiet=%.2fps same=%.2fps",
+			dOpp*1e12, dQuiet*1e12, dSame*1e12)
+	}
+	// The penalty should be substantial at minimum spacing (coupling
+	// is a large fraction of total cap at 90nm).
+	if (dOpp-dQuiet)/dQuiet < 0.10 {
+		t.Fatalf("opposite-switching penalty only %.1f%%", (dOpp-dQuiet)/dQuiet*100)
+	}
+}
+
+// The headline validation: the empirical Miller factor of worst-case
+// switching lands in the band the abstractions use — above the quiet
+// value 1, around the paper's λ=1.51 and the sign-off bound of 2.
+func TestEffectiveMillerBand(t *testing.T) {
+	k, err := EffectiveMiller(coupledCfg(Opposite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1.2 || k > 2.4 {
+		t.Fatalf("worst-case effective Miller %.2f outside [1.2, 2.4]", k)
+	}
+	kQuiet, err := EffectiveMiller(coupledCfg(Quiet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kQuiet < 0.7 || kQuiet > 1.3 {
+		t.Fatalf("quiet effective Miller %.2f should be ~1", kQuiet)
+	}
+	kSame, err := EffectiveMiller(coupledCfg(Same))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kSame > 0.5 {
+		t.Fatalf("same-direction effective Miller %.2f should be ~0", kSame)
+	}
+	if !(kSame < kQuiet && kQuiet < k) {
+		t.Fatalf("Miller ordering violated: %g / %g / %g", kSame, kQuiet, k)
+	}
+}
+
+func TestCoupledSpacingReducesPenalty(t *testing.T) {
+	near := coupledCfg(Opposite)
+	far := near
+	far.Seg.Spacing = 3 * near.Seg.Spacing
+	dNear, _, err := SimulateCoupled(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, _, err := SimulateCoupled(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dFar < dNear) {
+		t.Fatalf("spacing did not reduce crosstalk delay: %g vs %g", dFar, dNear)
+	}
+}
+
+func TestCoupledValidation(t *testing.T) {
+	bad := coupledCfg(Quiet)
+	bad.DriverR = 0
+	if _, _, err := SimulateCoupled(bad); err == nil {
+		t.Fatal("zero driver resistance accepted")
+	}
+	bad = coupledCfg(Quiet)
+	bad.InSlew = 0
+	if _, _, err := SimulateCoupled(bad); err == nil {
+		t.Fatal("zero slew accepted")
+	}
+	bad = coupledCfg(Quiet)
+	bad.Seg.Length = -1
+	if _, _, err := SimulateCoupled(bad); err == nil {
+		t.Fatal("invalid segment accepted")
+	}
+	if Quiet.String() != "quiet" || Opposite.String() != "opposite" || Same.String() != "same" {
+		t.Fatal("mode strings")
+	}
+}
+
+func BenchmarkSimulateCoupled(b *testing.B) {
+	cfg := coupledCfg(Opposite)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SimulateCoupled(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

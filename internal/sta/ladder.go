@@ -1,0 +1,141 @@
+// Package sta is the golden timing engine of the reproduction — the
+// stand-in for PrimeTime SI sign-off analysis. A buffered interconnect
+// is evaluated stage by stage: each repeater's delay and output slew
+// come from its characterized NLDM tables (as PrimeTime reads Liberty),
+// and each wire segment's delay and slew degradation come from a full
+// backward-Euler transient solution of the distributed RC ladder (the
+// role PrimeTime's post-AWE interconnect engine plays), with coupling
+// capacitance amplified by the worst-case Miller factor.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rcnet"
+)
+
+// GoldenMiller is the Miller factor the golden analysis applies to
+// coupling capacitance under worst-case simultaneous opposite
+// switching of both neighbors.
+const GoldenMiller = 2.0
+
+// ladderSim solves the RC ladder driven by a saturated ramp and
+// returns the 50%–50% wire delay (far-node crossing minus source
+// crossing) and the far-node 10–90% slew. The ladder is linear and
+// polarity-symmetric, so a single rising analysis covers both edges.
+func ladderSim(lad *rcnet.Ladder, vdd, inSlew float64) (wireDelay, outSlew float64, err error) {
+	n := lad.Sections()
+	if n == 0 {
+		return 0, 0, fmt.Errorf("sta: empty ladder")
+	}
+	if inSlew <= 0 {
+		return 0, 0, fmt.Errorf("sta: non-positive input slew %g", inSlew)
+	}
+	elmore := lad.ElmoreDelay()
+	ramp := inSlew / 0.8
+	t0 := 0.1 * ramp
+	source := func(t float64) float64 {
+		switch {
+		case t <= t0:
+			return 0
+		case t >= t0+ramp:
+			return vdd
+		default:
+			return vdd * (t - t0) / ramp
+		}
+	}
+
+	// Conductances between nodes: g[0] connects source to node 0.
+	g := make([]float64, n)
+	for i, r := range lad.R {
+		if r <= 0 {
+			return 0, 0, fmt.Errorf("sta: non-positive section resistance")
+		}
+		g[i] = 1 / r
+	}
+
+	stop := t0 + ramp + 12*elmore
+	if min := t0 + ramp + 3*inSlew; stop < min {
+		stop = min
+	}
+	dt := math.Min(inSlew, math.Max(elmore, 1e-15)) / 80
+	if floor := stop / 40000; dt < floor {
+		dt = floor
+	}
+
+	// Tridiagonal system: (G + C/dt)·v_new = C/dt·v_old + b(t).
+	diag := make([]float64, n)
+	lower := make([]float64, n) // lower[i] couples node i to i-1
+	upper := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = g[i] + lad.C[i]/dt
+		if i+1 < n {
+			diag[i] += g[i+1]
+			upper[i] = -g[i+1]
+			lower[i+1] = -g[i+1]
+		}
+	}
+
+	v := make([]float64, n)
+	rhs := make([]float64, n)
+	cp := make([]float64, n) // Thomas scratch
+	dp := make([]float64, n)
+
+	// Sampled far-node and source waveforms for measurement.
+	var times, vFar, vSrc []float64
+	times = append(times, 0)
+	vFar = append(vFar, 0)
+	vSrc = append(vSrc, source(0))
+
+	steps := int(math.Ceil(stop / dt))
+	for s := 1; s <= steps; s++ {
+		t := float64(s) * dt
+		vs := source(t)
+		for i := 0; i < n; i++ {
+			rhs[i] = lad.C[i] / dt * v[i]
+		}
+		rhs[0] += g[0] * vs
+		// Thomas algorithm.
+		cp[0] = upper[0] / diag[0]
+		dp[0] = rhs[0] / diag[0]
+		for i := 1; i < n; i++ {
+			m := diag[i] - lower[i]*cp[i-1]
+			if i+1 < n {
+				cp[i] = upper[i] / m
+			}
+			dp[i] = (rhs[i] - lower[i]*dp[i-1]) / m
+		}
+		v[n-1] = dp[n-1]
+		for i := n - 2; i >= 0; i-- {
+			v[i] = dp[i] - cp[i]*v[i+1]
+		}
+		times = append(times, t)
+		vFar = append(vFar, v[n-1])
+		vSrc = append(vSrc, vs)
+	}
+
+	cross := func(wave []float64, th float64) (float64, bool) {
+		for i := 1; i < len(wave); i++ {
+			if wave[i-1] < th && wave[i] >= th {
+				f := (th - wave[i-1]) / (wave[i] - wave[i-1])
+				return times[i-1] + f*(times[i]-times[i-1]), true
+			}
+		}
+		return 0, false
+	}
+	tSrc50, ok := cross(vSrc, 0.5*vdd)
+	if !ok {
+		return 0, 0, fmt.Errorf("sta: source never crossed 50%%")
+	}
+	tFar50, ok := cross(vFar, 0.5*vdd)
+	if !ok {
+		return 0, 0, fmt.Errorf("sta: far node never crossed 50%% (window %g s)", stop)
+	}
+	t10, ok1 := cross(vFar, 0.1*vdd)
+	t90, ok2 := cross(vFar, 0.9*vdd)
+	if !ok1 || !ok2 {
+		return 0, 0, fmt.Errorf("sta: far node did not complete transition (window %g s)", stop)
+	}
+	return tFar50 - tSrc50, t90 - t10, nil
+}

@@ -1,0 +1,67 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rcnet"
+)
+
+// TwoPoleDelay computes the 50% step-response delay of an RC ladder
+// from its first two moments via a two-pole Padé approximation — the
+// AWE-family method sign-off tools (and the paper's golden reference,
+// PrimeTime SI) descend from. It exists alongside the exact transient
+// engine as a fast analytic cross-check: for monotone RC ladders the
+// two should agree within a few percent.
+//
+// With transfer moments H(s) = 1 + m1·s + m2·s² + …, the [0/2] Padé
+// denominator is 1 + b1·s + b2·s² with b1 = −m1 and b2 = m1² − m2.
+// When the resulting pole pair is not real and stable (possible for
+// degenerate inputs), the method falls back to the single-pole
+// (Elmore) estimate −m1·ln2.
+func TwoPoleDelay(lad *rcnet.Ladder) (float64, error) {
+	if lad.Sections() == 0 {
+		return 0, fmt.Errorf("sta: empty ladder")
+	}
+	m1, m2 := lad.Moments()
+	b1 := -m1
+	b2 := m1*m1 - m2
+	if b1 <= 0 {
+		return 0, fmt.Errorf("sta: non-physical moments (b1 = %g)", b1)
+	}
+	elmoreDelay := b1 * math.Ln2
+
+	disc := b1*b1 - 4*b2
+	if b2 <= 0 || disc < 0 {
+		return elmoreDelay, nil
+	}
+	sq := math.Sqrt(disc)
+	s1 := (-b1 + sq) / (2 * b2)
+	s2 := (-b1 - sq) / (2 * b2)
+	if s1 >= 0 || s2 >= 0 || s1 == s2 {
+		return elmoreDelay, nil
+	}
+	// Step response v(t) = 1 + k1·e^{s1 t} + k2·e^{s2 t}.
+	k1 := 1 / (b2 * s1 * (s1 - s2))
+	k2 := 1 / (b2 * s2 * (s2 - s1))
+	v := func(t float64) float64 {
+		return 1 + k1*math.Exp(s1*t) + k2*math.Exp(s2*t)
+	}
+	// Bisect for the 50% crossing; v is monotone for RC responses.
+	lo, hi := 0.0, 2*elmoreDelay/math.Ln2
+	for v(hi) < 0.5 {
+		hi *= 2
+		if hi > 1e6*elmoreDelay {
+			return elmoreDelay, nil
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if v(mid) < 0.5 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

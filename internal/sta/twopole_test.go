@@ -1,0 +1,116 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rcnet"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func TestTwoPoleLumpedRC(t *testing.T) {
+	// Single-section lumped RC: both the two-pole method and the
+	// exact answer are RC·ln2.
+	lad := &rcnet.Ladder{R: []float64{1e3}, C: []float64{1e-12}}
+	d, err := TwoPoleDelay(lad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-9 * math.Ln2
+	if math.Abs(d-want) > 0.02*want {
+		t.Fatalf("two-pole lumped delay %g, want %g", d, want)
+	}
+}
+
+func TestTwoPoleMatchesTransient(t *testing.T) {
+	// Distributed lines of several shapes: the analytic two-pole
+	// delay must track the exact transient (step-driven) delay
+	// within a few percent and sit below the Elmore bound.
+	cases := []struct {
+		name string
+		lad  *rcnet.Ladder
+	}{
+		{"uniform-20", uniformLadder(20, 1e3, 1e-12)},
+		{"uniform-60", uniformLadder(60, 2e3, 0.5e-12)},
+		{"loaded", loadedLadder(30, 500, 0.4e-12, 50e-15)},
+	}
+	for _, c := range cases {
+		dTP, err := TwoPoleDelay(c.lad)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		dTr, _, err := ladderSim(c.lad, 1.0, 1e-13) // near-step
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if e := math.Abs(dTP-dTr) / dTr; e > 0.06 {
+			t.Errorf("%s: two-pole %g vs transient %g (%.1f%%)", c.name, dTP, dTr, e*100)
+		}
+		if dTP >= c.lad.ElmoreDelay() {
+			t.Errorf("%s: two-pole above Elmore bound", c.name)
+		}
+	}
+}
+
+func TestTwoPoleOnRealWire(t *testing.T) {
+	seg := wire.NewSegment(tech.MustLookup("65nm"), 2e-3, wire.SWSS)
+	lad, err := rcnet.FromSegment(seg, 40, GoldenMiller, 10e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTP, err := TwoPoleDelay(lad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTr, _, err := ladderSim(lad, 1.0, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(dTP-dTr) / dTr; e > 0.06 {
+		t.Fatalf("two-pole %g vs transient %g (%.1f%%)", dTP, dTr, e*100)
+	}
+}
+
+func TestTwoPoleErrors(t *testing.T) {
+	if _, err := TwoPoleDelay(&rcnet.Ladder{}); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+}
+
+func uniformLadder(n int, rTot, cTot float64) *rcnet.Ladder {
+	lad := &rcnet.Ladder{R: make([]float64, n), C: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		lad.R[i] = rTot / float64(n)
+		lad.C[i] = cTot / float64(n)
+	}
+	return lad
+}
+
+func loadedLadder(n int, rTot, cTot, load float64) *rcnet.Ladder {
+	lad := uniformLadder(n, rTot, cTot)
+	lad.C[n-1] += load
+	return lad
+}
+
+func BenchmarkTwoPoleVsTransient(b *testing.B) {
+	seg := wire.NewSegment(tech.MustLookup("65nm"), 2e-3, wire.SWSS)
+	lad, err := rcnet.FromSegment(seg, 40, GoldenMiller, 10e-15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("two-pole", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := TwoPoleDelay(lad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("transient", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ladderSim(lad, 1.0, 1e-13); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package tech
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		orig := MustLookup(name)
+		var buf bytes.Buffer
+		if err := orig.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := LoadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v\n", name, err)
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Fatalf("%s: round trip changed the descriptor", name)
+		}
+	}
+}
+
+func TestLoadJSONValidates(t *testing.T) {
+	// A descriptor that parses but is physically inconsistent must
+	// be rejected at load time.
+	bad := MustLookup("90nm").Clone()
+	bad.Vdd = 0.1 // below threshold
+	var buf bytes.Buffer
+	if err := bad.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSON(&buf); err == nil {
+		t.Fatal("invalid descriptor accepted")
+	}
+}
+
+func TestLoadJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		`{"Unknown": 1}`,
+		`{"Flavor": "XX"}`,
+		`{"Flavor": 9}`,
+		`{"Flavor": true}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestFlavorJSONForms(t *testing.T) {
+	// Human-readable form.
+	var f Flavor
+	if err := f.UnmarshalJSON([]byte(`"LP"`)); err != nil || f != LowPower {
+		t.Fatalf("LP: %v %v", f, nil)
+	}
+	// Integer compatibility form.
+	if err := f.UnmarshalJSON([]byte(`0`)); err != nil || f != HighPerformance {
+		t.Fatal("integer flavor")
+	}
+	out, err := LowPower.MarshalJSON()
+	if err != nil || string(out) != `"LP"` {
+		t.Fatalf("marshal: %s %v", out, err)
+	}
+}
+
+func TestEditedDescriptorUsable(t *testing.T) {
+	// The advertised workflow: export, tweak, reload, use.
+	orig := MustLookup("65nm")
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(buf.String(), `"Vdd": 1,`, `"Vdd": 1.05,`, 1)
+	if edited == buf.String() {
+		t.Fatalf("test setup: Vdd line not found in:\n%s", buf.String()[:200])
+	}
+	back, err := LoadJSON(strings.NewReader(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Vdd != 1.05 {
+		t.Fatalf("edit lost: Vdd %g", back.Vdd)
+	}
+	if back.Clock != orig.Clock {
+		t.Fatal("untouched fields drifted")
+	}
+}

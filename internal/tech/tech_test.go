@@ -1,0 +1,160 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllBuiltinsValidate(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("expected 6 built-in nodes, got %d", len(all))
+	}
+	for _, tc := range all {
+		if err := tc.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+	}
+}
+
+func TestNamesOrdering(t *testing.T) {
+	names := Names()
+	want := []string{"90nm", "65nm", "45nm", "32nm", "22nm", "16nm"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("28nm"); err == nil {
+		t.Fatal("expected error for unknown node")
+	} else if !strings.Contains(err.Error(), "28nm") {
+		t.Fatalf("error should name the node: %v", err)
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup should panic on unknown name")
+		}
+	}()
+	MustLookup("7nm")
+}
+
+func TestScalingTrends(t *testing.T) {
+	all := All() // largest node first
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1], all[i]
+		if cur.Feature >= prev.Feature {
+			t.Errorf("%s feature %g !< %s %g", cur.Name, cur.Feature, prev.Name, prev.Feature)
+		}
+		if cur.Global.Width >= prev.Global.Width {
+			t.Errorf("%s global width did not shrink", cur.Name)
+		}
+		if cur.RowHeight >= prev.RowHeight {
+			t.Errorf("%s row height did not shrink", cur.Name)
+		}
+		if cur.Clock <= prev.Clock {
+			t.Errorf("%s clock did not increase", cur.Name)
+		}
+	}
+}
+
+// The paper's Table III discussion depends on the 65→45 nm supply
+// increase (1.0 V → 1.1 V) and on 45 nm being a low-power flavor.
+func TestPaperSpecificProperties(t *testing.T) {
+	n65, n45 := MustLookup("65nm"), MustLookup("45nm")
+	if !(n45.Vdd > n65.Vdd) {
+		t.Fatalf("45nm Vdd (%g) must exceed 65nm Vdd (%g)", n45.Vdd, n65.Vdd)
+	}
+	if n45.Flavor != LowPower {
+		t.Fatal("45nm node must be low-power flavor")
+	}
+	if n45.NMOS.IOff >= n65.NMOS.IOff {
+		t.Fatal("45nm LP leakage must be below 65nm HP leakage")
+	}
+	if c := MustLookup("90nm").Clock; c != 1.5e9 {
+		t.Fatalf("90nm clock = %g, want 1.5 GHz", c)
+	}
+	if c := n65.Clock; c != 2.25e9 {
+		t.Fatalf("65nm clock = %g, want 2.25 GHz", c)
+	}
+	if c := n45.Clock; c != 3.0e9 {
+		t.Fatalf("45nm clock = %g, want 3.0 GHz", c)
+	}
+}
+
+func TestInverterWidths(t *testing.T) {
+	tc := MustLookup("90nm")
+	wn, wp := tc.InverterWidths(4)
+	if wn != 4*tc.UnitWidthN {
+		t.Fatalf("wn = %g", wn)
+	}
+	if wp != wn*tc.PNRatio {
+		t.Fatalf("wp = %g", wp)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	orig := MustLookup("90nm")
+	c := orig.Clone()
+	c.Barrier = 0
+	c.Name = "90nm-nobarrier"
+	if orig.Barrier == 0 {
+		t.Fatal("clone mutation leaked into shared descriptor")
+	}
+}
+
+func TestValidateCatchesBadDescriptors(t *testing.T) {
+	mk := func(mutate func(*Technology)) *Technology {
+		c := MustLookup("90nm").Clone()
+		mutate(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		tc   *Technology
+	}{
+		{"vdd below vth", mk(func(t *Technology) { t.Vdd = 0.2 })},
+		{"zero K", mk(func(t *Technology) { t.NMOS.K = 0 })},
+		{"alpha too big", mk(func(t *Technology) { t.PMOS.Alpha = 2.5 })},
+		{"negative ioff", mk(func(t *Technology) { t.NMOS.IOff = -1 })},
+		{"zero wire width", mk(func(t *Technology) { t.Global.Width = 0 })},
+		{"barrier too thick", mk(func(t *Technology) { t.Barrier = t.Global.Width })},
+		{"row height vs contact pitch", mk(func(t *Technology) { t.RowHeight = t.ContactPitch })},
+		{"zero clock", mk(func(t *Technology) { t.Clock = 0 })},
+		{"negative feature", mk(func(t *Technology) { t.Feature = -1 })},
+		{"epsrel below 1", mk(func(t *Technology) { t.Intermediate.EpsRel = 0.5 })},
+	}
+	for _, c := range cases {
+		if err := c.tc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad descriptor", c.name)
+		}
+	}
+}
+
+func TestPitch(t *testing.T) {
+	l := WireLayer{Width: 2, Spacing: 3}
+	if l.Pitch() != 5 {
+		t.Fatalf("pitch = %g", l.Pitch())
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	tc := MustLookup("45nm")
+	s := tc.String()
+	for _, sub := range []string{"45nm", "LP", "1.1"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+	if HighPerformance.String() != "HP" {
+		t.Error("HP string")
+	}
+}

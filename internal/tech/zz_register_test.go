@@ -1,0 +1,66 @@
+package tech
+
+// Registry mutation tests, isolated in a file that sorts last so the
+// earlier tests see the pristine built-in set; each registration is
+// cleaned up via direct registry access (same package).
+
+import "testing"
+
+func cleanupNode(t *testing.T, name string) {
+	t.Cleanup(func() {
+		nodesMu.Lock()
+		delete(nodes, name)
+		nodesMu.Unlock()
+	})
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := MustLookup("65nm").Clone()
+	c.Name = "custom65"
+	if err := Register(c); err != nil {
+		t.Fatal(err)
+	}
+	cleanupNode(t, "custom65")
+
+	got, err := Lookup("custom65")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vdd != c.Vdd {
+		t.Fatal("registered descriptor mangled")
+	}
+	// Register stores a copy: mutating the caller's descriptor must
+	// not affect the registry.
+	c.Vdd = 9
+	if again := MustLookup("custom65"); again.Vdd == 9 {
+		t.Fatal("registry aliased the caller's descriptor")
+	}
+	// Names/All include the registration.
+	found := false
+	for _, n := range Names() {
+		if n == "custom65" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered node missing from Names")
+	}
+}
+
+func TestRegisterRejects(t *testing.T) {
+	// Duplicate built-in name.
+	dup := MustLookup("90nm").Clone()
+	if err := Register(dup); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	// Invalid descriptor.
+	bad := MustLookup("90nm").Clone()
+	bad.Name = "bad90"
+	bad.Vdd = 0.01
+	if err := Register(bad); err == nil {
+		t.Fatal("invalid descriptor accepted")
+	}
+	if _, err := Lookup("bad90"); err == nil {
+		t.Fatal("failed registration leaked into registry")
+	}
+}

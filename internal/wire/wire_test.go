@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+)
+
+func t90() *tech.Technology { return tech.MustLookup("90nm") }
+
+func TestResistivityRisesAsWidthShrinks(t *testing.T) {
+	tc := t90()
+	wide := Resistivity(tc, 1e-6)
+	narrow := Resistivity(tc, 100e-9)
+	if narrow <= wide {
+		t.Fatalf("scattering correction missing: ρ(100nm)=%g <= ρ(1µm)=%g", narrow, wide)
+	}
+	if wide < tc.RhoBulk {
+		t.Fatalf("effective resistivity %g below bulk %g", wide, tc.RhoBulk)
+	}
+	// Very wide wires asymptote to bulk.
+	if r := Resistivity(tc, 1e-3); (r-tc.RhoBulk)/tc.RhoBulk > 0.001 {
+		t.Fatalf("wide-wire resistivity %g should approach bulk %g", r, tc.RhoBulk)
+	}
+}
+
+func TestBarrierCorrectionIncreasesResistance(t *testing.T) {
+	tc := t90()
+	l := tc.Global
+	corrected := ResistancePerMeter(tc, l, l.Width)
+	classic := ClassicResistancePerMeter(tc, l, l.Width)
+	if corrected <= classic {
+		t.Fatalf("corrected R/m %g should exceed classic %g", corrected, classic)
+	}
+	// At 90nm global dimensions the combined correction is tens of
+	// percent, not orders of magnitude.
+	if ratio := corrected / classic; ratio > 2 {
+		t.Fatalf("correction ratio %g implausibly large", ratio)
+	}
+}
+
+func TestResistanceMagnitude(t *testing.T) {
+	// Global wires at 90nm should be within tens of Ω/mm — the
+	// regime in which buffered 1–15 mm lines make sense.
+	tc := t90()
+	rPerMM := ResistancePerMeter(tc, tc.Global, tc.Global.Width) * 1e-3
+	if rPerMM < 10 || rPerMM > 500 {
+		t.Fatalf("90nm global wire R = %g Ω/mm out of plausible range", rPerMM)
+	}
+}
+
+func TestCapacitanceMagnitude(t *testing.T) {
+	tc := t90()
+	cg := GroundCapPerMeter(tc, tc.Global, tc.Global.Width)
+	cc := CouplingCapPerMeter(tc, tc.Global, tc.Global.Spacing)
+	total := cg + 2*cc
+	// Total wire cap should be on the order of 0.1–0.4 fF/µm.
+	if total < 50e-12 || total > 400e-12 {
+		t.Fatalf("total wire cap %g F/m out of plausible range", total)
+	}
+	if cc <= 0 || cg <= 0 {
+		t.Fatal("capacitances must be positive")
+	}
+}
+
+func TestDegenerateGeometryIsFiniteButHuge(t *testing.T) {
+	tc := t90()
+	if r := ResistancePerMeter(tc, tc.Global, tc.Barrier); r < 1e9 {
+		t.Fatalf("width below barrier budget should be effectively open, got %g", r)
+	}
+	if rho := Resistivity(tc, 2*tc.Barrier); math.IsInf(rho, 0) || math.IsNaN(rho) {
+		t.Fatalf("degenerate resistivity not finite: %g", rho)
+	}
+}
+
+func TestStyleMillerFactor(t *testing.T) {
+	if SWSS.MillerFactor() != 1.51 {
+		t.Fatalf("SWSS Miller = %g", SWSS.MillerFactor())
+	}
+	if Shielded.MillerFactor() != 0 || Staggered.MillerFactor() != 0 {
+		t.Fatal("shielded/staggered must have zero Miller factor")
+	}
+}
+
+func TestStyleStrings(t *testing.T) {
+	if SWSS.String() != "SWSS" || Shielded.String() != "shielded" || Staggered.String() != "staggered" {
+		t.Fatal("style strings")
+	}
+	if Style(99).String() == "" {
+		t.Fatal("unknown style should still print")
+	}
+}
+
+func TestSegmentValidate(t *testing.T) {
+	tc := t90()
+	good := NewSegment(tc, 1e-3, SWSS)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Length = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero length accepted")
+	}
+	bad = good
+	bad.Width = tc.Barrier
+	if bad.Validate() == nil {
+		t.Fatal("sub-barrier width accepted")
+	}
+	bad = good
+	bad.Tech = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil tech accepted")
+	}
+	bad = good
+	bad.Spacing = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative spacing accepted")
+	}
+}
+
+func TestSegmentTotalsScaleWithLength(t *testing.T) {
+	tc := t90()
+	s1 := NewSegment(tc, 1e-3, SWSS)
+	s2 := NewSegment(tc, 2e-3, SWSS)
+	if math.Abs(s2.Resistance()/s1.Resistance()-2) > 1e-12 {
+		t.Fatal("resistance not linear in length")
+	}
+	if math.Abs(s2.TotalCap()/s1.TotalCap()-2) > 1e-12 {
+		t.Fatal("capacitance not linear in length")
+	}
+}
+
+func TestShieldedMovesCouplingToGround(t *testing.T) {
+	tc := t90()
+	swss := NewSegment(tc, 1e-3, SWSS)
+	sh := NewSegment(tc, 1e-3, Shielded)
+	if sh.CouplingCap() != 0 {
+		t.Fatal("shielded segment must have zero switching coupling")
+	}
+	if sh.GroundCap() <= swss.GroundCap() {
+		t.Fatal("shield capacitance must appear as ground capacitance")
+	}
+	// Total driven capacitance is identical: the neighbors did not
+	// move, they just stopped switching.
+	if math.Abs(sh.TotalCap()-swss.TotalCap()) > 1e-18 {
+		t.Fatalf("total cap changed: %g vs %g", sh.TotalCap(), swss.TotalCap())
+	}
+}
+
+func TestStaggeredKeepsCouplingLoad(t *testing.T) {
+	tc := t90()
+	st := NewSegment(tc, 1e-3, Staggered)
+	if st.CouplingCap() <= 0 {
+		t.Fatal("staggered lines still drive coupling capacitance")
+	}
+	if st.Style.MillerFactor() != 0 {
+		t.Fatal("staggered Miller factor must be zero")
+	}
+}
+
+func TestDelayCaps(t *testing.T) {
+	tc := t90()
+	for _, style := range []Style{SWSS, Shielded, Staggered} {
+		s := NewSegment(tc, 1e-3, style)
+		quiet, coupled := s.DelayCaps()
+		if math.Abs(quiet+coupled-s.TotalCap()) > 1e-18 {
+			t.Errorf("%v: quiet+coupled != total", style)
+		}
+		switch style {
+		case SWSS:
+			if coupled <= 0 {
+				t.Error("SWSS must expose coupled capacitance")
+			}
+		default:
+			if coupled != 0 {
+				t.Errorf("%v: coupled cap must be zero", style)
+			}
+		}
+	}
+}
+
+func TestBusArea(t *testing.T) {
+	tc := t90()
+	s := NewSegment(tc, 1e-3, SWSS)
+	n := 128
+	got := s.BusArea(n)
+	want := (float64(n)*(s.Width+s.Spacing) + s.Spacing) * s.Length
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("bus area %g, want %g", got, want)
+	}
+	sh := NewSegment(tc, 1e-3, Shielded)
+	if sh.BusArea(n) <= got {
+		t.Fatal("shielded bus must occupy more area")
+	}
+}
+
+// Property: resistivity is monotonically non-increasing in width.
+func TestQuickResistivityMonotone(t *testing.T) {
+	tc := t90()
+	f := func(a, b uint16) bool {
+		w1 := 50e-9 + float64(a)*1e-9
+		w2 := 50e-9 + float64(b)*1e-9
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		return Resistivity(tc, w1) >= Resistivity(tc, w2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wider wires have lower total resistance but higher ground
+// capacitance, for every technology.
+func TestQuickWidthTradeoffAllNodes(t *testing.T) {
+	for _, tc := range tech.All() {
+		l := tc.Global
+		w1, w2 := l.Width, 2*l.Width
+		if ResistancePerMeter(tc, l, w2) >= ResistancePerMeter(tc, l, w1) {
+			t.Errorf("%s: R/m not decreasing in width", tc.Name)
+		}
+		if GroundCapPerMeter(tc, l, w2) <= GroundCapPerMeter(tc, l, w1) {
+			t.Errorf("%s: Cg/m not increasing in width", tc.Name)
+		}
+	}
+}
+
+// Property: scaled nodes have higher R/m and (roughly) lower cap/m per
+// wire — the interconnect-scaling crisis the paper opens with.
+func TestScalingMakesWiresWorse(t *testing.T) {
+	all := tech.All()
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1], all[i]
+		rPrev := ResistancePerMeter(prev, prev.Global, prev.Global.Width)
+		rCur := ResistancePerMeter(cur, cur.Global, cur.Global.Width)
+		if rCur <= rPrev {
+			t.Errorf("%s→%s: global R/m did not increase (%g → %g)", prev.Name, cur.Name, rPrev, rCur)
+		}
+	}
+}

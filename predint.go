@@ -1,0 +1,503 @@
+package predint
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/buffering"
+	"repro/internal/liberty"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/sta"
+	"repro/internal/tech"
+	"repro/internal/wire"
+	"repro/internal/wiresize"
+)
+
+// Style selects a bus design style for link requests.
+type Style string
+
+// Supported design styles.
+const (
+	// SWSS is single-width single-spacing with worst-case switching
+	// neighbors.
+	SWSS Style = "swss"
+	// Shielded interleaves grounded shields between signal wires.
+	Shielded Style = "shielded"
+	// Staggered staggers repeaters to neutralize cross-talk (Miller
+	// factor zero).
+	Staggered Style = "staggered"
+)
+
+func (s Style) wireStyle() (wire.Style, error) {
+	switch s {
+	case "", SWSS:
+		return wire.SWSS, nil
+	case Shielded:
+		return wire.Shielded, nil
+	case Staggered:
+		return wire.Staggered, nil
+	default:
+		return 0, fmt.Errorf("predint: unknown style %q", s)
+	}
+}
+
+// Technologies returns the built-in technology names, largest node
+// first: 90nm, 65nm, 45nm, 32nm, 22nm, 16nm.
+func Technologies() []string { return tech.Names() }
+
+// TechInfo summarizes one technology node.
+type TechInfo struct {
+	Name    string
+	Feature float64 // m
+	Vdd     float64 // V
+	Clock   float64 // Hz (the paper's NoC operating point)
+	// LowPower reports whether the node is a low-power flavor (the
+	// 45nm node, per the paper).
+	LowPower bool
+}
+
+// Tech returns summary information for a built-in technology.
+func Tech(name string) (TechInfo, error) {
+	tc, err := tech.Lookup(name)
+	if err != nil {
+		return TechInfo{}, err
+	}
+	return TechInfo{
+		Name:     tc.Name,
+		Feature:  tc.Feature,
+		Vdd:      tc.Vdd,
+		Clock:    tc.Clock,
+		LowPower: tc.Flavor == tech.LowPower,
+	}, nil
+}
+
+// LinkRequest describes a buffered global link to design.
+type LinkRequest struct {
+	// Tech is a built-in technology name (required).
+	Tech string
+	// LengthMM is the routed link length in millimeters (required).
+	LengthMM float64
+	// Bits is the bus width; default 128 (the paper's designs).
+	Bits int
+	// Style selects the design style; default SWSS.
+	Style Style
+	// PowerWeight ∈ [0,1) sets the buffering objective's power
+	// emphasis; default 0.5. Zero requests pure delay-optimal
+	// buffering.
+	PowerWeight float64
+	// DelayOptimal forces pure delay-optimal buffering regardless of
+	// PowerWeight.
+	DelayOptimal bool
+	// LibrarySizesOnly restricts repeater candidates to the
+	// characterized library drive strengths (D4–D20), so the result
+	// can be re-evaluated with GoldenLinkDelay. By default the
+	// optimizer may also pick the larger extrapolated sizes a
+	// delay-optimal solution wants.
+	LibrarySizesOnly bool
+	// OptimizeGeometry additionally searches wire width and spacing
+	// (up to MaxPitchMult × the minimum pitch) jointly with the
+	// buffering — the Shi–Pan wire-sizing extension.
+	OptimizeGeometry bool
+	// MaxPitchMult bounds (width+spacing)/minimum-pitch when
+	// OptimizeGeometry is set; default 3.
+	MaxPitchMult float64
+	// ActivityFactor is the switching activity for power; default
+	// 0.15.
+	ActivityFactor float64
+	// InputSlewPS is the input transition time in picoseconds;
+	// default 300 (the paper's stimulus).
+	InputSlewPS float64
+}
+
+// LinkResult is a designed link with the model's predictions.
+type LinkResult struct {
+	// Repeaters and RepeaterSize describe the buffering solution
+	// (size in unit-inverter multiples).
+	Repeaters    int
+	RepeaterSize float64
+	// Delay is the predicted worst-edge delay (s).
+	Delay float64
+	// OutputSlew is the predicted receiver slew (s).
+	OutputSlew float64
+	// DynamicPower and LeakagePower are whole-bus powers (W).
+	DynamicPower, LeakagePower float64
+	// Area is the whole-bus silicon area (m²), wiring plus
+	// repeaters.
+	Area float64
+	// WireResistance and WireCapacitance are the per-bit totals
+	// (Ω, F) including the nanometer corrections.
+	WireResistance, WireCapacitance float64
+	// WidthMult and SpacingMult report the wire geometry (1 = layer
+	// minimums; other values only when OptimizeGeometry was set).
+	WidthMult, SpacingMult float64
+}
+
+// DesignLink designs a buffered link with the paper's calibrated
+// predictive models and buffering optimizer.
+func DesignLink(req LinkRequest) (LinkResult, error) {
+	tc, err := tech.Lookup(req.Tech)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	if req.LengthMM <= 0 {
+		return LinkResult{}, fmt.Errorf("predint: non-positive length %g mm", req.LengthMM)
+	}
+	style, err := req.Style.wireStyle()
+	if err != nil {
+		return LinkResult{}, err
+	}
+	bits := req.Bits
+	if bits == 0 {
+		bits = 128
+	}
+	activity := req.ActivityFactor
+	if activity == 0 {
+		activity = 0.15
+	}
+	slew := req.InputSlewPS * 1e-12
+	if slew == 0 {
+		slew = 300e-12
+	}
+	weight := req.PowerWeight
+	if weight == 0 && !req.DelayOptimal {
+		weight = 0.5
+	}
+	if req.DelayOptimal {
+		weight = 0
+	}
+
+	coeffs, err := coefficientsFor(tc)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	seg := wire.NewSegment(tc, req.LengthMM*1e-3, style)
+	opts := buffering.Options{
+		Coeffs:      coeffs,
+		InputSlew:   slew,
+		Power:       model.PowerParams{Activity: activity, Freq: tc.Clock},
+		PowerWeight: weight,
+	}
+	if req.LibrarySizesOnly {
+		opts.Sizes = liberty.StandardSizes
+	}
+	widthMult, spacingMult := 1.0, 1.0
+	var des buffering.Design
+	if req.OptimizeGeometry {
+		wsDes, err := wiresize.Optimize(tc, seg.Length, style, wiresize.Options{
+			Buffering:    opts,
+			MaxPitchMult: req.MaxPitchMult,
+		})
+		if err != nil {
+			return LinkResult{}, err
+		}
+		des = wsDes.Buffer
+		widthMult, spacingMult = wsDes.WidthMult, wsDes.SpacingMult
+		seg.Width *= widthMult
+		seg.Spacing *= spacingMult
+	} else {
+		var err error
+		des, err = buffering.Optimize(seg, opts)
+		if err != nil {
+			return LinkResult{}, err
+		}
+	}
+	spec := model.LineSpec{Kind: des.Kind, Size: des.Size, N: des.N, Segment: seg, InputSlew: slew}
+	pow, err := coeffs.LinePower(spec, model.PowerParams{Activity: activity, Freq: tc.Clock})
+	if err != nil {
+		return LinkResult{}, err
+	}
+	area, err := coeffs.LineArea(spec, bits)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	return LinkResult{
+		Repeaters:       des.N,
+		RepeaterSize:    des.Size,
+		Delay:           des.Delay,
+		OutputSlew:      des.OutputSlew,
+		DynamicPower:    pow.Dynamic * float64(bits),
+		LeakagePower:    pow.Leakage * float64(bits),
+		Area:            area.Total(),
+		WireResistance:  seg.Resistance(),
+		WireCapacitance: seg.TotalCap(),
+		WidthMult:       widthMult,
+		SpacingMult:     spacingMult,
+	}, nil
+}
+
+// GoldenLinkDelay evaluates a specific buffered-line implementation
+// with the golden sign-off timing engine (NLDM cells + transient RC
+// interconnect analysis). It characterizes the technology's cell
+// library on first use, which takes a few seconds per node.
+func GoldenLinkDelay(techName string, repeaterSize float64, repeaters int, lengthMM float64, style Style) (float64, error) {
+	tc, err := tech.Lookup(techName)
+	if err != nil {
+		return 0, err
+	}
+	ws, err := style.wireStyle()
+	if err != nil {
+		return 0, err
+	}
+	lib, err := liberty.Get(tc)
+	if err != nil {
+		return 0, err
+	}
+	cell := lib.Cell(fmt.Sprintf("INVD%g", repeaterSize))
+	if cell == nil {
+		return 0, fmt.Errorf("predint: no characterized cell of size %g (library sizes: %v)", repeaterSize, liberty.StandardSizes)
+	}
+	line := &sta.Line{Cell: cell, N: repeaters, Segment: wire.NewSegment(tc, lengthMM*1e-3, ws), InputSlew: 300e-12}
+	res, err := line.Analyze()
+	if err != nil {
+		return 0, err
+	}
+	return res.Delay, nil
+}
+
+// Coefficients is the calibrated model coefficient set (the paper's
+// Table I for one technology). Obtain one from EmbeddedCoefficients or
+// Calibrate; treat it as opaque and pass it back into this package.
+type Coefficients = model.Coefficients
+
+// LoadTechnology reads a JSON technology descriptor (see
+// `techinfo -json` for the format), validates it, and registers it so
+// every entry point in this package can use it by name. Custom nodes
+// have no embedded Table I coefficients; the first DesignLink against
+// one triggers a full characterization + calibration (a few seconds)
+// which is then cached for the process.
+func LoadTechnology(r io.Reader) (name string, err error) {
+	t, err := tech.LoadJSON(r)
+	if err != nil {
+		return "", err
+	}
+	if err := tech.Register(t); err != nil {
+		return "", err
+	}
+	return t.Name, nil
+}
+
+// calibCache memoizes live calibrations for technologies without
+// embedded coefficients.
+var (
+	calibMu    sync.Mutex
+	calibCache = map[string]*model.Coefficients{}
+)
+
+// coefficientsFor returns embedded coefficients when available,
+// falling back to a cached live calibration for custom nodes.
+func coefficientsFor(tc *tech.Technology) (*model.Coefficients, error) {
+	if c, err := model.Default(tc.Name); err == nil {
+		return c, nil
+	}
+	calibMu.Lock()
+	defer calibMu.Unlock()
+	if c, ok := calibCache[tc.Name]; ok {
+		return c, nil
+	}
+	lib, err := liberty.Get(tc)
+	if err != nil {
+		return nil, err
+	}
+	c, _, err := model.Calibrate(lib)
+	if err != nil {
+		return nil, err
+	}
+	calibCache[tc.Name] = c
+	return c, nil
+}
+
+// EmbeddedCoefficients returns the pre-calibrated (shipped) Table I
+// coefficients for a built-in technology.
+func EmbeddedCoefficients(techName string) (*Coefficients, error) {
+	return model.Default(techName)
+}
+
+// Calibrate runs the full calibration pipeline for a built-in
+// technology: characterize its repeater library with the circuit
+// simulator (memoized per process; a few seconds per node on first
+// use), then fit every model coefficient by regression.
+func Calibrate(techName string) (*Coefficients, error) {
+	tc, err := tech.Lookup(techName)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := liberty.Get(tc)
+	if err != nil {
+		return nil, err
+	}
+	coeffs, _, err := model.Calibrate(lib)
+	return coeffs, err
+}
+
+// ExportLibrary characterizes a built-in technology's repeater library
+// (memoized) and writes it in Liberty text format — the artifact the
+// paper's flow consumes from foundries.
+func ExportLibrary(techName string, w io.Writer) error {
+	tc, err := tech.Lookup(techName)
+	if err != nil {
+		return err
+	}
+	lib, err := liberty.Get(tc)
+	if err != nil {
+		return err
+	}
+	return liberty.WriteLibrary(w, lib)
+}
+
+// CalibrateFromLibrary reads a Liberty text file (as produced by
+// ExportLibrary, or a compatible subset) and fits the model
+// coefficients against it — calibration against an externally
+// supplied library, with no simulation involved.
+func CalibrateFromLibrary(r io.Reader) (*Coefficients, error) {
+	lib, err := liberty.ParseLibrary(r)
+	if err != nil {
+		return nil, err
+	}
+	coeffs, _, err := model.Calibrate(lib)
+	return coeffs, err
+}
+
+// CrosstalkRequest configures an explicit coupled-line study.
+type CrosstalkRequest struct {
+	// Tech is a technology name.
+	Tech string
+	// LengthMM is the victim length in millimeters.
+	LengthMM float64
+	// SpacingMult scales the neighbor spacing (1 = minimum).
+	SpacingMult float64
+	// Aggressors selects the neighbors' activity: "opposite"
+	// (worst case), "same", or "quiet" (default).
+	Aggressors string
+}
+
+// CrosstalkResult reports a coupled-line study.
+type CrosstalkResult struct {
+	// Delay is the victim's simulated 50% delay (s).
+	Delay float64
+	// OutputSlew is the victim's far-end slew (s).
+	OutputSlew float64
+	// EffectiveMiller is the empirical Miller factor: the k for
+	// which an uncoupled line with c_g + k·c_c matches this delay.
+	// The paper's model uses λ = 1.51; sign-off uses 2.0.
+	EffectiveMiller float64
+}
+
+// Crosstalk runs a full coupled three-line transient simulation (the
+// victim with two aggressors) — the physics underneath the Miller
+// abstractions the models use.
+func Crosstalk(req CrosstalkRequest) (CrosstalkResult, error) {
+	tc, err := tech.Lookup(req.Tech)
+	if err != nil {
+		return CrosstalkResult{}, err
+	}
+	if req.LengthMM <= 0 {
+		return CrosstalkResult{}, fmt.Errorf("predint: non-positive length")
+	}
+	mode := sta.Quiet
+	switch req.Aggressors {
+	case "", "quiet":
+	case "opposite":
+		mode = sta.Opposite
+	case "same":
+		mode = sta.Same
+	default:
+		return CrosstalkResult{}, fmt.Errorf("predint: unknown aggressor mode %q", req.Aggressors)
+	}
+	seg := wire.NewSegment(tc, req.LengthMM*1e-3, wire.SWSS)
+	if req.SpacingMult > 0 {
+		seg.Spacing *= req.SpacingMult
+	}
+	cfg := sta.CoupledConfig{
+		Seg:     seg,
+		DriverR: 200,
+		LoadC:   10e-15,
+		InSlew:  100e-12,
+		Mode:    mode,
+	}
+	d, s, err := sta.SimulateCoupled(cfg)
+	if err != nil {
+		return CrosstalkResult{}, err
+	}
+	k, err := sta.EffectiveMiller(cfg)
+	if err != nil {
+		return CrosstalkResult{}, err
+	}
+	return CrosstalkResult{Delay: d, OutputSlew: s, EffectiveMiller: k}, nil
+}
+
+// NoCRequest describes a NoC synthesis run.
+type NoCRequest struct {
+	// Case is a built-in test case name: "VPROC" or "DVOPD".
+	Case string
+	// Tech is a built-in technology name.
+	Tech string
+	// UseOriginalModel selects the uncalibrated Bakoglu-based cost
+	// model instead of the proposed one (Table III's comparison).
+	UseOriginalModel bool
+	// Style selects the bus design style; default SWSS.
+	Style Style
+	// SimulateTraffic additionally runs the cycle-based traffic
+	// simulation on the synthesized network and fills
+	// NoCResult.Traffic.
+	SimulateTraffic bool
+}
+
+// NoCResult reports a synthesized network.
+type NoCResult struct {
+	// Metrics are the tool-reported power/area/hop figures.
+	Metrics noc.Metrics
+	// Links and Routers count topology elements (also in Metrics).
+	Links, Routers int
+	// MaxLinkLengthMM is the model's wire-length feasibility limit.
+	MaxLinkLengthMM float64
+	// Traffic holds the cycle-based simulation results when
+	// NoCRequest.SimulateTraffic was set.
+	Traffic *noc.SimResult
+}
+
+// SynthesizeNoC runs the COSI-style synthesis for a built-in test
+// case.
+func SynthesizeNoC(req NoCRequest) (NoCResult, error) {
+	tc, err := tech.Lookup(req.Tech)
+	if err != nil {
+		return NoCResult{}, err
+	}
+	style, err := req.Style.wireStyle()
+	if err != nil {
+		return NoCResult{}, err
+	}
+	spec, err := noc.SpecByName(req.Case)
+	if err != nil {
+		return NoCResult{}, err
+	}
+	var lm noc.LinkModel
+	if req.UseOriginalModel {
+		lm, err = noc.NewOriginalModel(tc, spec.DataWidth, style)
+	} else {
+		lm, err = noc.NewProposedModel(tc, spec.DataWidth, style)
+	}
+	if err != nil {
+		return NoCResult{}, err
+	}
+	net, err := noc.Synthesize(spec, lm, noc.SynthOptions{})
+	if err != nil {
+		return NoCResult{}, err
+	}
+	m := net.Evaluate()
+	res := NoCResult{
+		Metrics:         m,
+		Links:           m.Links,
+		Routers:         m.Routers,
+		MaxLinkLengthMM: lm.MaxLength() * 1e3,
+	}
+	if req.SimulateTraffic {
+		sim, err := net.Simulate(noc.SimConfig{})
+		if err != nil {
+			return NoCResult{}, err
+		}
+		res.Traffic = sim
+	}
+	return res, nil
+}

@@ -1,0 +1,256 @@
+package predint
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTechnologies(t *testing.T) {
+	names := Technologies()
+	if len(names) != 6 || names[0] != "90nm" || names[5] != "16nm" {
+		t.Fatalf("Technologies() = %v", names)
+	}
+	info, err := Tech("45nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.LowPower || info.Vdd != 1.1 || info.Clock != 3.0e9 {
+		t.Fatalf("45nm info %+v", info)
+	}
+	if _, err := Tech("5nm"); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+}
+
+func TestDesignLinkDefaults(t *testing.T) {
+	res, err := DesignLink(LinkRequest{Tech: "65nm", LengthMM: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repeaters < 1 || res.RepeaterSize <= 0 {
+		t.Fatalf("bad buffering %+v", res)
+	}
+	if res.Delay <= 0 || res.DynamicPower <= 0 || res.LeakagePower <= 0 || res.Area <= 0 {
+		t.Fatalf("bad metrics %+v", res)
+	}
+	if res.WireResistance <= 0 || res.WireCapacitance <= 0 {
+		t.Fatal("missing wire totals")
+	}
+	// 5mm 65nm buffered link: hundreds of ps.
+	if res.Delay < 100e-12 || res.Delay > 5e-9 {
+		t.Fatalf("implausible delay %g", res.Delay)
+	}
+}
+
+func TestDesignLinkValidation(t *testing.T) {
+	if _, err := DesignLink(LinkRequest{Tech: "nope", LengthMM: 1}); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+	if _, err := DesignLink(LinkRequest{Tech: "90nm", LengthMM: 0}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := DesignLink(LinkRequest{Tech: "90nm", LengthMM: 1, Style: "zigzag"}); err == nil {
+		t.Fatal("unknown style accepted")
+	}
+}
+
+func TestDesignLinkDelayOptimalFaster(t *testing.T) {
+	base := LinkRequest{Tech: "90nm", LengthMM: 10}
+	weighted, err := DesignLink(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := base
+	fast.DelayOptimal = true
+	opt, err := DesignLink(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Delay > weighted.Delay {
+		t.Fatalf("delay-optimal (%g) slower than weighted (%g)", opt.Delay, weighted.Delay)
+	}
+	if opt.DynamicPower+opt.LeakagePower < weighted.DynamicPower+weighted.LeakagePower {
+		t.Fatal("delay-optimal should not use less power than weighted")
+	}
+}
+
+func TestDesignLinkStyles(t *testing.T) {
+	mk := func(s Style) LinkResult {
+		r, err := DesignLink(LinkRequest{Tech: "90nm", LengthMM: 8, Style: s, DelayOptimal: true})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		return r
+	}
+	swss, stag, shield := mk(SWSS), mk(Staggered), mk(Shielded)
+	if stag.Delay > swss.Delay {
+		t.Fatal("staggered not faster than SWSS")
+	}
+	if shield.Area <= swss.Area {
+		t.Fatal("shielding must cost area")
+	}
+}
+
+func TestGoldenLinkDelayAgreesWithModel(t *testing.T) {
+	// End-to-end: design a link with the model, check the golden
+	// engine agrees within the paper's accuracy band.
+	req := LinkRequest{Tech: "90nm", LengthMM: 5, PowerWeight: 0.3, LibrarySizesOnly: true}
+	res, err := DesignLink(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := GoldenLinkDelay("90nm", res.RepeaterSize, res.Repeaters, 5, SWSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden <= 0 {
+		t.Fatal("bad golden delay")
+	}
+	if e := math.Abs(res.Delay-golden) / golden; e > 0.15 {
+		t.Fatalf("model vs golden divergence %.1f%%", e*100)
+	}
+}
+
+func TestGoldenLinkDelayValidation(t *testing.T) {
+	if _, err := GoldenLinkDelay("90nm", 7, 3, 5, SWSS); err == nil {
+		t.Fatal("non-library size accepted")
+	}
+	if _, err := GoldenLinkDelay("nope", 8, 3, 5, SWSS); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+}
+
+func TestDesignLinkGeometryOptimization(t *testing.T) {
+	base := LinkRequest{Tech: "45nm", LengthMM: 10, DelayOptimal: true}
+	minGeom, err := DesignLink(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minGeom.WidthMult != 1 || minGeom.SpacingMult != 1 {
+		t.Fatalf("default geometry should be minimum: %+v", minGeom)
+	}
+	sized := base
+	sized.OptimizeGeometry = true
+	res, err := DesignLink(sized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WidthMult <= 1 {
+		t.Fatalf("geometry optimizer did not widen: %+v", res)
+	}
+	if res.Delay >= minGeom.Delay {
+		t.Fatalf("sized link (%g) not faster than minimum geometry (%g)", res.Delay, minGeom.Delay)
+	}
+	// The wire totals must reflect the chosen geometry.
+	if res.WireResistance >= minGeom.WireResistance {
+		t.Fatal("widened wire should have lower resistance")
+	}
+}
+
+func TestCrosstalkFacade(t *testing.T) {
+	worst, err := Crosstalk(CrosstalkRequest{Tech: "90nm", LengthMM: 1, Aggressors: "opposite"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := Crosstalk(CrosstalkRequest{Tech: "90nm", LengthMM: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(worst.Delay > quiet.Delay) {
+		t.Fatal("worst-case aggressors must slow the victim")
+	}
+	if !(worst.EffectiveMiller > quiet.EffectiveMiller) {
+		t.Fatal("Miller ordering")
+	}
+	if worst.EffectiveMiller < 1.5 || worst.EffectiveMiller > 2.5 {
+		t.Fatalf("worst-case Miller %g outside the physical band", worst.EffectiveMiller)
+	}
+	if _, err := Crosstalk(CrosstalkRequest{Tech: "90nm", LengthMM: 1, Aggressors: "dancing"}); err == nil {
+		t.Fatal("unknown aggressor mode accepted")
+	}
+	if _, err := Crosstalk(CrosstalkRequest{Tech: "nope", LengthMM: 1}); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+	if _, err := Crosstalk(CrosstalkRequest{Tech: "90nm"}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestCalibrateMatchesEmbedded(t *testing.T) {
+	live, err := Calibrate("90nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := EmbeddedCoefficients("90nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(live.Inv.Rise.Beta0-emb.Inv.Rise.Beta0) > 1e-9*emb.Inv.Rise.Beta0 {
+		t.Fatalf("live beta0 %g vs embedded %g", live.Inv.Rise.Beta0, emb.Inv.Rise.Beta0)
+	}
+	if _, err := Calibrate("3nm"); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+	if _, err := EmbeddedCoefficients("3nm"); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+}
+
+func TestLibraryExportImportFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportLibrary("90nm", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Fatalf("suspiciously small library file (%d bytes)", buf.Len())
+	}
+	coeffs, err := CalibrateFromLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, _ := EmbeddedCoefficients("90nm")
+	if math.Abs(coeffs.Inv.Kappa-emb.Inv.Kappa) > 1e-9*emb.Inv.Kappa {
+		t.Fatal("round-trip calibration drifted")
+	}
+	if err := ExportLibrary("3nm", &buf); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+	if _, err := CalibrateFromLibrary(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage library accepted")
+	}
+}
+
+func TestSynthesizeNoCFacade(t *testing.T) {
+	prop, err := SynthesizeNoC(NoCRequest{Case: "DVOPD", Tech: "90nm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := SynthesizeNoC(NoCRequest{Case: "DVOPD", Tech: "90nm", UseOriginalModel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Metrics.TotalPower() <= orig.Metrics.TotalPower() {
+		t.Fatal("proposed model should report more power than the optimistic original")
+	}
+	if prop.MaxLinkLengthMM >= orig.MaxLinkLengthMM {
+		t.Fatal("original must allow longer links")
+	}
+	withTraffic, err := SynthesizeNoC(NoCRequest{Case: "DVOPD", Tech: "90nm", SimulateTraffic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTraffic.Traffic == nil || withTraffic.Traffic.PacketsDelivered == 0 {
+		t.Fatal("traffic simulation missing or empty")
+	}
+	if withTraffic.Traffic.AvgLatency < withTraffic.Metrics.AvgLatency {
+		t.Fatal("simulated latency (with serialization) below analytic zero-load hop latency")
+	}
+	if _, err := SynthesizeNoC(NoCRequest{Case: "nope", Tech: "90nm"}); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+	if _, err := SynthesizeNoC(NoCRequest{Case: "VPROC", Tech: "nope"}); err == nil {
+		t.Fatal("unknown tech accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package predint
+
+// Custom-technology registration tests. They mutate the process-wide
+// technology registry, so this file is named to sort (and therefore
+// run) after the other root-package tests, which assert the pristine
+// built-in set.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// customNodeJSON builds a valid descriptor by exporting 32nm and
+// renaming it.
+func customNodeJSON(t *testing.T, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tech.MustLookup("32nm").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Replace(buf.String(), `"Name": "32nm"`, `"Name": "`+name+`"`, 1)
+}
+
+func TestLoadTechnologyAndDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes a custom node")
+	}
+	name, err := LoadTechnology(strings.NewReader(customNodeJSON(t, "custom32")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "custom32" {
+		t.Fatalf("registered as %q", name)
+	}
+	// The custom node must be fully usable: first DesignLink
+	// auto-calibrates.
+	res, err := DesignLink(LinkRequest{Tech: "custom32", LengthMM: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay <= 0 || res.Repeaters < 1 {
+		t.Fatalf("degenerate custom-node design %+v", res)
+	}
+	// Identical physics to 32nm: the designs must match.
+	ref, err := DesignLink(LinkRequest{Tech: "32nm", LengthMM: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (res.Delay - ref.Delay) / ref.Delay; rel > 0.02 || rel < -0.02 {
+		t.Fatalf("clone node delay %g deviates from 32nm %g", res.Delay, ref.Delay)
+	}
+}
+
+func TestLoadTechnologyRejects(t *testing.T) {
+	if _, err := LoadTechnology(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Re-registering a built-in name must fail.
+	var buf bytes.Buffer
+	if err := tech.MustLookup("90nm").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTechnology(&buf); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
