@@ -23,7 +23,8 @@ func main() {
 	lengthFlag := flag.Float64("length", 5, "link length in mm")
 	bitsFlag := flag.Int("bits", 128, "bus width in bits")
 	styleFlag := flag.String("style", "swss", "design style: swss, shielded, staggered")
-	weightFlag := flag.Float64("weight", 0.5, "power weight of the buffering objective")
+	weightFlag := flag.Float64("weight", predint.DefaultPowerWeight, "power weight of the buffering objective")
+	slewFlag := flag.Float64("slew", predint.DefaultInputSlewPS, "input slew in ps (drives both the model and the golden cross-check)")
 	fastest := flag.Bool("fastest", false, "pure delay-optimal buffering")
 	golden := flag.Bool("golden", false, "cross-check with the golden engine (restricts to library cells; slow on first use)")
 	flag.Parse()
@@ -31,9 +32,10 @@ func main() {
 	req := predint.LinkRequest{
 		Tech:             *techFlag,
 		LengthMM:         *lengthFlag,
-		Bits:             *bitsFlag,
+		Bits:             predint.Int(*bitsFlag),
 		Style:            predint.Style(*styleFlag),
-		PowerWeight:      *weightFlag,
+		PowerWeight:      predint.Float(*weightFlag),
+		InputSlewPS:      predint.Float(*slewFlag),
 		DelayOptimal:     *fastest,
 		LibrarySizesOnly: *golden,
 	}
@@ -55,7 +57,7 @@ func main() {
 
 	if *golden {
 		fmt.Println("  running golden sign-off analysis...")
-		g, err := predint.GoldenLinkDelay(*techFlag, res.RepeaterSize, res.Repeaters, *lengthFlag, predint.Style(*styleFlag))
+		g, err := predint.GoldenLinkDelay(*techFlag, res.RepeaterSize, res.Repeaters, *lengthFlag, predint.Style(*styleFlag), *slewFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "link: golden:", err)
 			os.Exit(1)

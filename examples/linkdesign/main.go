@@ -25,7 +25,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		eco, err := predint.DesignLink(predint.LinkRequest{Tech: techName, LengthMM: L, PowerWeight: 0.6})
+		eco, err := predint.DesignLink(predint.LinkRequest{Tech: techName, LengthMM: L, PowerWeight: predint.Float(0.6)})
 		if err != nil {
 			log.Fatal(err)
 		}

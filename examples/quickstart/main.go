@@ -34,7 +34,8 @@ func main() {
 	// Compare against the golden sign-off engine for the same
 	// implementation (characterizes the 65nm library on first use).
 	fmt.Println("\nrunning golden sign-off analysis for the same line...")
-	golden, err := predint.GoldenLinkDelay("65nm", res.RepeaterSize, res.Repeaters, 5, predint.SWSS)
+	golden, err := predint.GoldenLinkDelay("65nm", res.RepeaterSize, res.Repeaters, 5, predint.SWSS,
+		predint.DefaultInputSlewPS)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -245,22 +245,39 @@ func simulateBufferArc(tc *tech.Technology, size, inSlew, load float64, outDir s
 
 var (
 	cacheMu sync.Mutex
-	cache   = map[string]*Library{}
+	cache   = map[string]*libEntry{}
 )
+
+// libEntry is one memoized characterization; the per-entry Once lets
+// distinct technologies characterize concurrently while duplicate
+// requests for the same node block on a single computation.
+type libEntry struct {
+	once sync.Once
+	lib  *Library
+	err  error
+}
 
 // Get returns the standard-grid library for a technology, memoized
 // process-wide: characterization is deterministic, so sharing the
 // result across callers is safe and keeps test times reasonable.
+//
+// Get is safe for concurrent use. The cache mutex guards only the
+// entry lookup — the seconds-long characterization runs outside it,
+// so requests for different technologies proceed in parallel and
+// never serialize behind one another. Each technology is
+// characterized exactly once per process; because the computation is
+// deterministic, a failure is memoized too. The returned Library is
+// shared and must not be mutated.
 func Get(tc *tech.Technology) (*Library, error) {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if l, ok := cache[tc.Name]; ok {
-		return l, nil
+	e, ok := cache[tc.Name]
+	if !ok {
+		e = &libEntry{}
+		cache[tc.Name] = e
 	}
-	l, err := Characterize(tc, CharOpts{})
-	if err != nil {
-		return nil, err
-	}
-	cache[tc.Name] = l
-	return l, nil
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		e.lib, e.err = Characterize(tc, CharOpts{})
+	})
+	return e.lib, e.err
 }

@@ -1,0 +1,104 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// lengthQuantum is the design-cache granularity: link lengths are
+// quantized to 1 µm buckets before designing, because the greedy merge
+// loop re-designs near-identical lengths constantly and a buffered
+// global link's solution is insensitive below that scale.
+const lengthQuantum = 1e-6
+
+// designCacheShards spreads the cache over independently locked
+// shards so concurrent candidate evaluations do not serialize on one
+// mutex. Sixteen shards keeps contention negligible up to the core
+// counts the worker pool uses while costing nothing at small sizes.
+const designCacheShards = 16
+
+// DesignCache is a concurrency-safe memoizing wrapper around a
+// LinkModel, keyed by the quantized link length. The technology,
+// wire style, bus width, and buffering objective are all fixed
+// properties of the wrapped model, so one cache instance corresponds
+// to exactly one (tech, style, width, buffering-options) tuple; share
+// a single DesignCache across a synthesis run — or several runs over
+// the same model — to reuse every design.
+//
+// All methods are safe for concurrent use. Each distinct length is
+// designed exactly once even under concurrent callers (duplicate
+// requests block on the first computation rather than recomputing),
+// which requires the wrapped model's Design to be safe for concurrent
+// calls — true of every implementation in this package.
+type DesignCache struct {
+	LinkModel
+	shards [designCacheShards]designShard
+}
+
+type designShard struct {
+	mu sync.Mutex
+	m  map[int64]*designEntry
+}
+
+type designEntry struct {
+	once sync.Once
+	d    LinkDesign
+	err  error
+}
+
+// NewDesignCache wraps a LinkModel with a sharded design cache.
+// Wrapping an existing *DesignCache returns it unchanged, so callers
+// can defensively wrap without stacking caches.
+func NewDesignCache(lm LinkModel) *DesignCache {
+	if c, ok := lm.(*DesignCache); ok {
+		return c
+	}
+	c := &DesignCache{LinkModel: lm}
+	for i := range c.shards {
+		c.shards[i].m = make(map[int64]*designEntry)
+	}
+	return c
+}
+
+// Design returns the cached design for the quantized length,
+// computing and memoizing it on first use. Non-positive (or NaN)
+// lengths are rejected outright: the former implementation clamped
+// them into the 1 µm bucket, silently aliasing invalid requests to a
+// real design. Positive lengths below half the quantum are designed
+// at their exact length and not cached, so they cannot alias either.
+func (c *DesignCache) Design(length float64) (LinkDesign, error) {
+	if math.IsNaN(length) || length <= 0 {
+		return LinkDesign{}, fmt.Errorf("noc: non-positive link length %g", length)
+	}
+	q := int64(math.Round(length / lengthQuantum))
+	if q < 1 {
+		return c.LinkModel.Design(length)
+	}
+	sh := &c.shards[q%designCacheShards]
+	sh.mu.Lock()
+	e, ok := sh.m[q]
+	if !ok {
+		e = &designEntry{}
+		sh.m[q] = e
+	}
+	sh.mu.Unlock()
+	e.once.Do(func() {
+		e.d, e.err = c.LinkModel.Design(float64(q) * lengthQuantum)
+	})
+	return e.d, e.err
+}
+
+// Len reports the number of cached designs (diagnostics and tests).
+func (c *DesignCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+var _ LinkModel = (*DesignCache)(nil)

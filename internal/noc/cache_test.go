@@ -1,0 +1,234 @@
+package noc
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+// countingModel wraps a LinkModel and counts Design invocations per
+// requested length, to observe what the cache actually forwards.
+type countingModel struct {
+	LinkModel
+	mu    sync.Mutex
+	calls map[float64]int
+}
+
+func newCountingModel(lm LinkModel) *countingModel {
+	return &countingModel{LinkModel: lm, calls: map[float64]int{}}
+}
+
+func (m *countingModel) Design(length float64) (LinkDesign, error) {
+	m.mu.Lock()
+	m.calls[length]++
+	m.mu.Unlock()
+	return m.LinkModel.Design(length)
+}
+
+func (m *countingModel) totalCalls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.calls {
+		n += c
+	}
+	return n
+}
+
+func TestDesignCacheRejectsBadLengths(t *testing.T) {
+	c := NewDesignCache(proposed90(t))
+	for _, bad := range []float64{0, -1e-3, -1e-9, math.NaN()} {
+		if _, err := c.Design(bad); err == nil {
+			t.Errorf("length %g accepted", bad)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("invalid lengths were cached: %d entries", c.Len())
+	}
+}
+
+func TestDesignCacheSubQuantumNotAliased(t *testing.T) {
+	// 0.4 µm rounds to bucket 0; the old implementation clamped it to
+	// the 1 µm bucket. It must now be designed at its exact length
+	// and stay out of the cache.
+	base := newCountingModel(proposed90(t))
+	c := NewDesignCache(base)
+	d, err := c.Design(0.4e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Length != 0.4e-6 {
+		t.Fatalf("sub-quantum length aliased: designed %g, want %g", d.Length, 0.4e-6)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("sub-quantum design cached (%d entries)", c.Len())
+	}
+	if got := base.calls[0.4e-6]; got != 1 {
+		t.Fatalf("underlying model saw %d calls for the exact length", got)
+	}
+}
+
+func TestDesignCacheQuantizesAndMemoizes(t *testing.T) {
+	base := newCountingModel(proposed90(t))
+	c := NewDesignCache(base)
+	// Lengths within the same 1 µm bucket share one design.
+	a, err := c.Design(100.2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Design(99.8e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same-bucket lengths designed differently")
+	}
+	if q := math.Round(a.Length / lengthQuantum); q != 100 {
+		t.Fatalf("bucket center %g (q=%g), want the 100 µm bucket", a.Length, q)
+	}
+	if base.totalCalls() != 1 || c.Len() != 1 {
+		t.Fatalf("underlying calls %d, cache size %d; want 1, 1", base.totalCalls(), c.Len())
+	}
+}
+
+func TestDesignCacheNoDoubleWrap(t *testing.T) {
+	c := NewDesignCache(proposed90(t))
+	if c2 := NewDesignCache(c); c2 != c {
+		t.Fatal("wrapping a DesignCache stacked a second cache")
+	}
+}
+
+func TestDesignCacheConcurrentSingleComputation(t *testing.T) {
+	base := newCountingModel(proposed90(t))
+	c := NewDesignCache(base)
+	lengths := []float64{0.3e-3, 0.5e-3, 0.7e-3, 0.9e-3, 1.1e-3}
+
+	const goroutines = 16
+	results := make([][]LinkDesign, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			out := make([]LinkDesign, len(lengths))
+			for i, l := range lengths {
+				d, err := c.Design(l)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				out[i] = d
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(results[0], results[g]) {
+			t.Fatalf("goroutine %d saw different designs", g)
+		}
+	}
+	// Every distinct length designed exactly once, despite 16
+	// concurrent requesters.
+	if got := base.totalCalls(); got != len(lengths) {
+		t.Fatalf("underlying model called %d times for %d lengths", got, len(lengths))
+	}
+	if c.Len() != len(lengths) {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), len(lengths))
+	}
+}
+
+func TestSynthesizeWorkersMatchSerial(t *testing.T) {
+	lm := proposed90(t)
+	spec := DVOPD()
+	serial, err := Synthesize(spec, lm, SynthOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, runtime.GOMAXPROCS(0) + 3} {
+		par, err := Synthesize(spec, lm, SynthOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial.Routes, par.Routes) {
+			t.Fatalf("workers=%d: routes differ from serial", workers)
+		}
+		ms, mp := serial.Evaluate(), par.Evaluate()
+		if ms != mp {
+			t.Fatalf("workers=%d: metrics differ: %+v vs %+v", workers, ms, mp)
+		}
+	}
+}
+
+func TestSynthesizeConcurrentRunsSharedModel(t *testing.T) {
+	// Many goroutines synthesizing against one shared LinkModel — the
+	// fan-out callers could not do before the cache was made safe.
+	lm := proposed90(t)
+	ref, err := Synthesize(DVOPD(), lm, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMetrics := ref.Evaluate()
+
+	const runs = 4
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	wg.Add(runs)
+	for r := 0; r < runs; r++ {
+		go func() {
+			defer wg.Done()
+			net, err := Synthesize(DVOPD(), lm, SynthOptions{})
+			if err != nil {
+				t.Errorf("concurrent synthesis: %v", err)
+				failures.Add(1)
+				return
+			}
+			if m := net.Evaluate(); m != refMetrics {
+				t.Errorf("concurrent synthesis diverged: %+v vs %+v", m, refMetrics)
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.FailNow()
+	}
+}
+
+// BenchmarkSynthesizeWorkers measures the merge loop's scaling: the
+// serial baseline against the pooled evaluation on all cores. Run
+// with -cpu or compare the sub-benchmarks directly.
+func BenchmarkSynthesizeWorkers(b *testing.B) {
+	tc := tech.MustLookup("90nm")
+	spec := VPROC()
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A fresh model per iteration keeps the design cache
+				// cold, so the benchmark exercises real design work,
+				// not just candidate scoring over cache hits.
+				lm, err := NewProposedModel(tc, spec.DataWidth, wire.SWSS)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Synthesize(spec, lm, SynthOptions{Workers: bench.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -58,6 +58,13 @@ func (d LinkDesign) DynAt(util float64) float64 {
 
 // LinkModel designs and costs buffered links; implementations embody
 // the "original" and "proposed" interconnect models of Table III.
+//
+// Implementations must be safe for concurrent Design/MaxLength/Tech
+// calls after construction: the synthesizer fans candidate
+// evaluations out across a worker pool and DesignCache shares one
+// instance between goroutines. Every implementation in this package
+// (ProposedModel, OriginalModel, ScaledModel, DesignCache) satisfies
+// this — their state is immutable once built.
 type LinkModel interface {
 	// Name identifies the model in reports.
 	Name() string

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/pool"
 )
 
 // SynthOptions tunes the synthesis.
@@ -15,6 +17,11 @@ type SynthOptions struct {
 	MaxHops int
 	// MaxMergeIters bounds the greedy improvement loop (default 64).
 	MaxMergeIters int
+	// Workers bounds the goroutines evaluating merge candidates:
+	// 0 uses every core, 1 runs the serial algorithm. The result is
+	// identical either way — candidates are scored independently and
+	// reduced in the serial loop's order.
+	Workers int
 }
 
 func (o SynthOptions) withDefaults(lm LinkModel) SynthOptions {
@@ -31,41 +38,10 @@ func (o SynthOptions) withDefaults(lm LinkModel) SynthOptions {
 	return o
 }
 
-// cachedModel memoizes link designs by quantized length; the greedy
-// merge loop re-designs the same lengths constantly.
-type cachedModel struct {
-	LinkModel
-	cache map[int64]cachedDesign
-}
-
-type cachedDesign struct {
-	d   LinkDesign
-	err error
-}
-
-const lengthQuantum = 1e-6 // 1 µm design-cache granularity
-
-func newCachedModel(lm LinkModel) *cachedModel {
-	return &cachedModel{LinkModel: lm, cache: make(map[int64]cachedDesign)}
-}
-
-func (c *cachedModel) Design(length float64) (LinkDesign, error) {
-	q := int64(math.Round(length / lengthQuantum))
-	if q < 1 {
-		q = 1
-	}
-	if hit, ok := c.cache[q]; ok {
-		return hit.d, hit.err
-	}
-	d, err := c.LinkModel.Design(float64(q) * lengthQuantum)
-	c.cache[q] = cachedDesign{d, err}
-	return d, err
-}
-
 // synthesizer carries the working state of one synthesis run.
 type synthesizer struct {
 	spec   *Spec
-	model  *cachedModel
+	model  *DesignCache
 	router RouterParams
 	opts   SynthOptions
 
@@ -89,7 +65,7 @@ func Synthesize(spec *Spec, lm LinkModel, opts SynthOptions) (*Network, error) {
 	o := opts.withDefaults(lm)
 	s := &synthesizer{
 		spec:   spec,
-		model:  newCachedModel(lm),
+		model:  NewDesignCache(lm),
 		router: *o.Router,
 		opts:   o,
 		coreID: make(map[string]int, len(spec.Cores)),
@@ -289,26 +265,56 @@ const (
 	sharedSrc
 )
 
+// minMergeSaving is the smallest power saving worth a merge (0.1 µW).
+const minMergeSaving = 1e-7
+
 // mergeLoop greedily applies the best power-saving channel merge until
 // no candidate improves the network.
 func (s *synthesizer) mergeLoop() {
 	for iter := 0; iter < s.opts.MaxMergeIters; iter++ {
-		best := mergeCandidate{saving: 1e-7} // require a meaningful saving (0.1 µW)
-		found := false
-		for i := 0; i < len(s.links); i++ {
-			for j := i + 1; j < len(s.links); j++ {
-				for _, se := range []sharedEnd{sharedDst, sharedSrc} {
-					if c, ok := s.evalMerge(i, j, se); ok && c.saving > best.saving {
-						best, found = c, true
-					}
-				}
-			}
-		}
+		best, found := s.bestMerge()
 		if !found {
 			return
 		}
 		s.applyMerge(best)
 	}
+}
+
+// bestMerge scores every candidate merge and returns the best one.
+// The link-pair space is fanned out across the worker pool by first
+// index: evalMerge only reads the synthesis state and the design
+// cache is concurrency-safe, so rows evaluate independently. Each row
+// keeps its serial-order best (strict improvement over later j and
+// shared-end candidates) and the rows are reduced in ascending order
+// with the same strict comparison, so the selected candidate is
+// bit-identical to the serial double loop's.
+func (s *synthesizer) bestMerge() (mergeCandidate, bool) {
+	n := len(s.links)
+	rowBest := make([]mergeCandidate, n)
+	rowFound := make([]bool, n)
+	// The per-row closure never fails; ForEach is used purely as a
+	// bounded fan-out.
+	_ = pool.ForEach(s.opts.Workers, n, func(i int) error {
+		best := mergeCandidate{saving: minMergeSaving}
+		found := false
+		for j := i + 1; j < n; j++ {
+			for _, se := range []sharedEnd{sharedDst, sharedSrc} {
+				if c, ok := s.evalMerge(i, j, se); ok && c.saving > best.saving {
+					best, found = c, true
+				}
+			}
+		}
+		rowBest[i], rowFound[i] = best, found
+		return nil
+	})
+	best := mergeCandidate{saving: minMergeSaving}
+	found := false
+	for i := 0; i < n; i++ {
+		if rowFound[i] && rowBest[i].saving > best.saving {
+			best, found = rowBest[i], true
+		}
+	}
+	return best, found
 }
 
 // evalMerge scores merging links i and j (which must share the chosen

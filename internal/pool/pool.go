@@ -1,0 +1,88 @@
+// Package pool provides a minimal bounded worker pool for fanning out
+// independent CPU-bound evaluations — an errgroup in miniature, with
+// deterministic error selection (the lowest-index failure wins) so a
+// parallel sweep reports the same error its serial counterpart would.
+//
+// The synthesis and sizing hot paths evaluate many independently
+// costed candidates per step; this package is how they spread that
+// work across cores without each call site reinventing goroutine
+// bookkeeping.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count for n items: requested
+// values below 1 mean "all cores" (runtime.GOMAXPROCS(0)); the result
+// is capped at n and never below 1.
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines (workers < 1 means all cores) and returns the error of
+// the lowest failing index, matching what a serial loop would report.
+// Once any call fails, unclaimed indices are skipped; calls already in
+// flight run to completion. fn must be safe for concurrent
+// invocation. With one worker (or n < 2) the loop runs inline with no
+// goroutines at all.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Indices are claimed in ascending order, so every index below a
+	// recorded failure ran to completion: the first non-nil entry is
+	// exactly the error the serial loop would have returned.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

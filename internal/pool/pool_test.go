@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 10, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return fmt.Errorf("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	// Indices 3 and 7 both fail; the serial-equivalent error is 3's.
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("workers=%d: got %v, want fail-3", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterFailure(t *testing.T) {
+	// With a single worker the loop must stop at the first failure,
+	// exactly like a serial loop.
+	ran := 0
+	err := ForEach(1, 100, func(i int) error {
+		ran++
+		if i == 5 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || ran != 6 {
+		t.Fatalf("ran %d items (err %v), want 6", ran, err)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	if err := ForEach(workers, 200, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, bound is %d", p, workers)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/buffering"
+	"repro/internal/pool"
 	"repro/internal/tech"
 	"repro/internal/wire"
 )
@@ -40,6 +41,10 @@ type Options struct {
 	WidthMults, SpacingMults []float64
 	// MaxPitchMult bounds (width+spacing)/(minimum pitch); default 3.
 	MaxPitchMult float64
+	// Workers bounds the goroutines evaluating geometry candidates:
+	// 0 uses every core, 1 runs serially. The selected design (and
+	// any reported error) is identical either way.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -86,8 +91,16 @@ func Optimize(tc *tech.Technology, length float64, style wire.Style, opts Option
 		return (1-w)*d.Delay/ref.Delay + w*d.Power.Total()/ref.Power.Total()
 	}
 
-	best := Design{}
-	bestCost := math.Inf(1)
+	// Enumerate the admissible geometries first (cheap, serial), then
+	// fan the expensive buffering searches out across the worker pool.
+	// Each candidate is evaluated independently; reducing in
+	// enumeration order with a strict comparison reproduces the serial
+	// sweep's selection and first-error behavior exactly.
+	type candidate struct {
+		wm, sm, pitchMult float64
+		seg               wire.Segment
+	}
+	var cands []candidate
 	for _, wm := range o.WidthMults {
 		for _, sm := range o.SpacingMults {
 			pitchMult := (wm*layer.Width + sm*layer.Spacing) / minPitch
@@ -100,20 +113,34 @@ func Optimize(tc *tech.Technology, length float64, style wire.Style, opts Option
 			if err := seg.Validate(); err != nil {
 				continue
 			}
-			var des buffering.Design
-			var err error
-			if w == 0 {
-				des, err = buffering.DelayOptimal(seg, o.Buffering)
-			} else {
-				des, err = buffering.Optimize(seg, o.Buffering)
-			}
-			if err != nil {
-				return Design{}, fmt.Errorf("wiresize: w=%g s=%g: %w", wm, sm, err)
-			}
-			if c := cost(des); c < bestCost {
-				bestCost = c
-				best = Design{WidthMult: wm, SpacingMult: sm, Buffer: des, PitchMult: pitchMult}
-			}
+			cands = append(cands, candidate{wm: wm, sm: sm, pitchMult: pitchMult, seg: seg})
+		}
+	}
+	designs := make([]buffering.Design, len(cands))
+	err = pool.ForEach(o.Workers, len(cands), func(i int) error {
+		c := cands[i]
+		var des buffering.Design
+		var err error
+		if w == 0 {
+			des, err = buffering.DelayOptimal(c.seg, o.Buffering)
+		} else {
+			des, err = buffering.Optimize(c.seg, o.Buffering)
+		}
+		if err != nil {
+			return fmt.Errorf("wiresize: w=%g s=%g: %w", c.wm, c.sm, err)
+		}
+		designs[i] = des
+		return nil
+	})
+	if err != nil {
+		return Design{}, err
+	}
+	best := Design{}
+	bestCost := math.Inf(1)
+	for i, c := range cands {
+		if cc := cost(designs[i]); cc < bestCost {
+			bestCost = cc
+			best = Design{WidthMult: c.wm, SpacingMult: c.sm, Buffer: designs[i], PitchMult: c.pitchMult}
 		}
 	}
 	if math.IsInf(bestCost, 1) {

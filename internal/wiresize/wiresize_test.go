@@ -161,3 +161,27 @@ func BenchmarkWireSizeOptimize(b *testing.B) {
 		}
 	}
 }
+
+func TestOptimizeWorkersMatchSerial(t *testing.T) {
+	// The parallel sweep must pick the exact design the serial loop
+	// picks — same enumeration order, same strict-< tie-breaking.
+	tc := tech.MustLookup("65nm")
+	for _, weight := range []float64{0, 0.5} {
+		o := opts(t, "65nm", weight)
+		o.Workers = 1
+		serial, err := Optimize(tc, 8e-3, wire.SWSS, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 3} {
+			o.Workers = workers
+			par, err := Optimize(tc, 8e-3, wire.SWSS, o)
+			if err != nil {
+				t.Fatalf("weight=%g workers=%d: %v", weight, workers, err)
+			}
+			if par != serial {
+				t.Fatalf("weight=%g workers=%d: %+v != serial %+v", weight, workers, par, serial)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package predint
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
 	"repro/internal/buffering"
@@ -73,20 +74,49 @@ func Tech(name string) (TechInfo, error) {
 	}, nil
 }
 
+// Default values applied to unset (nil) optional LinkRequest fields.
+const (
+	// DefaultBits is the bus width of the paper's designs.
+	DefaultBits = 128
+	// DefaultPowerWeight is the buffering objective's power emphasis.
+	DefaultPowerWeight = 0.5
+	// DefaultActivityFactor is the switching activity for power.
+	DefaultActivityFactor = 0.15
+	// DefaultInputSlewPS is the paper's input stimulus in picoseconds.
+	DefaultInputSlewPS = 300.0
+)
+
+// Float wraps a value for LinkRequest's optional float fields:
+// predint.Float(0) requests an explicit zero, which a plain zero
+// value cannot (it means "use the default").
+func Float(v float64) *float64 { return &v }
+
+// Int wraps a value for LinkRequest's optional int fields.
+func Int(v int) *int { return &v }
+
 // LinkRequest describes a buffered global link to design.
+//
+// The optional numeric fields are pointers so the zero value of the
+// struct keeps meaning "all defaults" while an explicit zero remains
+// expressible: nil selects the documented default, predint.Float(0)
+// (or predint.Int(0)) is honored as a literal zero. Earlier versions
+// used plain floats and silently rewrote zeros to the defaults, which
+// made an explicit zero impossible to request.
 type LinkRequest struct {
 	// Tech is a built-in technology name (required).
 	Tech string
 	// LengthMM is the routed link length in millimeters (required).
 	LengthMM float64
-	// Bits is the bus width; default 128 (the paper's designs).
-	Bits int
+	// Bits is the bus width; nil means DefaultBits (128, the paper's
+	// designs). An explicit non-positive width is an error, not a
+	// request for the default.
+	Bits *int
 	// Style selects the design style; default SWSS.
 	Style Style
 	// PowerWeight ∈ [0,1) sets the buffering objective's power
-	// emphasis; default 0.5. Zero requests pure delay-optimal
-	// buffering.
-	PowerWeight float64
+	// emphasis; nil means DefaultPowerWeight (0.5). An explicit
+	// Float(0) is honored: it requests pure delay-optimal buffering.
+	PowerWeight *float64
 	// DelayOptimal forces pure delay-optimal buffering regardless of
 	// PowerWeight.
 	DelayOptimal bool
@@ -103,12 +133,17 @@ type LinkRequest struct {
 	// MaxPitchMult bounds (width+spacing)/minimum-pitch when
 	// OptimizeGeometry is set; default 3.
 	MaxPitchMult float64
-	// ActivityFactor is the switching activity for power; default
-	// 0.15.
-	ActivityFactor float64
-	// InputSlewPS is the input transition time in picoseconds;
-	// default 300 (the paper's stimulus).
-	InputSlewPS float64
+	// ActivityFactor is the switching activity for power; nil means
+	// DefaultActivityFactor (0.15). An explicit Float(0) is honored:
+	// the link reports zero dynamic power. Negative values are an
+	// error.
+	ActivityFactor *float64
+	// InputSlewPS is the input transition time in picoseconds; nil
+	// means DefaultInputSlewPS (300, the paper's stimulus). An
+	// explicit Float(0) is honored by rejecting the request with an
+	// error — the timing models are only defined for a positive
+	// stimulus — rather than silently substituting the default.
+	InputSlewPS *float64
 }
 
 // LinkResult is a designed link with the model's predictions.
@@ -148,21 +183,34 @@ func DesignLink(req LinkRequest) (LinkResult, error) {
 	if err != nil {
 		return LinkResult{}, err
 	}
-	bits := req.Bits
-	if bits == 0 {
-		bits = 128
+	bits := DefaultBits
+	if req.Bits != nil {
+		bits = *req.Bits
+		if bits <= 0 {
+			return LinkResult{}, fmt.Errorf("predint: non-positive bus width %d", bits)
+		}
 	}
-	activity := req.ActivityFactor
-	if activity == 0 {
-		activity = 0.15
+	activity := DefaultActivityFactor
+	if req.ActivityFactor != nil {
+		activity = *req.ActivityFactor
+		if math.IsNaN(activity) || activity < 0 {
+			return LinkResult{}, fmt.Errorf("predint: negative activity factor %g", activity)
+		}
 	}
-	slew := req.InputSlewPS * 1e-12
-	if slew == 0 {
-		slew = 300e-12
+	slewPS := DefaultInputSlewPS
+	if req.InputSlewPS != nil {
+		slewPS = *req.InputSlewPS
+		if math.IsNaN(slewPS) || slewPS <= 0 {
+			return LinkResult{}, fmt.Errorf("predint: non-positive input slew %g ps (the timing models need a positive stimulus; omit InputSlewPS for the %g ps default)", slewPS, DefaultInputSlewPS)
+		}
 	}
-	weight := req.PowerWeight
-	if weight == 0 && !req.DelayOptimal {
-		weight = 0.5
+	slew := slewPS * 1e-12
+	weight := DefaultPowerWeight
+	if req.PowerWeight != nil {
+		weight = *req.PowerWeight
+		if math.IsNaN(weight) || weight < 0 || weight >= 1 {
+			return LinkResult{}, fmt.Errorf("predint: power weight %g outside [0,1)", weight)
+		}
 	}
 	if req.DelayOptimal {
 		weight = 0
@@ -229,9 +277,15 @@ func DesignLink(req LinkRequest) (LinkResult, error) {
 
 // GoldenLinkDelay evaluates a specific buffered-line implementation
 // with the golden sign-off timing engine (NLDM cells + transient RC
-// interconnect analysis). It characterizes the technology's cell
-// library on first use, which takes a few seconds per node.
-func GoldenLinkDelay(techName string, repeaterSize float64, repeaters int, lengthMM float64, style Style) (float64, error) {
+// interconnect analysis), driven by the given input slew in
+// picoseconds — pass the same stimulus the link was designed with
+// (DefaultInputSlewPS when the LinkRequest left InputSlewPS unset) so
+// the golden re-evaluation matches the predictive path; earlier
+// versions hardcoded 300 ps regardless of the request. The slew must
+// be positive: the transient engine cannot drive a zero-time ramp.
+// GoldenLinkDelay characterizes the technology's cell library on
+// first use, which takes a few seconds per node.
+func GoldenLinkDelay(techName string, repeaterSize float64, repeaters int, lengthMM float64, style Style, inputSlewPS float64) (float64, error) {
 	tc, err := tech.Lookup(techName)
 	if err != nil {
 		return 0, err
@@ -239,6 +293,9 @@ func GoldenLinkDelay(techName string, repeaterSize float64, repeaters int, lengt
 	ws, err := style.wireStyle()
 	if err != nil {
 		return 0, err
+	}
+	if math.IsNaN(inputSlewPS) || inputSlewPS <= 0 {
+		return 0, fmt.Errorf("predint: non-positive input slew %g ps", inputSlewPS)
 	}
 	lib, err := liberty.Get(tc)
 	if err != nil {
@@ -248,7 +305,7 @@ func GoldenLinkDelay(techName string, repeaterSize float64, repeaters int, lengt
 	if cell == nil {
 		return 0, fmt.Errorf("predint: no characterized cell of size %g (library sizes: %v)", repeaterSize, liberty.StandardSizes)
 	}
-	line := &sta.Line{Cell: cell, N: repeaters, Segment: wire.NewSegment(tc, lengthMM*1e-3, ws), InputSlew: 300e-12}
+	line := &sta.Line{Cell: cell, N: repeaters, Segment: wire.NewSegment(tc, lengthMM*1e-3, ws), InputSlew: inputSlewPS * 1e-12}
 	res, err := line.Analyze()
 	if err != nil {
 		return 0, err
@@ -279,11 +336,22 @@ func LoadTechnology(r io.Reader) (name string, err error) {
 }
 
 // calibCache memoizes live calibrations for technologies without
-// embedded coefficients.
+// embedded coefficients. The mutex guards only the entry lookup; the
+// seconds-long characterization + regression runs under the entry's
+// Once, so concurrent DesignLink calls against different custom nodes
+// calibrate in parallel while duplicate requests for one node share a
+// single computation. Calibration is deterministic, so failures are
+// memoized alongside successes.
 var (
 	calibMu    sync.Mutex
-	calibCache = map[string]*model.Coefficients{}
+	calibCache = map[string]*calibEntry{}
 )
+
+type calibEntry struct {
+	once sync.Once
+	c    *model.Coefficients
+	err  error
+}
 
 // coefficientsFor returns embedded coefficients when available,
 // falling back to a cached live calibration for custom nodes.
@@ -292,20 +360,21 @@ func coefficientsFor(tc *tech.Technology) (*model.Coefficients, error) {
 		return c, nil
 	}
 	calibMu.Lock()
-	defer calibMu.Unlock()
-	if c, ok := calibCache[tc.Name]; ok {
-		return c, nil
+	e, ok := calibCache[tc.Name]
+	if !ok {
+		e = &calibEntry{}
+		calibCache[tc.Name] = e
 	}
-	lib, err := liberty.Get(tc)
-	if err != nil {
-		return nil, err
-	}
-	c, _, err := model.Calibrate(lib)
-	if err != nil {
-		return nil, err
-	}
-	calibCache[tc.Name] = c
-	return c, nil
+	calibMu.Unlock()
+	e.once.Do(func() {
+		lib, err := liberty.Get(tc)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.c, _, e.err = model.Calibrate(lib)
+	})
+	return e.c, e.err
 }
 
 // EmbeddedCoefficients returns the pre-calibrated (shipped) Table I
@@ -442,6 +511,10 @@ type NoCRequest struct {
 	// simulation on the synthesized network and fills
 	// NoCResult.Traffic.
 	SimulateTraffic bool
+	// Workers bounds the goroutines the synthesizer's merge-candidate
+	// evaluation uses: 0 means every core, 1 forces the serial
+	// algorithm. The synthesized network is identical either way.
+	Workers int
 }
 
 // NoCResult reports a synthesized network.
@@ -481,7 +554,7 @@ func SynthesizeNoC(req NoCRequest) (NoCResult, error) {
 	if err != nil {
 		return NoCResult{}, err
 	}
-	net, err := noc.Synthesize(spec, lm, noc.SynthOptions{})
+	net, err := noc.Synthesize(spec, lm, noc.SynthOptions{Workers: req.Workers})
 	if err != nil {
 		return NoCResult{}, err
 	}

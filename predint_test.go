@@ -96,12 +96,12 @@ func TestDesignLinkStyles(t *testing.T) {
 func TestGoldenLinkDelayAgreesWithModel(t *testing.T) {
 	// End-to-end: design a link with the model, check the golden
 	// engine agrees within the paper's accuracy band.
-	req := LinkRequest{Tech: "90nm", LengthMM: 5, PowerWeight: 0.3, LibrarySizesOnly: true}
+	req := LinkRequest{Tech: "90nm", LengthMM: 5, PowerWeight: Float(0.3), LibrarySizesOnly: true}
 	res, err := DesignLink(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden, err := GoldenLinkDelay("90nm", res.RepeaterSize, res.Repeaters, 5, SWSS)
+	golden, err := GoldenLinkDelay("90nm", res.RepeaterSize, res.Repeaters, 5, SWSS, DefaultInputSlewPS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +114,33 @@ func TestGoldenLinkDelayAgreesWithModel(t *testing.T) {
 }
 
 func TestGoldenLinkDelayValidation(t *testing.T) {
-	if _, err := GoldenLinkDelay("90nm", 7, 3, 5, SWSS); err == nil {
+	if _, err := GoldenLinkDelay("90nm", 7, 3, 5, SWSS, DefaultInputSlewPS); err == nil {
 		t.Fatal("non-library size accepted")
 	}
-	if _, err := GoldenLinkDelay("nope", 8, 3, 5, SWSS); err == nil {
+	if _, err := GoldenLinkDelay("nope", 8, 3, 5, SWSS, DefaultInputSlewPS); err == nil {
 		t.Fatal("unknown tech accepted")
+	}
+	if _, err := GoldenLinkDelay("90nm", 8, 3, 5, SWSS, 0); err == nil {
+		t.Fatal("zero input slew accepted")
+	}
+	if _, err := GoldenLinkDelay("90nm", 8, 3, 5, SWSS, -100); err == nil {
+		t.Fatal("negative input slew accepted")
+	}
+}
+
+func TestGoldenLinkDelaySlewMatters(t *testing.T) {
+	// The golden engine must honor the requested stimulus: a slower
+	// input edge produces a different (larger) first-stage delay.
+	fast, err := GoldenLinkDelay("90nm", 8, 3, 5, SWSS, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := GoldenLinkDelay("90nm", 8, 3, 5, SWSS, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(slow > fast) {
+		t.Fatalf("golden delay ignores input slew: 100ps → %g, 500ps → %g", fast, slow)
 	}
 }
 
@@ -253,4 +275,107 @@ func TestSynthesizeNoCFacade(t *testing.T) {
 	if _, err := SynthesizeNoC(NoCRequest{Case: "VPROC", Tech: "nope"}); err == nil {
 		t.Fatal("unknown tech accepted")
 	}
+}
+
+func TestDesignLinkExplicitZeros(t *testing.T) {
+	// The pointer fields distinguish "omitted" (nil → default) from
+	// "explicitly zero". These cases pin the explicit-zero semantics.
+	base := LinkRequest{Tech: "90nm", LengthMM: 5}
+
+	t.Run("activity zero means zero dynamic power", func(t *testing.T) {
+		req := base
+		req.ActivityFactor = Float(0)
+		req.DelayOptimal = true
+		res, err := DesignLink(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DynamicPower != 0 {
+			t.Fatalf("idle bus reports dynamic power %g", res.DynamicPower)
+		}
+		if res.LeakagePower <= 0 {
+			t.Fatal("leakage must survive zero activity")
+		}
+	})
+
+	t.Run("power weight zero equals DelayOptimal", func(t *testing.T) {
+		req := base
+		req.PowerWeight = Float(0)
+		weighted, err := DesignLink(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.PowerWeight = nil
+		req.DelayOptimal = true
+		optimal, err := DesignLink(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weighted != optimal {
+			t.Fatalf("PowerWeight: Float(0) (%+v) differs from DelayOptimal (%+v)", weighted, optimal)
+		}
+	})
+
+	t.Run("omitted weight uses the default, not zero", func(t *testing.T) {
+		defaulted, err := DesignLink(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := base
+		req.PowerWeight = Float(DefaultPowerWeight)
+		explicit, err := DesignLink(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if defaulted != explicit {
+			t.Fatal("nil PowerWeight does not match explicit default")
+		}
+	})
+
+	t.Run("rejected explicit values", func(t *testing.T) {
+		for _, tc := range []struct {
+			name string
+			mut  func(*LinkRequest)
+		}{
+			{"zero slew", func(r *LinkRequest) { r.InputSlewPS = Float(0) }},
+			{"negative slew", func(r *LinkRequest) { r.InputSlewPS = Float(-50) }},
+			{"NaN slew", func(r *LinkRequest) { r.InputSlewPS = Float(math.NaN()) }},
+			{"zero bits", func(r *LinkRequest) { r.Bits = Int(0) }},
+			{"negative bits", func(r *LinkRequest) { r.Bits = Int(-8) }},
+			{"negative activity", func(r *LinkRequest) { r.ActivityFactor = Float(-0.1) }},
+			{"weight at one", func(r *LinkRequest) { r.PowerWeight = Float(1) }},
+			{"negative weight", func(r *LinkRequest) { r.PowerWeight = Float(-0.2) }},
+		} {
+			req := base
+			tc.mut(&req)
+			if _, err := DesignLink(req); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		}
+	})
+
+	t.Run("explicit slew changes the design point", func(t *testing.T) {
+		req := base
+		req.InputSlewPS = Float(DefaultInputSlewPS)
+		def, err := DesignLink(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		omitted, err := DesignLink(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def != omitted {
+			t.Fatal("nil InputSlewPS does not match explicit default")
+		}
+		req.InputSlewPS = Float(900)
+		slow, err := DesignLink(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow.Delay <= def.Delay {
+			t.Fatalf("900 ps input edge (%g) not slower than %g ps default (%g)",
+				slow.Delay, DefaultInputSlewPS, def.Delay)
+		}
+	})
 }

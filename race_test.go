@@ -1,0 +1,89 @@
+package predint
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDesignLinkConcurrent hammers the facade from many goroutines
+// with a mix of technologies, styles, and objectives. Run under
+// `go test -race`; it pins the package-level calibration cache and
+// the per-model design caches as safe for concurrent use, and that
+// concurrent callers get the same answers as serial ones.
+func TestDesignLinkConcurrent(t *testing.T) {
+	reqs := []LinkRequest{
+		{Tech: "90nm", LengthMM: 5},
+		{Tech: "90nm", LengthMM: 5, DelayOptimal: true},
+		{Tech: "90nm", LengthMM: 8, Style: Staggered},
+		{Tech: "65nm", LengthMM: 3, PowerWeight: Float(0.7)},
+		{Tech: "65nm", LengthMM: 3, ActivityFactor: Float(0.05)},
+		{Tech: "45nm", LengthMM: 10, Style: Shielded, DelayOptimal: true},
+		{Tech: "32nm", LengthMM: 2, Bits: Int(64)},
+	}
+	want := make([]LinkResult, len(reqs))
+	for i, req := range reqs {
+		res, err := DesignLink(req)
+		if err != nil {
+			t.Fatalf("serial reference %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			// Stagger the starting request so goroutines collide on
+			// different cache entries at different times.
+			for k := 0; k < 3*len(reqs); k++ {
+				i := (g + k) % len(reqs)
+				res, err := DesignLink(reqs[i])
+				if err != nil {
+					t.Errorf("goroutine %d req %d: %v", g, i, err)
+					return
+				}
+				if res != want[i] {
+					t.Errorf("goroutine %d req %d: concurrent result diverged", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSynthesizeNoCConcurrent runs full NoC syntheses in parallel —
+// each run internally fans out its merge loop too, so this stacks
+// both levels of concurrency on the shared caches.
+func TestSynthesizeNoCConcurrent(t *testing.T) {
+	ref, err := SynthesizeNoC(NoCRequest{Case: "DVOPD", Tech: "90nm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const runs = 4
+	var wg sync.WaitGroup
+	results := make([]NoCResult, runs)
+	errs := make([]error, runs)
+	wg.Add(runs)
+	for r := 0; r < runs; r++ {
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = SynthesizeNoC(NoCRequest{Case: "DVOPD", Tech: "90nm"})
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < runs; r++ {
+		if errs[r] != nil {
+			t.Fatalf("run %d: %v", r, errs[r])
+		}
+		if results[r].Metrics != ref.Metrics {
+			t.Fatalf("run %d metrics diverged: %+v vs %+v", r, results[r].Metrics, ref.Metrics)
+		}
+		if results[r].Links != ref.Links || results[r].Routers != ref.Routers {
+			t.Fatalf("run %d topology diverged", r)
+		}
+	}
+}
