@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build test race bench-yield fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Emits BENCH_yield.json with the yield engine's benchmark trajectory.
+bench-yield:
+	sh scripts/bench_yield.sh
+
+fmt:
+	gofmt -l -w .

@@ -363,3 +363,43 @@ func BenchmarkSynthesizeNoCVPROC(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLinkYield measures the Monte Carlo timing-yield engine on
+// the 90nm 5mm link: both estimators, serial and fully parallel. The
+// per-op time divided by 2048 is the per-sample cost of the
+// perturb → rescale → evaluate path.
+func BenchmarkLinkYield(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		is      bool
+		workers int
+	}{
+		{"mc-serial", false, 1},
+		{"mc-parallel", false, 0},
+		{"is-serial", true, 1},
+		{"is-parallel", true, 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			req := YieldRequest{
+				Tech: "90nm", LengthMM: 5,
+				Samples: Int(2048), Seed: 1,
+				TargetPS:           Float(520),
+				Workers:            bc.workers,
+				ImportanceSampling: bc.is,
+			}
+			var res YieldResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = LinkYield(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Yield, "yield")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/2048, "ns/sample")
+			if bc.is {
+				b.ReportMetric(res.VarianceReduction, "var-reduction-x")
+			}
+		})
+	}
+}

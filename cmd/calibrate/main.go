@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -25,12 +26,16 @@ import (
 	"repro/internal/tech"
 )
 
-func main() {
-	techFlag := flag.String("tech", "all", "comma-separated technology names, or 'all'")
-	report := flag.Bool("report", false, "print regression diagnostics")
-	emitGo := flag.Bool("emit-go", false, "emit Go source with the coefficients to stdout")
-	jobs := flag.Int("j", 0, "parallel calibration workers (0 = all cores, 1 = serial)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techFlag := fs.String("tech", "all", "comma-separated technology names, or 'all'")
+	report := fs.Bool("report", false, "print regression diagnostics")
+	emitGo := fs.Bool("emit-go", false, "emit Go source with the coefficients to stdout")
+	jobs := fs.Int("j", 0, "parallel calibration workers (0 = all cores, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	names := tech.Names()
 	if *techFlag != "all" {
@@ -43,7 +48,7 @@ func main() {
 	for i, name := range names {
 		tc, err := tech.Lookup(strings.TrimSpace(name))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tcs[i] = tc
 	}
@@ -54,7 +59,7 @@ func main() {
 	reports := make([]*model.Report, len(tcs))
 	err := pool.ForEach(*jobs, len(tcs), func(i int) error {
 		if !*emitGo {
-			fmt.Fprintf(os.Stderr, "characterizing %s...\n", tcs[i].Name)
+			fmt.Fprintf(stderr, "characterizing %s...\n", tcs[i].Name)
 		}
 		lib, err := liberty.Get(tcs[i])
 		if err != nil {
@@ -64,75 +69,80 @@ func main() {
 		return err
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *report {
 		for i, tc := range tcs {
-			printReport(tc.Name, reports[i])
+			printReport(stdout, tc.Name, reports[i])
 		}
 	}
 
 	if *emitGo {
-		emitGoSource(coeffs)
-		return
+		emitGoSource(stdout, coeffs)
+		return nil
 	}
-	printTableI(coeffs)
+	printTableI(stdout, coeffs)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "calibrate:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+		}
+		os.Exit(1)
+	}
 }
 
-func printReport(name string, rep *model.Report) {
-	fmt.Printf("== regression diagnostics: %s ==\n", name)
+func printReport(w io.Writer, name string, rep *model.Report) {
+	fmt.Fprintf(w, "== regression diagnostics: %s ==\n", name)
 	keys := make([]string, 0, len(rep.Fits))
 	for k := range rep.Fits {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("  %-24s %s\n", k, rep.Fits[k])
+		fmt.Fprintf(w, "  %-24s %s\n", k, rep.Fits[k])
 	}
 }
 
 // printTableI renders the coefficient table in the layout of the
 // paper's Table I: one row per technology, grouped by model.
-func printTableI(all []*model.Coefficients) {
-	fmt.Println("TABLE I: FITTING COEFFICIENTS FOR THE PREDICTIVE MODELS")
-	fmt.Println()
-	fmt.Println("Inverter, rising output (intrinsic delay i = a0 + a1*s + a2*s^2;")
-	fmt.Println("drive resistance rd = b0/wr + (b1/wr)*s; slew so = g0 + g1*s/wr + g2*cl)")
-	fmt.Printf("%-6s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+func printTableI(w io.Writer, all []*model.Coefficients) {
+	fmt.Fprintln(w, "TABLE I: FITTING COEFFICIENTS FOR THE PREDICTIVE MODELS")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Inverter, rising output (intrinsic delay i = a0 + a1*s + a2*s^2;")
+	fmt.Fprintln(w, "drive resistance rd = b0/wr + (b1/wr)*s; slew so = g0 + g1*s/wr + g2*cl)")
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s %12s %12s %12s %12s\n",
 		"tech", "a0 [s]", "a1", "a2 [1/s]", "b0 [ohm*m]", "b1 [ohm*m/s]", "g0 [s]", "g1 [m]", "g2 [s/F]")
 	for _, c := range all {
 		e := c.Inv.Rise
-		fmt.Printf("%-6s %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g\n",
+		fmt.Fprintf(w, "%-6s %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g\n",
 			c.Tech, e.A0, e.A1, e.A2, e.Beta0, e.Beta1, e.Gamma0, e.Gamma1, e.Gamma2)
 	}
-	fmt.Println()
-	fmt.Println("Inverter, falling output")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Inverter, falling output")
 	for _, c := range all {
 		e := c.Inv.Fall
-		fmt.Printf("%-6s %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g\n",
+		fmt.Fprintf(w, "%-6s %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g\n",
 			c.Tech, e.A0, e.A1, e.A2, e.Beta0, e.Beta1, e.Gamma0, e.Gamma1, e.Gamma2)
 	}
-	fmt.Println()
-	fmt.Println("Buffer, rising output")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Buffer, rising output")
 	for _, c := range all {
 		e := c.Buf.Rise
-		fmt.Printf("%-6s %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g\n",
+		fmt.Fprintf(w, "%-6s %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g %12.4g\n",
 			c.Tech, e.A0, e.A1, e.A2, e.Beta0, e.Beta1, e.Gamma0, e.Gamma1, e.Gamma2)
 	}
-	fmt.Println()
-	fmt.Println("Static models (kappa: ci = k*(wn+wp); leakage ps = L0 + L1*wn; area ar = A0 + A1*wn)")
-	fmt.Printf("%-6s %-4s %12s %12s %12s %12s %12s\n", "tech", "kind", "kappa [F/m]", "L0 [W]", "L1 [W/m]", "A0 [m^2]", "A1 [m]")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Static models (kappa: ci = k*(wn+wp); leakage ps = L0 + L1*wn; area ar = A0 + A1*wn)")
+	fmt.Fprintf(w, "%-6s %-4s %12s %12s %12s %12s %12s\n", "tech", "kind", "kappa [F/m]", "L0 [W]", "L1 [W/m]", "A0 [m^2]", "A1 [m]")
 	for _, c := range all {
 		for _, kc := range []struct {
 			kind string
 			k    model.KindCoeffs
 		}{{"INV", c.Inv}, {"BUF", c.Buf}} {
-			fmt.Printf("%-6s %-4s %12.4g %12.4g %12.4g %12.4g %12.4g\n",
+			fmt.Fprintf(w, "%-6s %-4s %12.4g %12.4g %12.4g %12.4g %12.4g\n",
 				c.Tech, kc.kind, kc.k.Kappa, kc.k.Leak0, kc.k.Leak1, kc.k.Area0, kc.k.Area1)
 		}
 	}
@@ -148,21 +158,21 @@ func emitKind(k model.KindCoeffs) string {
 		emitEdge(k.Rise), emitEdge(k.Fall), k.Kappa, k.Leak0, k.Leak1, k.Area0, k.Area1)
 }
 
-func emitGoSource(all []*model.Coefficients) {
-	fmt.Println("// Code generated by cmd/calibrate -emit-go; DO NOT EDIT.")
-	fmt.Println("//")
-	fmt.Println("// This file embeds the calibrated Table I coefficients for the")
-	fmt.Println("// built-in technologies, so model consumers do not need to re-run")
-	fmt.Println("// the characterization pipeline. Regenerate with:")
-	fmt.Println("//")
-	fmt.Println("//\tgo run ./cmd/calibrate -emit-go > internal/model/coeffs_data.go")
-	fmt.Println()
-	fmt.Println("package model")
-	fmt.Println()
-	fmt.Println("var defaultCoefficients = map[string]*Coefficients{")
+func emitGoSource(w io.Writer, all []*model.Coefficients) {
+	fmt.Fprintln(w, "// Code generated by cmd/calibrate -emit-go; DO NOT EDIT.")
+	fmt.Fprintln(w, "//")
+	fmt.Fprintln(w, "// This file embeds the calibrated Table I coefficients for the")
+	fmt.Fprintln(w, "// built-in technologies, so model consumers do not need to re-run")
+	fmt.Fprintln(w, "// the characterization pipeline. Regenerate with:")
+	fmt.Fprintln(w, "//")
+	fmt.Fprintln(w, "//\tgo run ./cmd/calibrate -emit-go > internal/model/coeffs_data.go")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "package model")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "var defaultCoefficients = map[string]*Coefficients{")
 	for _, c := range all {
-		fmt.Printf("\t%q: {\n\t\tTech: %q,\n\t\tInv: KindCoeffs%s,\n\t\tBuf: KindCoeffs%s,\n\t},\n",
+		fmt.Fprintf(w, "\t%q: {\n\t\tTech: %q,\n\t\tInv: KindCoeffs%s,\n\t\tBuf: KindCoeffs%s,\n\t},\n",
 			c.Tech, c.Tech, emitKind(c.Inv), emitKind(c.Buf))
 	}
-	fmt.Println("}")
+	fmt.Fprintln(w, "}")
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSingleNode characterizes one node end to end (a few seconds)
+// and checks the Table I rendering.
+func TestRunSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization in -short mode")
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "90nm", "-j", "1"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"TABLE I", "90nm", "Inverter, rising output"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(errOut.String(), "characterizing 90nm") {
+		t.Errorf("progress line missing from stderr: %s", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownTech(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "13nm"}, &out, &errOut); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+	if out.Len() != 0 {
+		t.Errorf("partial output despite resolve failure: %s", out.String())
+	}
+}

@@ -13,21 +13,26 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	predint "repro"
 )
 
-func main() {
-	techFlag := flag.String("tech", "65nm", "technology node")
-	lengthFlag := flag.Float64("length", 5, "link length in mm")
-	bitsFlag := flag.Int("bits", 128, "bus width in bits")
-	styleFlag := flag.String("style", "swss", "design style: swss, shielded, staggered")
-	weightFlag := flag.Float64("weight", predint.DefaultPowerWeight, "power weight of the buffering objective")
-	slewFlag := flag.Float64("slew", predint.DefaultInputSlewPS, "input slew in ps (drives both the model and the golden cross-check)")
-	fastest := flag.Bool("fastest", false, "pure delay-optimal buffering")
-	golden := flag.Bool("golden", false, "cross-check with the golden engine (restricts to library cells; slow on first use)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("link", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techFlag := fs.String("tech", "65nm", "technology node")
+	lengthFlag := fs.Float64("length", 5, "link length in mm")
+	bitsFlag := fs.Int("bits", 128, "bus width in bits")
+	styleFlag := fs.String("style", "swss", "design style: swss, shielded, staggered")
+	weightFlag := fs.Float64("weight", predint.DefaultPowerWeight, "power weight of the buffering objective")
+	slewFlag := fs.Float64("slew", predint.DefaultInputSlewPS, "input slew in ps (drives both the model and the golden cross-check)")
+	fastest := fs.Bool("fastest", false, "pure delay-optimal buffering")
+	golden := fs.Bool("golden", false, "cross-check with the golden engine (restricts to library cells; slow on first use)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	req := predint.LinkRequest{
 		Tech:             *techFlag,
@@ -41,27 +46,35 @@ func main() {
 	}
 	res, err := predint.DesignLink(req)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "link:", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("%g mm %d-bit link at %s (%s)\n", *lengthFlag, *bitsFlag, *techFlag, *styleFlag)
-	fmt.Printf("  buffering:       %d × INVD%g (uniformly spaced)\n", res.Repeaters, res.RepeaterSize)
-	fmt.Printf("  delay:           %.1f ps\n", res.Delay*1e12)
-	fmt.Printf("  output slew:     %.1f ps\n", res.OutputSlew*1e12)
-	fmt.Printf("  dynamic power:   %.3f mW\n", res.DynamicPower*1e3)
-	fmt.Printf("  leakage power:   %.4f mW\n", res.LeakagePower*1e3)
-	fmt.Printf("  area:            %.4f mm²\n", res.Area*1e6)
-	fmt.Printf("  wire R (bit):    %.1f Ω   wire C (bit): %.1f fF\n",
+	fmt.Fprintf(stdout, "%g mm %d-bit link at %s (%s)\n", *lengthFlag, *bitsFlag, *techFlag, *styleFlag)
+	fmt.Fprintf(stdout, "  buffering:       %d × INVD%g (uniformly spaced)\n", res.Repeaters, res.RepeaterSize)
+	fmt.Fprintf(stdout, "  delay:           %.1f ps\n", res.Delay*1e12)
+	fmt.Fprintf(stdout, "  output slew:     %.1f ps\n", res.OutputSlew*1e12)
+	fmt.Fprintf(stdout, "  dynamic power:   %.3f mW\n", res.DynamicPower*1e3)
+	fmt.Fprintf(stdout, "  leakage power:   %.4f mW\n", res.LeakagePower*1e3)
+	fmt.Fprintf(stdout, "  area:            %.4f mm²\n", res.Area*1e6)
+	fmt.Fprintf(stdout, "  wire R (bit):    %.1f Ω   wire C (bit): %.1f fF\n",
 		res.WireResistance, res.WireCapacitance*1e15)
 
 	if *golden {
-		fmt.Println("  running golden sign-off analysis...")
+		fmt.Fprintln(stdout, "  running golden sign-off analysis...")
 		g, err := predint.GoldenLinkDelay(*techFlag, res.RepeaterSize, res.Repeaters, *lengthFlag, predint.Style(*styleFlag), *slewFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "link: golden:", err)
-			os.Exit(1)
+			return fmt.Errorf("golden: %w", err)
 		}
-		fmt.Printf("  golden delay:    %.1f ps (model error %+.1f%%)\n", g*1e12, (res.Delay-g)/g*100)
+		fmt.Fprintf(stdout, "  golden delay:    %.1f ps (model error %+.1f%%)\n", g*1e12, (res.Delay-g)/g*100)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "link:", err)
+		}
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-tech", "90nm", "-length", "5", "-n", "512", "-seed", "1"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"90nm", "buffering:", "yield:", "plain Monte Carlo", "512 samples"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the CLI-visible guarantee:
+// -j 1 and -j 8 print byte-identical reports for the same seed.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 2)
+	for i, j := range []string{"1", "8"} {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-tech", "90nm", "-length", "5", "-n", "1024", "-seed", "7", "-j", j}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("-j %s: %v", j, err)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-j 1 and -j 8 reports differ:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestRunImportanceSamplingFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-tech", "90nm", "-length", "5", "-n", "512", "-is", "-target", "520"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "importance sampling") {
+		t.Errorf("-is report does not name the estimator:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-n", "not-a-number"}, &out, &errOut); err == nil {
+		t.Fatal("malformed flag accepted")
+	}
+}
+
+func TestRunUnknownTech(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "13nm"}, &out, &errOut); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+}

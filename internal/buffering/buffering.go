@@ -17,6 +17,7 @@ package buffering
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/liberty"
 	"repro/internal/model"
@@ -233,4 +234,80 @@ func Optimize(seg wire.Segment, opts Options) (Design, error) {
 		}
 	}
 	return best, nil
+}
+
+// ErrNoFeasibleDesign reports that no candidate satisfied a
+// Constrained search's acceptance predicate.
+var ErrNoFeasibleDesign = fmt.Errorf("buffering: no candidate design satisfies the constraint")
+
+// Constrained returns the lowest-cost design (under the same weighted
+// delay–power objective Optimize minimizes) whose acceptance predicate
+// holds. The full (kind, size, count) candidate grid is evaluated with
+// the closed-form models — cheap — then candidates are offered to
+// accept in ascending cost order, so an expensive predicate (a Monte
+// Carlo yield estimate, a golden re-analysis) runs as few times as
+// possible: the first accepted candidate is the answer. This is the
+// titled paper's sizing-for-yield move expressed over the repeater
+// (size, count) space: back away from the unconstrained optimum by the
+// minimum cost that restores feasibility.
+//
+// The candidate order is deterministic: cost ties break toward smaller
+// size, then fewer repeaters. Returns ErrNoFeasibleDesign (wrapped)
+// when every candidate is rejected.
+func Constrained(seg wire.Segment, opts Options, accept func(Design) (bool, error)) (Design, error) {
+	o := opts.withDefaults()
+	if err := o.validate(); err != nil {
+		return Design{}, err
+	}
+	if accept == nil {
+		return Design{}, fmt.Errorf("buffering: nil acceptance predicate")
+	}
+	ref, err := DelayOptimal(seg, o)
+	if err != nil {
+		return Design{}, err
+	}
+	dRef, pRef := ref.Delay, ref.Power.Total()
+	if dRef <= 0 || pRef <= 0 {
+		return Design{}, fmt.Errorf("buffering: degenerate reference design")
+	}
+	cost := func(d Design) float64 {
+		return (1-o.PowerWeight)*d.Delay/dRef + o.PowerWeight*d.Power.Total()/pRef
+	}
+
+	type candidate struct {
+		d Design
+		c float64
+	}
+	cands := make([]candidate, 0, len(o.Kinds)*len(o.Sizes)*o.MaxN)
+	for _, kind := range o.Kinds {
+		for _, size := range o.Sizes {
+			for n := 1; n <= o.MaxN; n++ {
+				d, err := evaluate(seg, o, kind, size, n)
+				if err != nil {
+					return Design{}, err
+				}
+				cands = append(cands, candidate{d, cost(d)})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.c != b.c {
+			return a.c < b.c
+		}
+		if a.d.Size != b.d.Size {
+			return a.d.Size < b.d.Size
+		}
+		return a.d.N < b.d.N
+	})
+	for _, cand := range cands {
+		ok, err := accept(cand.d)
+		if err != nil {
+			return Design{}, err
+		}
+		if ok {
+			return cand.d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("%w (searched %d candidates)", ErrNoFeasibleDesign, len(cands))
 }

@@ -1,6 +1,7 @@
 package buffering
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -235,5 +236,81 @@ func BenchmarkOptimize(b *testing.B) {
 		if _, err := Optimize(seg, o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestConstrainedAcceptAllMatchesOptimize(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+	o := opts90()
+	o.PowerWeight = 0.5
+	want, err := Optimize(seg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Constrained(seg, o, func(Design) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accepting everything must hand back the unconstrained optimum:
+	// the candidate ordering and the optimizer agree on cost.
+	if got.Kind != want.Kind || got.Size != want.Size || got.N != want.N {
+		t.Fatalf("accept-all Constrained picked %v×INVD%g n=%d, Optimize picked %v×INVD%g n=%d",
+			got.Kind, got.Size, got.N, want.Kind, want.Size, want.N)
+	}
+}
+
+func TestConstrainedVisitsInCostOrder(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+	o := opts90()
+	o.PowerWeight = 0.5
+	// Accept the third candidate seen: the result must be exactly the
+	// third-cheapest design, proving the predicate runs in cost order
+	// (what lets callers put an expensive Monte Carlo check behind it).
+	seen := 0
+	var firstTwo []Design
+	got, err := Constrained(seg, o, func(d Design) (bool, error) {
+		seen++
+		if seen < 3 {
+			firstTwo = append(firstTwo, d)
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firstTwo) != 2 {
+		t.Fatalf("predicate saw %d rejections before accepting", len(firstTwo))
+	}
+	opt, err := Optimize(seg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstTwo[0].Size != opt.Size || firstTwo[0].N != opt.N {
+		t.Fatalf("first candidate %+v is not the unconstrained optimum %+v", firstTwo[0], opt)
+	}
+	if got == firstTwo[0] || got == firstTwo[1] {
+		t.Fatal("accepted design repeats a rejected candidate")
+	}
+}
+
+func TestConstrainedNoFeasible(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+	_, err := Constrained(seg, opts90(), func(Design) (bool, error) { return false, nil })
+	if !errors.Is(err, ErrNoFeasibleDesign) {
+		t.Fatalf("want ErrNoFeasibleDesign, got %v", err)
+	}
+}
+
+func TestConstrainedPropagatesPredicateError(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+	boom := errors.New("mc exploded")
+	_, err := Constrained(seg, opts90(), func(Design) (bool, error) { return false, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("predicate error lost: %v", err)
 	}
 }

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/tech"
+)
+
+// This file is the closed-form re-derivation path the process-variation
+// engine rides: given coefficients calibrated at a nominal technology,
+// produce the coefficient set a *perturbed* copy of that technology
+// would calibrate to — without re-running the characterization
+// pipeline (seconds) per Monte Carlo sample. The scaling follows the
+// physics the models encode (the stochastic-logical-effort idea:
+// gate-delay terms move with drive strength, capacitive terms with
+// gate capacitance, leakage exponentially with threshold):
+//
+//   - Every drive term (Beta0, Beta1), intrinsic-delay term (A0…A2),
+//     and slew term (Gamma0…Gamma2) of an edge scales with the
+//     pulling device's alpha-power-law resistance
+//     R ∝ Vdd / (K·(Vdd−Vth)^Alpha) — pMOS for rising outputs, nMOS
+//     for falling. Intrinsic delay additionally scales with the
+//     self-load capacitance.
+//   - Kappa (input capacitance per width) scales with gate
+//     capacitance.
+//   - Leakage scales with IOff amplified by the subthreshold
+//     exponential of the threshold perturbation.
+//   - Area does not move with the electrical parameters.
+
+// driveRatio returns R_pert/R_nom for one device polarity.
+func driveRatio(nom, pert tech.Device, vNom, vPert float64) float64 {
+	odNom := vNom - nom.Vth
+	odPert := vPert - pert.Vth
+	if odNom <= 0 || odPert <= 0 {
+		return 1
+	}
+	rNom := vNom / (nom.K * math.Pow(odNom, nom.Alpha))
+	rPert := vPert / (pert.K * math.Pow(odPert, nom.Alpha))
+	return rPert / rNom
+}
+
+// leakRatio returns the leakage scale for one device polarity: the
+// explicit IOff ratio times the subthreshold response to the threshold
+// shift, times the supply ratio.
+func leakRatio(nom, pert tech.Device, vNom, vPert float64) float64 {
+	r := 1.0
+	if nom.IOff > 0 {
+		r = pert.IOff / nom.IOff
+	}
+	r *= math.Exp(-(pert.Vth - nom.Vth) / (nom.SubthresholdSlopeN * tech.ThermalVoltage))
+	if vNom > 0 {
+		r *= vPert / vNom
+	}
+	return r
+}
+
+// scaleEdge multiplies every coefficient of an edge by the drive ratio
+// rd, with the intrinsic terms additionally scaled by the self-load
+// capacitance ratio rc.
+func scaleEdge(e EdgeCoeffs, rd, rc float64) EdgeCoeffs {
+	e.A0 *= rd * rc
+	e.A1 *= rd * rc
+	e.A2 *= rd * rc
+	e.Beta0 *= rd
+	e.Beta1 *= rd
+	e.Gamma0 *= rd
+	e.Gamma1 *= rd
+	e.Gamma2 *= rd
+	return e
+}
+
+func scaleKind(k KindCoeffs, rdRise, rdFall, rCap, rLeak float64) KindCoeffs {
+	k.Rise = scaleEdge(k.Rise, rdRise, rCap)
+	k.Fall = scaleEdge(k.Fall, rdFall, rCap)
+	k.Kappa *= rCap
+	k.Leak0 *= rLeak
+	k.Leak1 *= rLeak
+	return k
+}
+
+// ScaledFor returns the coefficient set for a perturbed copy of the
+// technology the receiver was calibrated against. nom must be the
+// calibration technology and pert a perturbation of it (same device
+// structure, moved parameters); the receiver is not modified. This is
+// an analytic approximation — exact for the drive/capacitance/leakage
+// physics the models encode, agnostic to higher-order effects a full
+// re-characterization would capture — and it costs arithmetic only,
+// which is what makes per-sample Monte Carlo evaluation feasible.
+func (c *Coefficients) ScaledFor(nom, pert *tech.Technology) *Coefficients {
+	rdN := driveRatio(nom.NMOS, pert.NMOS, nom.Vdd, pert.Vdd)
+	rdP := driveRatio(nom.PMOS, pert.PMOS, nom.Vdd, pert.Vdd)
+	var rCap float64 = 1
+	if s := nom.NMOS.CGate + nom.PMOS.CGate; s > 0 {
+		rCap = (pert.NMOS.CGate + pert.PMOS.CGate) / s
+	}
+	rLeak := (leakRatio(nom.NMOS, pert.NMOS, nom.Vdd, pert.Vdd) +
+		leakRatio(nom.PMOS, pert.PMOS, nom.Vdd, pert.Vdd)) / 2
+
+	out := &Coefficients{Tech: c.Tech}
+	// A rising output is pulled by the pMOS, a falling one by the
+	// nMOS.
+	out.Inv = scaleKind(c.Inv, rdP, rdN, rCap, rLeak)
+	out.Buf = scaleKind(c.Buf, rdP, rdN, rCap, rLeak)
+	return out
+}

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+func testSpec(tc *tech.Technology) LineSpec {
+	return LineSpec{
+		Kind:      liberty.Inverter,
+		Size:      40,
+		N:         3,
+		Segment:   wire.NewSegment(tc, 5e-3, wire.SWSS),
+		InputSlew: 300e-12,
+	}
+}
+
+// TestScaledForIdentity: scaling against an unperturbed copy must be a
+// no-op on every coefficient the delay and power paths read.
+func TestScaledForIdentity(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	c := MustDefault("90nm")
+	scaled := c.ScaledFor(tc, tc.Clone())
+
+	spec := testSpec(tc)
+	want, err := c.LineDelay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scaled.LineDelay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Delay-want.Delay) > 1e-18 {
+		t.Fatalf("identity scaling moved delay: %g vs %g", got.Delay, want.Delay)
+	}
+	pp := PowerParams{Activity: 0.15, Freq: tc.Clock}
+	wantP, err := c.LinePower(spec, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP, err := scaled.LinePower(spec, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotP.Total()-wantP.Total()) > wantP.Total()*1e-12 {
+		t.Fatalf("identity scaling moved power: %g vs %g", gotP.Total(), wantP.Total())
+	}
+}
+
+// TestScaledForPhysicalDirections: higher thresholds must slow the
+// gates and cut leakage; fatter gate capacitance must raise input
+// load; the original coefficient set must never be modified.
+func TestScaledForPhysicalDirections(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	c := MustDefault("90nm")
+	before := *c
+	spec := testSpec(tc)
+	nominal, err := c.LineDelay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := tc.Clone()
+	slow.NMOS.Vth += 0.04
+	slow.PMOS.Vth += 0.04
+	sc := c.ScaledFor(tc, slow)
+	d, err := sc.LineDelay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delay <= nominal.Delay {
+		t.Fatalf("raised Vth did not slow the line: %g vs nominal %g", d.Delay, nominal.Delay)
+	}
+	if sc.Inv.Leak0 >= c.Inv.Leak0 {
+		t.Fatalf("raised Vth did not cut leakage: %g vs %g", sc.Inv.Leak0, c.Inv.Leak0)
+	}
+
+	fat := tc.Clone()
+	fat.NMOS.CGate *= 1.1
+	fat.PMOS.CGate *= 1.1
+	fc := c.ScaledFor(tc, fat)
+	if fc.Inv.Kappa <= c.Inv.Kappa {
+		t.Fatalf("fatter CGate did not raise Kappa: %g vs %g", fc.Inv.Kappa, c.Inv.Kappa)
+	}
+
+	if *c != before {
+		t.Fatal("ScaledFor modified the receiver")
+	}
+}
+
+// TestScaledForTracksRecalibrationDirectionally: the closed-form path
+// is an approximation, but against a direct model evaluation with the
+// perturbed drive it must keep delay monotone in the perturbation
+// magnitude (the property Monte Carlo sampling depends on).
+func TestScaledForMonotoneInVth(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	c := MustDefault("90nm")
+	spec := testSpec(tc)
+	prev := -math.MaxFloat64
+	for _, dv := range []float64{-0.04, -0.02, 0, 0.02, 0.04} {
+		pert := tc.Clone()
+		pert.NMOS.Vth += dv
+		pert.PMOS.Vth += dv
+		d, err := c.ScaledFor(tc, pert).LineDelay(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Delay <= prev {
+			t.Fatalf("delay not monotone in Vth shift: %g ps at Δ=%g after %g ps", d.Delay*1e12, dv, prev*1e12)
+		}
+		prev = d.Delay
+	}
+}

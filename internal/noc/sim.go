@@ -35,6 +35,35 @@ type SimConfig struct {
 	Burst int
 }
 
+// Sentinel errors returned by SimConfig.Validate. Zero means "use the
+// default"; a negative value is always a mistake (a negative Burst
+// would even make the injection loop non-terminating), so each field
+// gets a named error callers can test with errors.Is.
+var (
+	ErrNegativeCycles      = fmt.Errorf("noc: negative measurement cycles")
+	ErrNegativeWarmup      = fmt.Errorf("noc: negative warmup cycles")
+	ErrNegativePacketFlits = fmt.Errorf("noc: negative packet size")
+	ErrNegativeDrain       = fmt.Errorf("noc: negative drain window")
+	ErrNegativeBurst       = fmt.Errorf("noc: negative burst length")
+)
+
+// Validate rejects configurations no defaulting can repair.
+func (c SimConfig) Validate() error {
+	switch {
+	case c.Cycles < 0:
+		return fmt.Errorf("%w (%d)", ErrNegativeCycles, c.Cycles)
+	case c.Warmup < 0:
+		return fmt.Errorf("%w (%d)", ErrNegativeWarmup, c.Warmup)
+	case c.PacketFlits < 0:
+		return fmt.Errorf("%w (%d)", ErrNegativePacketFlits, c.PacketFlits)
+	case c.Drain < 0:
+		return fmt.Errorf("%w (%d)", ErrNegativeDrain, c.Drain)
+	case c.Burst < 0:
+		return fmt.Errorf("%w (%d)", ErrNegativeBurst, c.Burst)
+	}
+	return nil
+}
+
 func (c SimConfig) withDefaults() SimConfig {
 	if c.Cycles == 0 {
 		c.Cycles = 20000
@@ -84,6 +113,9 @@ type packet struct {
 // randomness), and links arbitrate FIFO with ties broken by flow
 // index.
 func (n *Network) Simulate(cfg SimConfig) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	c := cfg.withDefaults()
 	if err := n.Check(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -148,5 +149,47 @@ func BenchmarkSimulateDVOPD(b *testing.B) {
 		if _, err := net.Simulate(SimConfig{Cycles: 10000}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestSimConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  SimConfig
+		want error
+	}{
+		{"zero-is-default", SimConfig{}, nil},
+		{"explicit-valid", SimConfig{Cycles: 100, Warmup: 10, PacketFlits: 4, Drain: 50, Burst: 2}, nil},
+		{"negative-cycles", SimConfig{Cycles: -1}, ErrNegativeCycles},
+		{"negative-warmup", SimConfig{Warmup: -5}, ErrNegativeWarmup},
+		{"negative-flits", SimConfig{PacketFlits: -8}, ErrNegativePacketFlits},
+		{"negative-drain", SimConfig{Drain: -100}, ErrNegativeDrain},
+		{"negative-burst", SimConfig{Burst: -2}, ErrNegativeBurst},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSimulateRejectsNegativeConfig(t *testing.T) {
+	net := simNet(t)
+	_, err := net.Simulate(SimConfig{Burst: -1})
+	if !errors.Is(err, ErrNegativeBurst) {
+		t.Fatalf("Simulate accepted a negative burst: %v", err)
+	}
+	_, err = net.Simulate(SimConfig{Cycles: -20000})
+	if !errors.Is(err, ErrNegativeCycles) {
+		t.Fatalf("Simulate accepted negative cycles: %v", err)
 	}
 }

@@ -1,0 +1,200 @@
+package variation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pool"
+)
+
+// This file holds the sampling engine shared by the plain Monte Carlo
+// and importance-sampling estimators. Both estimate a failure
+// probability p = P[trial fails] over the standardized normal space:
+// plain MC averages the failure indicator; importance sampling draws
+// from a mean-shifted normal and averages the indicator times the
+// likelihood ratio, which is unbiased for any shift and dramatically
+// lower-variance when the shift centers sampling on the failure
+// region (the ISLE construction for small p).
+//
+// Determinism contract: for a fixed (Options, trial) the returned
+// Estimate is bit-identical for every Workers value. Each sample's
+// draw comes from its own Stream keyed by (Seed, index); batches fan
+// out over internal/pool into an index-addressed buffer; and the
+// streaming mean/variance accumulator folds that buffer serially in
+// index order, so no floating-point reassociation ever depends on
+// scheduling.
+
+// Trial evaluates one sample given its standardized draw z (length
+// Options.Dims) and reports whether the sample fails the constraint
+// under estimation. It must be safe for concurrent invocation.
+type Trial func(i int, z []float64) (fail bool, err error)
+
+// Options configures one estimation run.
+type Options struct {
+	// Dims is the dimension of the standardized draw (required).
+	Dims int
+	// Samples caps the sample count; default 4096.
+	Samples int
+	// MinSamples is the floor before the stopping rule may fire;
+	// default min(512, Samples).
+	MinSamples int
+	// Batch is the fan-out granularity between stopping-rule checks;
+	// default 256.
+	Batch int
+	// RelErr, when positive, stops sampling early once the estimator's
+	// relative standard error (stderr / failure probability) drops to
+	// this level. Zero runs all Samples.
+	RelErr float64
+	// Workers bounds the sampling goroutines (0 = all cores, 1 =
+	// serial). The estimate is bit-identical for every value.
+	Workers int
+	// Seed is the base PRNG seed; sample i draws from the stream
+	// keyed by Seed ⊕ i.
+	Seed uint64
+	// Shift, when non-nil, is the importance-sampling mean shift θ
+	// (length Dims): samples are drawn from N(θ, I) and weighted by
+	// the likelihood ratio φ(z)/φ(z−θ). Nil selects plain Monte
+	// Carlo.
+	Shift []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples == 0 {
+		o.Samples = 4096
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 512
+	}
+	if o.MinSamples > o.Samples {
+		o.MinSamples = o.Samples
+	}
+	if o.Batch == 0 {
+		o.Batch = 256
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Dims <= 0 {
+		return fmt.Errorf("variation: non-positive dimension %d", o.Dims)
+	}
+	if o.Samples < 0 {
+		return fmt.Errorf("variation: negative sample count %d", o.Samples)
+	}
+	if o.RelErr < 0 || math.IsNaN(o.RelErr) {
+		return fmt.Errorf("variation: negative relative-error target %g", o.RelErr)
+	}
+	if o.Shift != nil && len(o.Shift) != o.Dims {
+		return fmt.Errorf("variation: shift has %d dims, want %d", len(o.Shift), o.Dims)
+	}
+	return nil
+}
+
+// Estimate is the result of one estimation run.
+type Estimate struct {
+	// FailProb is the estimated failure probability; Yield is its
+	// complement.
+	FailProb, Yield float64
+	// StdErr is the standard error of FailProb (the square root of
+	// the estimator's variance).
+	StdErr float64
+	// Samples is the number of samples actually evaluated (the
+	// stopping rule may end the run before Options.Samples).
+	Samples int
+	// Shifted reports whether importance sampling was in effect.
+	Shifted bool
+	// VarianceReduction compares a hypothetical plain-MC estimator at
+	// the same sample count against this run's measured per-sample
+	// variance: p(1−p)/s². It is ≈1 for plain MC (by construction)
+	// and >1 when importance sampling pays off; 1 when undefined (no
+	// failures observed).
+	VarianceReduction float64
+}
+
+// CI95 returns the half-width of the 95% normal confidence interval
+// on the failure probability.
+func (e Estimate) CI95() float64 { return 1.96 * e.StdErr }
+
+// Run estimates the failure probability of trial under the options.
+// See the package comment for the determinism contract.
+func Run(o Options, trial Trial) (Estimate, error) {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return Estimate{}, err
+	}
+	shifted := false
+	var shiftSq float64
+	for _, t := range o.Shift {
+		if t != 0 {
+			shifted = true
+		}
+		shiftSq += t * t
+	}
+
+	// Streaming (Welford) accumulator over the per-sample
+	// contributions x_i = w_i·1[fail_i].
+	var n int
+	var mean, m2 float64
+
+	contrib := make([]float64, o.Batch)
+	for done := 0; done < o.Samples; {
+		batch := o.Batch
+		if rem := o.Samples - done; rem < batch {
+			batch = rem
+		}
+		start := done
+		err := pool.ForEach(o.Workers, batch, func(k int) error {
+			i := start + k
+			st := NewStream(o.Seed, uint64(i))
+			z := st.Norms(o.Dims)
+			w := 1.0
+			if shifted {
+				// z ← θ + ε with likelihood ratio
+				// φ(z)/φ(z−θ) = exp(−⟨θ,z⟩ + |θ|²/2).
+				var dot float64
+				for d, t := range o.Shift {
+					z[d] += t
+					dot += t * z[d]
+				}
+				w = math.Exp(-dot + shiftSq/2)
+			}
+			fail, err := trial(i, z)
+			if err != nil {
+				return err
+			}
+			if fail {
+				contrib[k] = w
+			} else {
+				contrib[k] = 0
+			}
+			return nil
+		})
+		if err != nil {
+			return Estimate{}, err
+		}
+		for k := 0; k < batch; k++ {
+			x := contrib[k]
+			n++
+			d := x - mean
+			mean += d / float64(n)
+			m2 += d * (x - mean)
+		}
+		done += batch
+		if o.RelErr > 0 && n >= o.MinSamples && mean > 0 && n > 1 {
+			se := math.Sqrt(m2 / float64(n-1) / float64(n))
+			if se/mean <= o.RelErr {
+				break
+			}
+		}
+	}
+
+	est := Estimate{FailProb: mean, Yield: 1 - mean, Samples: n, Shifted: shifted, VarianceReduction: 1}
+	if n > 1 {
+		sampleVar := m2 / float64(n-1)
+		est.StdErr = math.Sqrt(sampleVar / float64(n))
+		if sampleVar > 0 && mean > 0 && mean < 1 {
+			est.VarianceReduction = mean * (1 - mean) / sampleVar
+		}
+	}
+	return est, nil
+}

@@ -1,0 +1,120 @@
+package variation
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/tech"
+)
+
+// LinkScenario binds a designed buffered link to a variation space and
+// a timing target, exposing the per-sample evaluation the estimators
+// drive: perturb the technology, re-derive the model coefficients
+// through the closed-form scaling path, evaluate the link delay, and
+// compare against the target.
+type LinkScenario struct {
+	// Base is the nominal technology the link was designed in.
+	Base *tech.Technology
+	// Coeffs are the calibrated coefficients at Base.
+	Coeffs *model.Coefficients
+	// Space is the variation model.
+	Space Space
+	// Spec is the designed line (repeater kind/size/count, segment
+	// geometry, input slew) whose yield is under estimation.
+	Spec model.LineSpec
+	// Target is the delay constraint in seconds: a sample fails when
+	// its delay exceeds the target.
+	Target float64
+}
+
+// Validate rejects an unevaluable scenario.
+func (sc *LinkScenario) Validate() error {
+	if sc.Base == nil || sc.Coeffs == nil {
+		return fmt.Errorf("variation: scenario needs a technology and coefficients")
+	}
+	if sc.Target <= 0 {
+		return fmt.Errorf("variation: non-positive delay target %g", sc.Target)
+	}
+	if err := sc.Space.Validate(); err != nil {
+		return err
+	}
+	return sc.Spec.Validate()
+}
+
+// Delay evaluates the link delay (s) at one standardized draw z.
+func (sc *LinkScenario) Delay(z []float64) (float64, error) {
+	pert, f := sc.Space.Apply(sc.Base, z)
+	scaled := sc.Coeffs.ScaledFor(sc.Base, pert)
+
+	spec := sc.Spec
+	seg := &spec.Segment
+	seg.Tech = pert
+	dw := seg.Width * (f.WireWidth - 1)
+	seg.Width += dw
+	seg.Spacing = clampSpacing(seg.Spacing-dw, seg.Spacing)
+	seg.Layer.Thickness *= f.WireThickness
+	seg.Layer.ILD *= f.ILD
+
+	t, err := scaled.LineDelay(spec)
+	if err != nil {
+		return 0, err
+	}
+	return t.Delay, nil
+}
+
+// NominalDelay evaluates the scenario at the nominal point (all-zero
+// draw).
+func (sc *LinkScenario) NominalDelay() (float64, error) {
+	return sc.Delay(make([]float64, Dims))
+}
+
+// YieldOptions configures a link-yield estimation.
+type YieldOptions struct {
+	// Samples, MinSamples, Batch, RelErr, Workers, Seed mirror
+	// Options (see estimator.go).
+	Samples, MinSamples, Batch int
+	RelErr                     float64
+	Workers                    int
+	Seed                       uint64
+	// ImportanceSampling selects the ISLE-style estimator: the
+	// sampling distribution is shifted to the most probable failure
+	// point and samples carry likelihood-ratio weights. Recommended
+	// for failure probabilities below ~1e-2.
+	ImportanceSampling bool
+}
+
+func (o YieldOptions) runOptions() Options {
+	return Options{
+		Dims:       Dims,
+		Samples:    o.Samples,
+		MinSamples: o.MinSamples,
+		Batch:      o.Batch,
+		RelErr:     o.RelErr,
+		Workers:    o.Workers,
+		Seed:       o.Seed,
+	}
+}
+
+// EstimateLinkYield estimates the probability that the scenario's link
+// meets its delay target under process variation. The estimate is
+// bit-identical for every Workers value at a fixed seed.
+func EstimateLinkYield(sc *LinkScenario, o YieldOptions) (Estimate, error) {
+	if err := sc.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	ropts := o.runOptions()
+	if o.ImportanceSampling {
+		shift, err := FindShift(Dims, sc.Target, sc.Delay)
+		if err != nil {
+			return Estimate{}, err
+		}
+		ropts.Shift = shift
+	}
+	return Run(ropts, func(i int, z []float64) (bool, error) {
+		d, err := sc.Delay(z)
+		if err != nil {
+			return false, err
+		}
+		return d > sc.Target, nil
+	})
+}

@@ -1,0 +1,137 @@
+package variation
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffering"
+	"repro/internal/model"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+// This file is the yield-aware buffering layer: instead of accepting
+// whatever (repeater size, count) the nominal weighted objective
+// picks, it searches for the cheapest design whose Monte Carlo timing
+// yield meets a target — the titled paper's sizing-for-yield loop,
+// with buffering.Constrained supplying the cost-ordered candidate walk
+// and this package supplying the statistical feasibility check.
+
+// SizingOptions configures a yield-constrained buffering search.
+type SizingOptions struct {
+	// Buffering configures the candidate space and the nominal
+	// objective (coefficients, sizes, power weight, input slew).
+	Buffering buffering.Options
+	// Space is the variation model.
+	Space Space
+	// Target is the delay constraint in seconds.
+	Target float64
+	// YieldTarget in (0,1) is the required probability of meeting
+	// Target.
+	YieldTarget float64
+	// MC budgets the per-candidate yield estimate. The same seed is
+	// reused for every candidate, so candidates are compared on
+	// common random numbers and the search is deterministic.
+	MC YieldOptions
+	// MaxCandidates caps how many candidates the search may submit to
+	// Monte Carlo evaluation before giving up (default 48).
+	MaxCandidates int
+}
+
+// ErrYieldUnreachable reports that no candidate within the budget met
+// the yield target.
+var ErrYieldUnreachable = errors.New("variation: no buffering candidate meets the yield target")
+
+// SizedDesign is the outcome of a yield-constrained search.
+type SizedDesign struct {
+	// Design is the selected buffering solution.
+	Design buffering.Design
+	// Estimate is the Monte Carlo evaluation of Design's yield.
+	Estimate Estimate
+	// Nominal is the unconstrained weighted-objective design the
+	// search started from.
+	Nominal buffering.Design
+	// Resized reports whether the yield constraint moved the design
+	// away from Nominal.
+	Resized bool
+}
+
+// SizeForYield selects the cheapest (repeater size, count) whose
+// estimated timing yield reaches the target. The nominal
+// weighted-objective design is evaluated first; only if it misses the
+// target does the search walk the cost-ordered candidate grid.
+func SizeForYield(base *tech.Technology, seg wire.Segment, o SizingOptions) (SizedDesign, error) {
+	if o.Target <= 0 {
+		return SizedDesign{}, fmt.Errorf("variation: non-positive delay target %g", o.Target)
+	}
+	if o.YieldTarget <= 0 || o.YieldTarget >= 1 {
+		return SizedDesign{}, fmt.Errorf("variation: yield target %g outside (0,1)", o.YieldTarget)
+	}
+	if err := o.Space.Validate(); err != nil {
+		return SizedDesign{}, err
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 48
+	}
+
+	nominal, err := buffering.Optimize(seg, o.Buffering)
+	if err != nil {
+		return SizedDesign{}, err
+	}
+	evalYield := func(d buffering.Design) (Estimate, error) {
+		sc := &LinkScenario{
+			Base:   base,
+			Coeffs: o.Buffering.Coeffs,
+			Space:  o.Space,
+			Spec:   lineSpec(d, seg, o.Buffering),
+			Target: o.Target,
+		}
+		return EstimateLinkYield(sc, o.MC)
+	}
+	est, err := evalYield(nominal)
+	if err != nil {
+		return SizedDesign{}, err
+	}
+	if est.Yield >= o.YieldTarget {
+		return SizedDesign{Design: nominal, Estimate: est, Nominal: nominal}, nil
+	}
+
+	checked := 0
+	var bestEst Estimate
+	des, err := buffering.Constrained(seg, o.Buffering, func(d buffering.Design) (bool, error) {
+		// A candidate that cannot meet the target even at nominal
+		// never meets it under variation; skip the Monte Carlo run
+		// (and don't charge it against the budget).
+		if d.Delay > o.Target {
+			return false, nil
+		}
+		if checked >= o.MaxCandidates {
+			return false, fmt.Errorf("%w (budget of %d candidates exhausted)", ErrYieldUnreachable, o.MaxCandidates)
+		}
+		checked++
+		e, err := evalYield(d)
+		if err != nil {
+			return false, err
+		}
+		if e.Yield >= o.YieldTarget {
+			bestEst = e
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return SizedDesign{}, err
+	}
+	resized := des.Size != nominal.Size || des.N != nominal.N || des.Kind != nominal.Kind
+	return SizedDesign{Design: des, Estimate: bestEst, Nominal: nominal, Resized: resized}, nil
+}
+
+// lineSpec assembles the model spec for one buffering design on a
+// segment.
+func lineSpec(d buffering.Design, seg wire.Segment, o buffering.Options) model.LineSpec {
+	slew := o.InputSlew
+	if slew == 0 {
+		slew = 300e-12
+	}
+	return model.LineSpec{Kind: d.Kind, Size: d.Size, N: d.N, Segment: seg, InputSlew: slew}
+}

@@ -87,3 +87,46 @@ func TestSynthesizeNoCConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestLinkYieldConcurrent stacks concurrent facade calls on top of the
+// engine's own worker fan-out: every goroutine runs a parallel Monte
+// Carlo estimation against the shared coefficient cache and must get
+// the serial reference bit for bit.
+func TestLinkYieldConcurrent(t *testing.T) {
+	reqs := []YieldRequest{
+		{Tech: "90nm", LengthMM: 5, Samples: Int(1024), Seed: 1},
+		{Tech: "90nm", LengthMM: 5, Samples: Int(1024), Seed: 2, TargetPS: Float(470)},
+		{Tech: "90nm", LengthMM: 5, Samples: Int(1024), Seed: 1, TargetPS: Float(520), ImportanceSampling: true},
+		{Tech: "65nm", LengthMM: 3, Samples: Int(1024), Seed: 3, Workers: 4},
+	}
+	want := make([]YieldResult, len(reqs))
+	for i, req := range reqs {
+		res, err := LinkYield(req)
+		if err != nil {
+			t.Fatalf("serial reference %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 2*len(reqs); k++ {
+				i := (g + k) % len(reqs)
+				res, err := LinkYield(reqs[i])
+				if err != nil {
+					t.Errorf("goroutine %d req %d: %v", g, i, err)
+					return
+				}
+				if res != want[i] {
+					t.Errorf("goroutine %d req %d: concurrent result diverged", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

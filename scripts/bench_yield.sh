@@ -1,0 +1,34 @@
+#!/bin/sh
+# Runs the BenchmarkLinkYield suite and emits BENCH_yield.json — one
+# object per sub-benchmark with the timing and the custom metrics — so
+# the yield engine's performance trajectory accumulates across
+# commits.
+#
+# Usage: scripts/bench_yield.sh [benchtime]   (default 5x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-5x}"
+out="BENCH_yield.json"
+
+go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" . |
+	awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+	/^BenchmarkLinkYield\// {
+		# Fields: name iterations N ns/op [value unit]...
+		split($1, parts, "/")
+		printf "%s{\"bench\":\"%s\",\"commit\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s",
+			(n++ ? ",\n" : "[\n"), parts[2], commit, $2, $3
+		for (i = 5; i < NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/[^A-Za-z0-9]/, "_", unit)
+			printf ",\"%s\":%s", unit, $i
+		}
+		printf "}"
+	}
+	END {
+		if (n) print "\n]"
+		else { print "benchmark produced no samples" > "/dev/stderr"; exit 1 }
+	}' >"$out"
+
+echo "wrote $out:" >&2
+cat "$out"

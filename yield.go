@@ -1,0 +1,244 @@
+package predint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/buffering"
+	"repro/internal/model"
+	"repro/internal/tech"
+	"repro/internal/variation"
+	"repro/internal/wire"
+)
+
+// This file is the facade over the process-variation engine
+// (internal/variation): Monte Carlo timing-yield estimation for a
+// designed link, optionally with the ISLE-style importance-sampling
+// estimator for deep-tail failure probabilities, and yield-aware
+// buffering that resizes the repeaters until a yield target holds.
+
+// Defaults applied to unset (nil) optional YieldRequest fields.
+const (
+	// DefaultYieldSamples is the Monte Carlo sample budget.
+	DefaultYieldSamples = 4096
+)
+
+// YieldRequest describes a timing-yield estimation for a buffered
+// link. As with LinkRequest, optional numeric fields are pointers:
+// nil selects the documented default while explicit values — including
+// zeros — are honored or rejected, never silently rewritten.
+type YieldRequest struct {
+	// Tech is a built-in technology name (required).
+	Tech string
+	// LengthMM is the routed link length in millimeters (required).
+	LengthMM float64
+	// Style selects the design style; default SWSS.
+	Style Style
+	// PowerWeight and InputSlewPS configure the underlying buffering
+	// exactly as in LinkRequest.
+	PowerWeight *float64
+	InputSlewPS *float64
+	// TargetPS is the delay constraint in picoseconds; nil means the
+	// node's clock period (1/Clock). An explicit non-positive target
+	// is an error.
+	TargetPS *float64
+	// Samples is the Monte Carlo budget; nil means
+	// DefaultYieldSamples (4096). An explicit non-positive count is
+	// an error.
+	Samples *int
+	// RelErr, when set and positive, stops sampling early once the
+	// estimator's relative standard error reaches it; nil (or an
+	// explicit zero) runs the full budget. Negative values are an
+	// error.
+	RelErr *float64
+	// Seed is the base PRNG seed. Results are bit-identical for a
+	// fixed seed regardless of Workers.
+	Seed uint64
+	// Workers bounds the sampling goroutines: 0 means every core, 1
+	// forces serial evaluation. The estimate is identical either way.
+	Workers int
+	// ImportanceSampling selects the ISLE-style estimator (shifted
+	// sampling distribution + likelihood-ratio weights). Use it when
+	// the expected failure probability is small (≲ 1e-2); for common
+	// failures plain Monte Carlo is already efficient and the engine
+	// falls back to it automatically when shifting cannot help.
+	ImportanceSampling bool
+	// SigmaScale multiplies every sigma of the default variation
+	// space; nil means 1. An explicit Float(0) is honored: it
+	// disables variation, collapsing yield to a 0/1 step around the
+	// target. Negative values are an error.
+	SigmaScale *float64
+	// YieldTarget, when set, turns the request into yield-aware
+	// buffering: the repeater (size, count) is re-selected as the
+	// cheapest design (under the nominal weighted objective) whose
+	// estimated yield reaches the target. Must lie in (0,1).
+	YieldTarget *float64
+}
+
+// YieldResult reports a timing-yield estimation.
+type YieldResult struct {
+	// Repeaters and RepeaterSize describe the evaluated buffering
+	// solution (resized when YieldTarget forced a change).
+	Repeaters    int
+	RepeaterSize float64
+	// NominalDelay is the design's delay at the nominal process
+	// corner (s); Target is the constraint it was scored against (s).
+	NominalDelay float64
+	Target       float64
+	// Yield is the estimated probability of meeting Target; FailProb
+	// its complement.
+	Yield, FailProb float64
+	// StdErr is the standard error of FailProb and CI95 the
+	// half-width of its 95% confidence interval.
+	StdErr, CI95 float64
+	// Samples is the number of Monte Carlo samples evaluated.
+	Samples int
+	// ImportanceSampled reports whether the shifted estimator was in
+	// effect (false when ImportanceSampling was requested but the
+	// engine fell back to plain Monte Carlo).
+	ImportanceSampled bool
+	// VarianceReduction is the estimated variance advantage over a
+	// plain Monte Carlo estimator at the same sample count (≈1 for
+	// plain Monte Carlo, >1 when importance sampling pays off).
+	VarianceReduction float64
+	// Resized reports whether YieldTarget moved the design away from
+	// the nominal weighted-objective solution.
+	Resized bool
+}
+
+// LinkYield estimates the timing yield of a buffered link under
+// process variation: the link is designed exactly as DesignLink would
+// (same objective, same models), then evaluated against the delay
+// target over a population of perturbed technologies.
+//
+// Determinism guarantee: for a fixed request (including Seed), the
+// result is bit-identical for every Workers value — per-sample PRNG
+// streams are keyed by (seed ⊕ sample index) and accumulated in index
+// order, the same contract PR 1 established for synthesis.
+func LinkYield(req YieldRequest) (YieldResult, error) {
+	tc, err := tech.Lookup(req.Tech)
+	if err != nil {
+		return YieldResult{}, err
+	}
+	if req.LengthMM <= 0 {
+		return YieldResult{}, fmt.Errorf("predint: non-positive length %g mm", req.LengthMM)
+	}
+	style, err := req.Style.wireStyle()
+	if err != nil {
+		return YieldResult{}, err
+	}
+	weight := DefaultPowerWeight
+	if req.PowerWeight != nil {
+		weight = *req.PowerWeight
+		if math.IsNaN(weight) || weight < 0 || weight >= 1 {
+			return YieldResult{}, fmt.Errorf("predint: power weight %g outside [0,1)", weight)
+		}
+	}
+	slewPS := DefaultInputSlewPS
+	if req.InputSlewPS != nil {
+		slewPS = *req.InputSlewPS
+		if math.IsNaN(slewPS) || slewPS <= 0 {
+			return YieldResult{}, fmt.Errorf("predint: non-positive input slew %g ps", slewPS)
+		}
+	}
+	target := 1 / tc.Clock
+	if req.TargetPS != nil {
+		if math.IsNaN(*req.TargetPS) || *req.TargetPS <= 0 {
+			return YieldResult{}, fmt.Errorf("predint: non-positive delay target %g ps", *req.TargetPS)
+		}
+		target = *req.TargetPS * 1e-12
+	}
+	samples := DefaultYieldSamples
+	if req.Samples != nil {
+		samples = *req.Samples
+		if samples <= 0 {
+			return YieldResult{}, fmt.Errorf("predint: non-positive sample count %d", samples)
+		}
+	}
+	relErr := 0.0
+	if req.RelErr != nil {
+		relErr = *req.RelErr
+		if math.IsNaN(relErr) || relErr < 0 {
+			return YieldResult{}, fmt.Errorf("predint: negative relative-error target %g", relErr)
+		}
+	}
+	sigma := 1.0
+	if req.SigmaScale != nil {
+		sigma = *req.SigmaScale
+		if math.IsNaN(sigma) || sigma < 0 {
+			return YieldResult{}, fmt.Errorf("predint: negative sigma scale %g", sigma)
+		}
+	}
+
+	coeffs, err := coefficientsFor(tc)
+	if err != nil {
+		return YieldResult{}, err
+	}
+	seg := wire.NewSegment(tc, req.LengthMM*1e-3, style)
+	bufOpts := buffering.Options{
+		Coeffs:      coeffs,
+		InputSlew:   slewPS * 1e-12,
+		Power:       model.PowerParams{Activity: DefaultActivityFactor, Freq: tc.Clock},
+		PowerWeight: weight,
+	}
+	space := variation.DefaultSpace().Scaled(sigma)
+	mc := variation.YieldOptions{
+		Samples:            samples,
+		RelErr:             relErr,
+		Workers:            req.Workers,
+		Seed:               req.Seed,
+		ImportanceSampling: req.ImportanceSampling,
+	}
+
+	var des buffering.Design
+	var est variation.Estimate
+	resized := false
+	if req.YieldTarget != nil {
+		yt := *req.YieldTarget
+		if math.IsNaN(yt) || yt <= 0 || yt >= 1 {
+			return YieldResult{}, fmt.Errorf("predint: yield target %g outside (0,1)", yt)
+		}
+		sized, err := variation.SizeForYield(tc, seg, variation.SizingOptions{
+			Buffering:   bufOpts,
+			Space:       space,
+			Target:      target,
+			YieldTarget: yt,
+			MC:          mc,
+		})
+		if err != nil {
+			return YieldResult{}, err
+		}
+		des, est, resized = sized.Design, sized.Estimate, sized.Resized
+	} else {
+		des, err = buffering.Optimize(seg, bufOpts)
+		if err != nil {
+			return YieldResult{}, err
+		}
+		sc := &variation.LinkScenario{
+			Base:   tc,
+			Coeffs: coeffs,
+			Space:  space,
+			Spec:   model.LineSpec{Kind: des.Kind, Size: des.Size, N: des.N, Segment: seg, InputSlew: slewPS * 1e-12},
+			Target: target,
+		}
+		est, err = variation.EstimateLinkYield(sc, mc)
+		if err != nil {
+			return YieldResult{}, err
+		}
+	}
+
+	return YieldResult{
+		Repeaters:         des.N,
+		RepeaterSize:      des.Size,
+		NominalDelay:      des.Delay,
+		Target:            target,
+		Yield:             est.Yield,
+		FailProb:          est.FailProb,
+		StdErr:            est.StdErr,
+		CI95:              est.CI95(),
+		Samples:           est.Samples,
+		ImportanceSampled: est.Shifted,
+		VarianceReduction: est.VarianceReduction,
+		Resized:           resized,
+	}, nil
+}

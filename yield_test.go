@@ -1,0 +1,150 @@
+package predint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinkYieldBasic(t *testing.T) {
+	res, err := LinkYield(YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(2048), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repeaters <= 0 || res.RepeaterSize <= 0 {
+		t.Fatalf("degenerate design: %+v", res)
+	}
+	if res.Yield < 0 || res.Yield > 1 || res.Yield+res.FailProb != 1 {
+		t.Fatalf("yield/fail-prob inconsistent: %+v", res)
+	}
+	if res.Samples != 2048 {
+		t.Fatalf("ran %d samples, want the full budget", res.Samples)
+	}
+	if res.Target <= 0 || res.NominalDelay <= 0 {
+		t.Fatalf("missing delay fields: %+v", res)
+	}
+	if res.ImportanceSampled {
+		t.Fatal("plain request reported as importance-sampled")
+	}
+}
+
+// TestLinkYieldWorkerDeterminism is the facade-level acceptance test:
+// identical requests differing only in Workers return bit-identical
+// results.
+func TestLinkYieldWorkerDeterminism(t *testing.T) {
+	base := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(2048), Seed: 1, TargetPS: Float(470)}
+	for _, is := range []bool{false, true} {
+		req := base
+		req.ImportanceSampling = is
+		req.Workers = 1
+		serial, err := LinkYield(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Workers = 8
+		parallel, err := LinkYield(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != parallel {
+			t.Fatalf("is=%v: Workers=8 diverged: %+v vs %+v", is, parallel, serial)
+		}
+	}
+}
+
+// TestLinkYieldSeedSensitivity pins the PRNG seed-family fix: distinct
+// seeds must be independent replications, not permutations of the same
+// sample set.
+func TestLinkYieldSeedSensitivity(t *testing.T) {
+	req := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(2048), TargetPS: Float(470)}
+	req.Seed = 1
+	a, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Seed = 2
+	b, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("seeds 1 and 2 produced identical estimates: %+v", a)
+	}
+}
+
+// TestLinkYieldExplicitZeroSigma: Float(0) disables variation instead
+// of being rewritten to the default scale, so yield collapses to a
+// 0/1 step around the target.
+func TestLinkYieldExplicitZeroSigma(t *testing.T) {
+	req := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(256), Seed: 1, SigmaScale: Float(0)}
+	res, err := LinkYield(req) // target = clock period, comfortably met
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield != 1 {
+		t.Fatalf("zero-sigma yield %g with a met target, want exactly 1", res.Yield)
+	}
+	req.TargetPS = Float(res.NominalDelay*1e12 - 1)
+	res, err = LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield != 0 {
+		t.Fatalf("zero-sigma yield %g with a missed target, want exactly 0", res.Yield)
+	}
+}
+
+func TestLinkYieldResizesForTarget(t *testing.T) {
+	nominal, err := LinkYield(YieldRequest{
+		Tech: "90nm", LengthMM: 5, Samples: Int(2048), Seed: 1,
+		PowerWeight: Float(0.8), TargetPS: Float(510),
+		ImportanceSampling: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, err := LinkYield(YieldRequest{
+		Tech: "90nm", LengthMM: 5, Samples: Int(2048), Seed: 1,
+		PowerWeight: Float(0.8), TargetPS: Float(510),
+		YieldTarget:        Float(0.95),
+		ImportanceSampling: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sized.Resized {
+		t.Fatal("yield target did not force a resize")
+	}
+	if sized.RepeaterSize == nominal.RepeaterSize && sized.Repeaters == nominal.Repeaters {
+		t.Fatal("resized design identical to the nominal one")
+	}
+	if sized.Yield < 0.95 {
+		t.Fatalf("resized yield %g below the 0.95 target", sized.Yield)
+	}
+	if nominal.Yield >= 0.95 {
+		t.Fatalf("nominal yield %g already met the target — scenario lost its teeth", nominal.Yield)
+	}
+}
+
+func TestLinkYieldValidation(t *testing.T) {
+	ok := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(64)}
+	for name, mutate := range map[string]func(*YieldRequest){
+		"unknown-tech":     func(r *YieldRequest) { r.Tech = "13nm" },
+		"zero-length":      func(r *YieldRequest) { r.LengthMM = 0 },
+		"bad-style":        func(r *YieldRequest) { r.Style = "braided" },
+		"weight-one":       func(r *YieldRequest) { r.PowerWeight = Float(1) },
+		"zero-slew":        func(r *YieldRequest) { r.InputSlewPS = Float(0) },
+		"zero-target":      func(r *YieldRequest) { r.TargetPS = Float(0) },
+		"zero-samples":     func(r *YieldRequest) { r.Samples = Int(0) },
+		"negative-relerr":  func(r *YieldRequest) { r.RelErr = Float(-0.1) },
+		"negative-sigma":   func(r *YieldRequest) { r.SigmaScale = Float(-1) },
+		"yield-target-one": func(r *YieldRequest) { r.YieldTarget = Float(1) },
+	} {
+		req := ok
+		mutate(&req)
+		if _, err := LinkYield(req); err == nil {
+			t.Errorf("%s: invalid request accepted", name)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("%s: error %q lacks a package prefix", name, err)
+		}
+	}
+}
