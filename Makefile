@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-yield fmt
+.PHONY: all build test race vet staticcheck bench-yield fmt
 
 all: build test
 
@@ -12,6 +12,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Runs staticcheck when it is on PATH (CI installs it; locally it is
+# optional so a bare toolchain can still run every other target).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 # Emits BENCH_yield.json with the yield engine's benchmark trajectory.
 bench-yield:

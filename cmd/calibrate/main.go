@@ -6,6 +6,7 @@
 // Usage:
 //
 //	calibrate [-tech 90nm,65nm,...|all] [-report] [-emit-go]
+//	          [-timeout 5m] [-metrics] [-debug-addr localhost:6060]
 //
 // -report prints the regression diagnostics (R², residuals) for every
 // fit. -emit-go writes a Go source file with the coefficients to
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/liberty"
 	"repro/internal/model"
 	"repro/internal/pool"
@@ -33,9 +35,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	report := fs.Bool("report", false, "print regression diagnostics")
 	emitGo := fs.Bool("emit-go", false, "emit Go source with the coefficients to stdout")
 	jobs := fs.Int("j", 0, "parallel calibration workers (0 = all cores, 1 = serial)")
+	timeoutFlag := fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline; SIGINT/SIGTERM always cancel)")
+	metricsFlag := fs.Bool("metrics", false, "dump the observability counters as JSON to stderr after the run")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	ctx, cancel := cliutil.Context(*timeoutFlag)
+	defer cancel()
+	stopDebug, err := cliutil.StartDebug(*debugAddr, stderr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+	defer cliutil.DumpMetrics(*metricsFlag, stderr)
 
 	names := tech.Names()
 	if *techFlag != "all" {
@@ -57,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// them out and report in the requested order afterwards.
 	coeffs := make([]*model.Coefficients, len(tcs))
 	reports := make([]*model.Report, len(tcs))
-	err := pool.ForEach(*jobs, len(tcs), func(i int) error {
+	err = pool.ForEachCtx(ctx, *jobs, len(tcs), func(i int) error {
 		if !*emitGo {
 			fmt.Fprintf(stderr, "characterizing %s...\n", tcs[i].Name)
 		}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -40,5 +42,18 @@ func TestRunUnknownTech(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("partial output despite resolve failure: %s", out.String())
+	}
+}
+
+// TestRunTimeoutExpired pins that an already-expired deadline stops
+// the calibration fan-out before any node is characterized.
+func TestRunTimeoutExpired(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-tech", "90nm", "-timeout", "1ns"}, &out, &errOut)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("partial output despite expired deadline: %s", out.String())
 	}
 }

@@ -8,29 +8,49 @@
 // Usage:
 //
 //	cosi [-tech 90nm,65nm,45nm] [-case VPROC,DVOPD] [-style swss|shielded|staggered]
+//	     [-timeout 60s] [-metrics] [-debug-addr localhost:6060]
 //	cosi -dot proposed -tech 90nm -case VPROC   # Graphviz topology dump
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/noc"
 	"repro/internal/tech"
 	"repro/internal/wire"
 )
 
-func main() {
-	techFlag := flag.String("tech", "90nm,65nm,45nm", "comma-separated technologies")
-	caseFlag := flag.String("case", "VPROC,DVOPD", "comma-separated test cases")
-	styleFlag := flag.String("style", "swss", "bus design style: swss, shielded, staggered")
-	dotFlag := flag.String("dot", "", "emit the Graphviz topology for one synthesis "+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cosi", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techFlag := fs.String("tech", "90nm,65nm,45nm", "comma-separated technologies")
+	caseFlag := fs.String("case", "VPROC,DVOPD", "comma-separated test cases")
+	styleFlag := fs.String("style", "swss", "bus design style: swss, shielded, staggered")
+	dotFlag := fs.String("dot", "", "emit the Graphviz topology for one synthesis "+
 		"('proposed' or 'original'; requires single -tech and -case)")
-	simFlag := flag.Bool("sim", false, "run the cycle-based traffic simulation on each network")
-	flag.Parse()
+	simFlag := fs.Bool("sim", false, "run the cycle-based traffic simulation on each network")
+	timeoutFlag := fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline; SIGINT/SIGTERM always cancel)")
+	metricsFlag := fs.Bool("metrics", false, "dump the observability counters as JSON to stderr after the run")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address for the run's duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, cancel := cliutil.Context(*timeoutFlag)
+	defer cancel()
+	stopDebug, err := cliutil.StartDebug(*debugAddr, stderr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+	defer cliutil.DumpMetrics(*metricsFlag, stderr)
 
 	style := wire.SWSS
 	switch strings.ToLower(*styleFlag) {
@@ -40,48 +60,42 @@ func main() {
 	case "staggered":
 		style = wire.Staggered
 	default:
-		fmt.Fprintf(os.Stderr, "cosi: unknown style %q\n", *styleFlag)
-		os.Exit(1)
+		return fmt.Errorf("unknown style %q", *styleFlag)
 	}
 
 	if *dotFlag != "" {
-		if err := emitDOT(*dotFlag, *techFlag, *caseFlag, style); err != nil {
-			fmt.Fprintln(os.Stderr, "cosi:", err)
-			os.Exit(1)
-		}
-		return
+		return emitDOT(ctx, stdout, stderr, *dotFlag, *techFlag, *caseFlag, style)
 	}
 
-	rows, err := experiments.TableIII(experiments.TableIIIConfig{
+	rows, err := experiments.TableIIICtx(ctx, experiments.TableIIIConfig{
 		Techs:    strings.Split(*techFlag, ","),
 		Cases:    strings.Split(*caseFlag, ","),
 		Style:    style,
 		Simulate: *simFlag,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cosi:", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Println("TABLE III: MODEL IMPACT ON NoC SYNTHESIS")
-	fmt.Println()
-	fmt.Printf("%-6s %-6s %-9s %9s %9s %9s %9s %9s %7s %7s %9s %9s %8s\n",
+	fmt.Fprintln(stdout, "TABLE III: MODEL IMPACT ON NoC SYNTHESIS")
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "%-6s %-6s %-9s %9s %9s %9s %9s %9s %7s %7s %9s %9s %8s\n",
 		"tech", "case", "model", "dyn[mW]", "leak[mW]", "rtr[mW]", "tot[mW]",
 		"area[mm2]", "maxhop", "avghop", "lat[ns]", "links", "routers")
 	for _, r := range rows {
 		m := r.Metrics
-		fmt.Printf("%-6s %-6s %-9s %9.2f %9.3f %9.3f %9.2f %9.3f %7d %7.2f %9.2f %9d %8d",
+		fmt.Fprintf(stdout, "%-6s %-6s %-9s %9.2f %9.3f %9.3f %9.2f %9.3f %7d %7.2f %9.2f %9d %8d",
 			r.Tech, r.Case, r.Model,
 			m.LinkDynamic*1e3, m.LinkLeakage*1e3, m.RouterPower*1e3, m.TotalPower()*1e3,
 			m.Area*1e6, m.MaxHops, m.AvgHops, m.AvgLatency*1e9, m.Links, m.Routers)
 		if r.Traffic != nil {
-			fmt.Printf("   sim: %.2fns over %d pkts", r.Traffic.AvgLatency*1e9, r.Traffic.PacketsDelivered)
+			fmt.Fprintf(stdout, "   sim: %.2fns over %d pkts", r.Traffic.AvgLatency*1e9, r.Traffic.PacketsDelivered)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Println()
-	fmt.Println("wire-length feasibility limit per model:")
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "wire-length feasibility limit per model:")
 	seen := map[string]bool{}
 	for _, r := range rows {
 		key := r.Tech + "/" + r.Model
@@ -89,17 +103,27 @@ func main() {
 			continue
 		}
 		seen[key] = true
-		fmt.Printf("  %-6s %-9s max feasible link %6.2f mm\n", r.Tech, r.Model, r.MaxLinkLength*1e3)
+		fmt.Fprintf(stdout, "  %-6s %-9s max feasible link %6.2f mm\n", r.Tech, r.Model, r.MaxLinkLength*1e3)
 	}
-	fmt.Println()
-	fmt.Println("(paper: proposed dynamic power up to ~3x the original's; original model")
-	fmt.Println(" optimistic in repeater count/size and in allowing excessively long wires;")
-	fmt.Println(" dynamic power rises 65nm -> 45nm with the 1.0V -> 1.1V library supply)")
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "(paper: proposed dynamic power up to ~3x the original's; original model")
+	fmt.Fprintln(stdout, " optimistic in repeater count/size and in allowing excessively long wires;")
+	fmt.Fprintln(stdout, " dynamic power rises 65nm -> 45nm with the 1.0V -> 1.1V library supply)")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "cosi:", err)
+		}
+		os.Exit(1)
+	}
 }
 
 // emitDOT synthesizes a single configuration and prints its Graphviz
 // topology to stdout.
-func emitDOT(modelName, techName, caseName string, style wire.Style) error {
+func emitDOT(ctx context.Context, stdout, stderr io.Writer, modelName, techName, caseName string, style wire.Style) error {
 	if strings.Contains(techName, ",") || strings.Contains(caseName, ",") {
 		return fmt.Errorf("-dot requires a single -tech and -case")
 	}
@@ -123,10 +147,10 @@ func emitDOT(modelName, techName, caseName string, style wire.Style) error {
 	if err != nil {
 		return err
 	}
-	net, err := noc.Synthesize(spec, lm, noc.SynthOptions{})
+	net, err := noc.SynthesizeCtx(ctx, spec, lm, noc.SynthOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, net.Summary())
-	return net.WriteDOT(os.Stdout)
+	fmt.Fprintln(stderr, net.Summary())
+	return net.WriteDOT(stdout)
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// One tech × one case keeps the synthesis pair to a couple of seconds.
+var smallSweep = []string{"-tech", "90nm", "-case", "DVOPD"}
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(smallSweep, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"TABLE III", "90nm", "DVOPD", "original", "proposed", "max feasible link"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunTimeoutCancelsPromptly pins the sweep-level cancellation: an
+// expired deadline aborts the synthesis sweep with the context error
+// instead of running the full table.
+func TestRunTimeoutCancelsPromptly(t *testing.T) {
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-timeout", "1ms"}, &out, &errOut)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt exit", elapsed)
+	}
+	if strings.Contains(out.String(), "TABLE III") {
+		t.Fatalf("partial table printed despite cancellation:\n%s", out.String())
+	}
+}
+
+// TestRunMetricsSnapshot checks the acceptance criterion for the
+// synthesis path: after a real sweep the snapshot reports nonzero
+// design-cache hits (merge candidates re-evaluating shared links) and
+// syntheses.
+func TestRunMetricsSnapshot(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(append(smallSweep[:len(smallSweep):len(smallSweep)], "-metrics"), &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(errOut.Bytes(), &snap); err != nil {
+		t.Fatalf("-metrics stderr is not JSON: %v\n%s", err, errOut.String())
+	}
+	if snap["noc.design_cache.hits"] == 0 {
+		t.Fatalf("design-cache hit counter zero\n%s", errOut.String())
+	}
+	if snap["noc.syntheses"] == 0 {
+		t.Fatalf("syntheses counter zero\n%s", errOut.String())
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-dot", "proposed", "-tech", "90nm", "-case", "DVOPD"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Fatalf("-dot did not emit Graphviz:\n%s", out.String())
+	}
+}
+
+func TestRunBadStyle(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-style", "twisted"}, &out, &errOut); err == nil {
+		t.Fatal("unknown style accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	link -tech 65nm -length 5 [-bits 128] [-style swss|shielded|staggered]
 //	     [-weight 0.5 | -fastest] [-golden]
+//	     [-timeout 30s] [-metrics] [-debug-addr localhost:6060]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	predint "repro"
+	"repro/internal/cliutil"
 )
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -30,9 +32,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	slewFlag := fs.Float64("slew", predint.DefaultInputSlewPS, "input slew in ps (drives both the model and the golden cross-check)")
 	fastest := fs.Bool("fastest", false, "pure delay-optimal buffering")
 	golden := fs.Bool("golden", false, "cross-check with the golden engine (restricts to library cells; slow on first use)")
+	timeoutFlag := fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline; SIGINT/SIGTERM always cancel)")
+	metricsFlag := fs.Bool("metrics", false, "dump the observability counters as JSON to stderr after the run")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	ctx, cancel := cliutil.Context(*timeoutFlag)
+	defer cancel()
+	stopDebug, err := cliutil.StartDebug(*debugAddr, stderr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+	defer cliutil.DumpMetrics(*metricsFlag, stderr)
 
 	req := predint.LinkRequest{
 		Tech:             *techFlag,
@@ -44,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DelayOptimal:     *fastest,
 		LibrarySizesOnly: *golden,
 	}
-	res, err := predint.DesignLink(req)
+	res, err := predint.DesignLinkCtx(ctx, req)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -32,5 +35,30 @@ func TestRunUnknownTech(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-tech", "13nm"}, &out, &errOut); err == nil {
 		t.Fatal("unknown technology accepted")
+	}
+}
+
+// TestRunTimeoutExpired pins that an already-expired deadline aborts
+// the design with the context error before any output.
+func TestRunTimeoutExpired(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-tech", "90nm", "-length", "5", "-timeout", "1ns"}, &out, &errOut)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("partial output despite expired deadline: %s", out.String())
+	}
+}
+
+// TestRunMetricsSnapshot checks the -metrics dump is valid JSON.
+func TestRunMetricsSnapshot(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "90nm", "-length", "5", "-metrics"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(errOut.Bytes(), &snap); err != nil {
+		t.Fatalf("-metrics stderr is not JSON: %v\n%s", err, errOut.String())
 	}
 }

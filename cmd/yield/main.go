@@ -6,8 +6,9 @@
 // Usage:
 //
 //	yield -tech 65nm -length 5 [-n 4096] [-seed 1] [-j 0]
-//	      [-target 444] [-is] [-relerr 0.05] [-yield 0.99]
+//	      [-target 444] [-is] [-relerr 0.05] [-abserr 0.001] [-yield 0.99]
 //	      [-style swss|shielded|staggered] [-weight 0.5] [-sigma 1]
+//	      [-timeout 30s] [-metrics] [-debug-addr localhost:6060]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	predint "repro"
+	"repro/internal/cliutil"
 )
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -31,12 +33,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	targetFlag := fs.Float64("target", 0, "delay target in ps (0 = the node's clock period)")
 	isFlag := fs.Bool("is", false, "importance-sampling estimator (for small failure probabilities)")
 	relErrFlag := fs.Float64("relerr", 0, "stop early at this relative standard error (0 = run all samples)")
+	absErrFlag := fs.Float64("abserr", 0, "stop early at this absolute standard error (0 = disabled)")
 	yieldFlag := fs.Float64("yield", 0, "yield target in (0,1): resize the buffering to meet it (0 = estimate only)")
 	weightFlag := fs.Float64("weight", predint.DefaultPowerWeight, "power weight of the buffering objective")
 	sigmaFlag := fs.Float64("sigma", 1, "scale on the default variation sigmas")
+	timeoutFlag := fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline; SIGINT/SIGTERM always cancel)")
+	metricsFlag := fs.Bool("metrics", false, "dump the observability counters as JSON to stderr after the run")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	ctx, cancel := cliutil.Context(*timeoutFlag)
+	defer cancel()
+	stopDebug, err := cliutil.StartDebug(*debugAddr, stderr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+	defer cliutil.DumpMetrics(*metricsFlag, stderr)
 
 	req := predint.YieldRequest{
 		Tech:               *techFlag,
@@ -55,11 +70,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *relErrFlag > 0 {
 		req.RelErr = predint.Float(*relErrFlag)
 	}
+	if *absErrFlag > 0 {
+		req.AbsErr = predint.Float(*absErrFlag)
+	}
 	if *yieldFlag > 0 {
 		req.YieldTarget = predint.Float(*yieldFlag)
 	}
 
-	res, err := predint.LinkYield(req)
+	res, err := predint.LinkYieldCtx(ctx, req)
 	if err != nil {
 		return err
 	}

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSmoke(t *testing.T) {
@@ -58,5 +62,70 @@ func TestRunUnknownTech(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-tech", "13nm"}, &out, &errOut); err == nil {
 		t.Fatal("unknown technology accepted")
+	}
+}
+
+// TestRunTimeoutCancelsPromptly pins the acceptance criterion: an
+// absurdly large sample budget under -timeout 1ms exits promptly with
+// a cancellation error instead of grinding through the budget.
+func TestRunTimeoutCancelsPromptly(t *testing.T) {
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-tech", "90nm", "-length", "5", "-n", "100000000", "-seed", "1", "-timeout", "1ms"}, &out, &errOut)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt exit", elapsed)
+	}
+}
+
+// TestRunTimeoutUnexpiredBitIdentical pins the other half: a deadline
+// that never fires changes nothing — the report is byte-identical to
+// the deadline-free run for the same seed.
+func TestRunTimeoutUnexpiredBitIdentical(t *testing.T) {
+	args := []string{"-tech", "90nm", "-length", "5", "-n", "1024", "-seed", "7"}
+	var ref, refErr bytes.Buffer
+	if err := run(args, &ref, &refErr); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := run(append(args, "-timeout", "10m"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != ref.String() {
+		t.Fatalf("-timeout 10m report differs from deadline-free run:\n%s\nvs\n%s", out.String(), ref.String())
+	}
+}
+
+// TestRunMetricsSnapshot checks the -metrics dump: valid JSON on
+// stderr with a nonzero samples-drawn counter after a real run.
+func TestRunMetricsSnapshot(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "90nm", "-length", "5", "-n", "512", "-seed", "1", "-metrics"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(errOut.Bytes(), &snap); err != nil {
+		t.Fatalf("-metrics stderr is not JSON: %v\n%s", err, errOut.String())
+	}
+	if snap["variation.samples_drawn"] < 512 {
+		t.Fatalf("samples-drawn counter %d, want >= 512\n%s", snap["variation.samples_drawn"], errOut.String())
+	}
+	if snap["pool.runs"] == 0 {
+		t.Fatalf("pool.runs counter zero\n%s", errOut.String())
+	}
+}
+
+// TestRunDebugAddr checks that -debug-addr brings the endpoint up for
+// the run and announces where it bound.
+func TestRunDebugAddr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "90nm", "-length", "5", "-n", "512", "-seed", "1", "-debug-addr", "127.0.0.1:0"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "debug endpoint on http://127.0.0.1:") {
+		t.Fatalf("bound address not announced: %s", errOut.String())
 	}
 }

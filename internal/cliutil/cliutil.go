@@ -1,0 +1,60 @@
+// Package cliutil holds the run-lifecycle plumbing shared by the
+// command-line tools: an interruptible root context (SIGINT/SIGTERM +
+// optional -timeout deadline), the -debug-addr pprof/metrics server,
+// and the -metrics snapshot dump. Keeping it in one place means every
+// CLI exposes the same cancellation and observability contract.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Context returns the root context for one CLI run: cancelled on
+// SIGINT or SIGTERM, and additionally deadline-bound when timeout is
+// positive. The returned stop function releases the signal handler
+// and the timer; call it when the run finishes.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stopSignals
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stopSignals()
+	}
+}
+
+// StartDebug starts the pprof + metrics endpoint when addr is
+// non-empty, logging the bound address to w, and returns a stop
+// function (a no-op when addr is empty). Startup failures are
+// returned, not fatal: a busy port should fail the run loudly rather
+// than silently dropping observability.
+func StartDebug(addr string, w io.Writer) (stop func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	bound, stop, err := obs.StartDebugServer(addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	fmt.Fprintf(w, "debug endpoint on http://%s (/metrics, /debug/pprof/)\n", bound)
+	return stop, nil
+}
+
+// DumpMetrics writes the metrics snapshot JSON to w when enabled. The
+// CLIs call it after the run — including failed or cancelled runs, so
+// an interrupted sweep still reports how far it got.
+func DumpMetrics(enabled bool, w io.Writer) {
+	if !enabled {
+		return
+	}
+	_ = obs.WriteJSON(w)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/noc"
@@ -52,6 +53,14 @@ func (c TableIIIConfig) withDefaults() TableIIIConfig {
 // is synthesized at each node under both interconnect models, and the
 // tool-reported metrics are collected.
 func TableIII(cfg TableIIIConfig) ([]TableIIIRow, error) {
+	return TableIIICtx(context.Background(), cfg)
+}
+
+// TableIIICtx is TableIII under a context: cancellation propagates
+// into every synthesis (and is additionally checked between sweep
+// cells), so a deadline-bound sweep returns ctx.Err() promptly with
+// the partial rows discarded.
+func TableIIICtx(ctx context.Context, cfg TableIIIConfig) ([]TableIIIRow, error) {
 	c := cfg.withDefaults()
 	var rows []TableIIIRow
 	for _, name := range c.Techs {
@@ -75,7 +84,10 @@ func TableIII(cfg TableIIIConfig) ([]TableIIIRow, error) {
 			}
 			models = append(models, orig, prop)
 			for _, lm := range models {
-				net, err := noc.Synthesize(spec, lm, noc.SynthOptions{})
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				net, err := noc.SynthesizeCtx(ctx, spec, lm, noc.SynthOptions{})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s/%s/%s: %w", name, cs, lm.Name(), err)
 				}

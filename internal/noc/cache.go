@@ -1,9 +1,13 @@
 package noc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // lengthQuantum is the design-cache granularity: link lengths are
@@ -18,6 +22,13 @@ const lengthQuantum = 1e-6
 // counts the worker pool uses while costing nothing at small sizes.
 const designCacheShards = 16
 
+// Design-cache observability (see internal/obs).
+var (
+	metCacheHits   = obs.NewCounter("noc.design_cache.hits")
+	metCacheMisses = obs.NewCounter("noc.design_cache.misses")
+	metDesigns     = obs.NewCounter("noc.designs_computed")
+)
+
 // DesignCache is a concurrency-safe memoizing wrapper around a
 // LinkModel, keyed by the quantized link length. The technology,
 // wire style, bus width, and buffering objective are all fixed
@@ -27,10 +38,14 @@ const designCacheShards = 16
 // the same model — to reuse every design.
 //
 // All methods are safe for concurrent use. Each distinct length is
-// designed exactly once even under concurrent callers (duplicate
+// designed at most once even under concurrent callers (duplicate
 // requests block on the first computation rather than recomputing),
 // which requires the wrapped model's Design to be safe for concurrent
-// calls — true of every implementation in this package.
+// calls — true of every implementation in this package. Successful
+// designs and permanent failures are memoized; cancellation and
+// deadline errors are not, so a lookup aborted by a dying context
+// never poisons the entry for later callers sharing the cache — the
+// next lookup simply retries the computation.
 type DesignCache struct {
 	LinkModel
 	shards [designCacheShards]designShard
@@ -41,8 +56,14 @@ type designShard struct {
 	m  map[int64]*designEntry
 }
 
+// designEntry holds one bucket's design. The entry mutex doubles as
+// the computation lock: the first caller computes while holding it and
+// duplicates block behind it, the same single-computation guarantee a
+// sync.Once would give — but, unlike a Once, an entry left undecided
+// by a transient failure can be retried by the next caller.
 type designEntry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	d    LinkDesign
 	err  error
 }
@@ -61,6 +82,29 @@ func NewDesignCache(lm LinkModel) *DesignCache {
 	return c
 }
 
+// ctxDesigner is the optional context-aware design hook: a wrapped
+// model implementing it receives the caller's context (another
+// *DesignCache does, as do test doubles that watch for cancellation).
+type ctxDesigner interface {
+	DesignCtx(ctx context.Context, length float64) (LinkDesign, error)
+}
+
+// designVia dispatches to the wrapped model's context-aware Design
+// when it has one.
+func designVia(ctx context.Context, lm LinkModel, length float64) (LinkDesign, error) {
+	if cd, ok := lm.(ctxDesigner); ok {
+		return cd.DesignCtx(ctx, length)
+	}
+	return lm.Design(length)
+}
+
+// transientErr reports whether a design error reflects the caller's
+// context rather than the design problem itself. Such errors must not
+// be memoized: the next caller, with a live context, may well succeed.
+func transientErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Design returns the cached design for the quantized length,
 // computing and memoizing it on first use. Non-positive (or NaN)
 // lengths are rejected outright: the former implementation clamped
@@ -68,12 +112,23 @@ func NewDesignCache(lm LinkModel) *DesignCache {
 // real design. Positive lengths below half the quantum are designed
 // at their exact length and not cached, so they cannot alias either.
 func (c *DesignCache) Design(length float64) (LinkDesign, error) {
+	return c.DesignCtx(context.Background(), length)
+}
+
+// DesignCtx is Design under a context: the lookup aborts with ctx's
+// error when the context is done before the design is resolved, and a
+// cancelled computation leaves the cache entry undecided for the next
+// caller instead of memoizing the cancellation.
+func (c *DesignCache) DesignCtx(ctx context.Context, length float64) (LinkDesign, error) {
+	if err := ctx.Err(); err != nil {
+		return LinkDesign{}, err
+	}
 	if math.IsNaN(length) || length <= 0 {
 		return LinkDesign{}, fmt.Errorf("noc: non-positive link length %g", length)
 	}
 	q := int64(math.Round(length / lengthQuantum))
 	if q < 1 {
-		return c.LinkModel.Design(length)
+		return designVia(ctx, c.LinkModel, length)
 	}
 	sh := &c.shards[q%designCacheShards]
 	sh.mu.Lock()
@@ -83,22 +138,50 @@ func (c *DesignCache) Design(length float64) (LinkDesign, error) {
 		sh.m[q] = e
 	}
 	sh.mu.Unlock()
-	e.once.Do(func() {
-		e.d, e.err = c.LinkModel.Design(float64(q) * lengthQuantum)
-	})
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		metCacheHits.Inc()
+		return e.d, e.err
+	}
+	// The context may have died while this caller was blocked behind
+	// another computation; bail before starting our own, leaving the
+	// entry undecided.
+	if err := ctx.Err(); err != nil {
+		return LinkDesign{}, err
+	}
+	metCacheMisses.Inc()
+	d, err := designVia(ctx, c.LinkModel, float64(q)*lengthQuantum)
+	if err != nil && transientErr(err) {
+		return LinkDesign{}, err
+	}
+	e.d, e.err, e.done = d, err, true
+	if err == nil {
+		metDesigns.Inc()
+	}
 	return e.d, e.err
 }
 
-// Len reports the number of cached designs (diagnostics and tests).
+// Len reports the number of decided cache entries (diagnostics and
+// tests). Entries whose computation failed transiently and was never
+// retried do not count: they hold no design.
 func (c *DesignCache) Len() int {
 	n := 0
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		n += len(sh.m)
+		for _, e := range sh.m {
+			e.mu.Lock()
+			if e.done {
+				n++
+			}
+			e.mu.Unlock()
+		}
 		sh.mu.Unlock()
 	}
 	return n
 }
 
 var _ LinkModel = (*DesignCache)(nil)
+var _ ctxDesigner = (*DesignCache)(nil)

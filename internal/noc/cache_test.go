@@ -1,6 +1,9 @@
 package noc
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"runtime"
@@ -142,6 +145,187 @@ func TestDesignCacheConcurrentSingleComputation(t *testing.T) {
 	}
 	if c.Len() != len(lengths) {
 		t.Fatalf("cache holds %d entries, want %d", c.Len(), len(lengths))
+	}
+}
+
+// flakyModel fails the first `failures` Design calls with the given
+// error, then delegates; it reproduces a model whose computation died
+// under a cancelled context.
+type flakyModel struct {
+	LinkModel
+	mu       sync.Mutex
+	failures int
+	failErr  error
+	calls    int
+}
+
+func (m *flakyModel) Design(length float64) (LinkDesign, error) {
+	m.mu.Lock()
+	m.calls++
+	fail := m.calls <= m.failures
+	m.mu.Unlock()
+	if fail {
+		return LinkDesign{}, m.failErr
+	}
+	return m.LinkModel.Design(length)
+}
+
+func (m *flakyModel) callCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+func TestDesignCacheDoesNotMemoizeCancellation(t *testing.T) {
+	// First lookup dies with a wrapped context error; the entry must
+	// stay undecided so the next lookup retries and succeeds. Before
+	// the fix the per-entry sync.Once memoized the cancellation
+	// forever, poisoning the length for every later caller.
+	for _, transient := range []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		fmt.Errorf("noc: design aborted: %w", context.Canceled),
+	} {
+		base := &flakyModel{LinkModel: proposed90(t), failures: 1, failErr: transient}
+		c := NewDesignCache(base)
+		if _, err := c.Design(1e-3); !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("first lookup: got %v, want the transient error", err)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("transient error was cached (%d entries)", c.Len())
+		}
+		d, err := c.Design(1e-3)
+		if err != nil {
+			t.Fatalf("retry after transient error: %v", err)
+		}
+		if d.Length == 0 {
+			t.Fatal("retry returned a zero design")
+		}
+		if got := base.callCount(); got != 2 {
+			t.Fatalf("underlying model called %d times, want 2 (fail + retry)", got)
+		}
+		// Third lookup is a pure cache hit.
+		if _, err := c.Design(1e-3); err != nil {
+			t.Fatal(err)
+		}
+		if got := base.callCount(); got != 2 {
+			t.Fatalf("cached design recomputed (%d calls)", got)
+		}
+	}
+}
+
+func TestDesignCacheStillMemoizesPermanentErrors(t *testing.T) {
+	// Infeasible lengths are a property of the model, not the caller's
+	// context: they stay memoized so the merge loop doesn't re-derive
+	// the same failure thousands of times.
+	lm := proposed90(t)
+	base := &flakyModel{LinkModel: lm, failures: 1 << 30, failErr: fmt.Errorf("noc: infeasible")}
+	c := NewDesignCache(base)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Design(1e-3); err == nil {
+			t.Fatal("permanent error not propagated")
+		}
+	}
+	if got := base.callCount(); got != 1 {
+		t.Fatalf("permanent error recomputed (%d calls), want memoized once", got)
+	}
+}
+
+func TestDesignCacheCtxPreCancelled(t *testing.T) {
+	base := newCountingModel(proposed90(t))
+	c := NewDesignCache(base)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DesignCtx(ctx, 1e-3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := base.totalCalls(); got != 0 {
+		t.Fatalf("cancelled lookup reached the model (%d calls)", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cancelled lookup left %d cache entries", c.Len())
+	}
+	// The same cache, with a live context, designs normally.
+	if _, err := c.DesignCtx(context.Background(), 1e-3); err != nil {
+		t.Fatalf("cache poisoned by the cancelled lookup: %v", err)
+	}
+}
+
+func TestSynthesizeCtxCancelled(t *testing.T) {
+	lm := proposed90(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SynthesizeCtx(ctx, DVOPD(), lm, SynthOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The model must remain fully usable after the aborted run.
+	ref, err := Synthesize(DVOPD(), lm, SynthOptions{})
+	if err != nil {
+		t.Fatalf("synthesis after cancelled run: %v", err)
+	}
+	if ref.Check() != nil {
+		t.Fatal("post-cancel synthesis produced an invalid network")
+	}
+}
+
+// cancellingModel cancels a context after a fixed number of designs,
+// simulating a deadline that expires mid-synthesis.
+type cancellingModel struct {
+	LinkModel
+	cancel  context.CancelFunc
+	after   int32
+	designs atomic.Int32
+}
+
+func (m *cancellingModel) Design(length float64) (LinkDesign, error) {
+	if m.designs.Add(1) == m.after {
+		m.cancel()
+	}
+	return m.LinkModel.Design(length)
+}
+
+func TestSynthesizeCtxCancelMidRun(t *testing.T) {
+	lm := proposed90(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cm := &cancellingModel{LinkModel: lm, cancel: cancel, after: 3}
+	_, err := SynthesizeCtx(ctx, DVOPD(), cm, SynthOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// A fresh run over the same underlying model under a live context
+	// must match an undisturbed reference bit for bit: nothing from
+	// the aborted run may leak through shared state.
+	ref, err := Synthesize(DVOPD(), lm, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SynthesizeCtx(context.Background(), DVOPD(), lm, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Evaluate() != again.Evaluate() {
+		t.Fatal("post-cancel synthesis diverged from the reference")
+	}
+}
+
+func TestSynthesizeCtxLiveMatchesNoCtx(t *testing.T) {
+	lm := proposed90(t)
+	ref, err := Synthesize(DVOPD(), lm, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := SynthesizeCtx(ctx, DVOPD(), lm, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Routes, got.Routes) {
+		t.Fatal("live-context routes differ from the no-context path")
+	}
+	if ref.Evaluate() != got.Evaluate() {
+		t.Fatal("live-context metrics differ from the no-context path")
 	}
 }
 

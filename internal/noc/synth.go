@@ -1,11 +1,19 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
+)
+
+// Synthesis observability (see internal/obs).
+var (
+	metSyntheses     = obs.NewCounter("noc.syntheses")
+	metMergesApplied = obs.NewCounter("noc.merges_applied")
 )
 
 // SynthOptions tunes the synthesis.
@@ -59,9 +67,20 @@ type synthesizer struct {
 // a bus reduces total power without violating the hop, radix, or
 // capacity constraints — the COSI-OCC flow in miniature.
 func Synthesize(spec *Spec, lm LinkModel, opts SynthOptions) (*Network, error) {
+	return SynthesizeCtx(context.Background(), spec, lm, opts)
+}
+
+// SynthesizeCtx is Synthesize under a context. Cancellation is
+// cooperative, checked between flows while the initial topology is
+// built and between candidate batches in the merge loop: a cancelled
+// run returns ctx.Err() promptly and leaves any shared DesignCache
+// unpoisoned (no cancellation error is ever memoized). A run that
+// completes under a live context is bit-identical to Synthesize.
+func SynthesizeCtx(ctx context.Context, spec *Spec, lm LinkModel, opts SynthOptions) (*Network, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	metSyntheses.Inc()
 	o := opts.withDefaults(lm)
 	s := &synthesizer{
 		spec:   spec,
@@ -75,10 +94,12 @@ func Synthesize(spec *Spec, lm LinkModel, opts SynthOptions) (*Network, error) {
 		s.nodes = append(s.nodes, Node{ID: id, Kind: CoreNode, Name: c.Name, X: c.X, Y: c.Y})
 		s.coreID[c.Name] = id
 	}
-	if err := s.initialTopology(); err != nil {
+	if err := s.initialTopology(ctx); err != nil {
 		return nil, err
 	}
-	s.mergeLoop()
+	if err := s.mergeLoop(ctx); err != nil {
+		return nil, err
+	}
 
 	net := &Network{
 		Spec:   spec,
@@ -109,12 +130,12 @@ func (s *synthesizer) addRouter(x, y float64) int {
 
 // addLink designs and appends a link from a to b carrying the given
 // flows; it fails if the geometry is infeasible under the model.
-func (s *synthesizer) addLink(a, b int, flows []int) (int, error) {
+func (s *synthesizer) addLink(ctx context.Context, a, b int, flows []int) (int, error) {
 	length := s.dist(a, b)
 	if length <= 0 {
 		return 0, fmt.Errorf("noc: zero-length link %d→%d", a, b)
 	}
-	d, err := s.model.Design(length)
+	d, err := s.model.DesignCtx(ctx, length)
 	if err != nil {
 		return 0, err
 	}
@@ -127,7 +148,7 @@ func (s *synthesizer) addLink(a, b int, flows []int) (int, error) {
 // direct where the wire-length limit allows, otherwise a chain of
 // relay routers along the Manhattan (L-shaped) route. Links between
 // identical node pairs are shared when capacity allows.
-func (s *synthesizer) initialTopology() error {
+func (s *synthesizer) initialTopology(ctx context.Context) error {
 	maxLen := s.model.MaxLength()
 	if maxLen <= 0 {
 		return fmt.Errorf("noc: model %q cannot build any feasible link", s.model.Name())
@@ -154,6 +175,9 @@ func (s *synthesizer) initialTopology() error {
 	}
 
 	for fi, f := range s.spec.Flows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		src, dst := s.coreID[f.Src], s.coreID[f.Dst]
 		if f.Bandwidth > capacity {
 			return fmt.Errorf("noc: flow %d (%s→%s) bandwidth %g exceeds link capacity %g", fi, f.Src, f.Dst, f.Bandwidth, capacity)
@@ -173,7 +197,7 @@ func (s *synthesizer) initialTopology() error {
 				route = append(route, li)
 				continue
 			}
-			li, err := s.addLink(a, b, []int{fi})
+			li, err := s.addLink(ctx, a, b, []int{fi})
 			if err != nil {
 				return fmt.Errorf("noc: flow %d: %w", fi, err)
 			}
@@ -269,15 +293,25 @@ const (
 const minMergeSaving = 1e-7
 
 // mergeLoop greedily applies the best power-saving channel merge until
-// no candidate improves the network.
-func (s *synthesizer) mergeLoop() {
+// no candidate improves the network, checking for cancellation between
+// iterations (and, through bestMerge's fan-out, between candidate
+// rows).
+func (s *synthesizer) mergeLoop(ctx context.Context) error {
 	for iter := 0; iter < s.opts.MaxMergeIters; iter++ {
-		best, found := s.bestMerge()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		best, found, err := s.bestMerge(ctx)
+		if err != nil {
+			return err
+		}
 		if !found {
-			return
+			return nil
 		}
 		s.applyMerge(best)
+		metMergesApplied.Inc()
 	}
+	return nil
 }
 
 // bestMerge scores every candidate merge and returns the best one.
@@ -288,13 +322,13 @@ func (s *synthesizer) mergeLoop() {
 // shared-end candidates) and the rows are reduced in ascending order
 // with the same strict comparison, so the selected candidate is
 // bit-identical to the serial double loop's.
-func (s *synthesizer) bestMerge() (mergeCandidate, bool) {
+func (s *synthesizer) bestMerge(ctx context.Context) (mergeCandidate, bool, error) {
 	n := len(s.links)
 	rowBest := make([]mergeCandidate, n)
 	rowFound := make([]bool, n)
-	// The per-row closure never fails; ForEach is used purely as a
-	// bounded fan-out.
-	_ = pool.ForEach(s.opts.Workers, n, func(i int) error {
+	// The per-row closure never fails on its own; the fan-out's only
+	// error source is cancellation (checked at each row claim).
+	err := pool.ForEachCtx(ctx, s.opts.Workers, n, func(i int) error {
 		best := mergeCandidate{saving: minMergeSaving}
 		found := false
 		for j := i + 1; j < n; j++ {
@@ -307,6 +341,9 @@ func (s *synthesizer) bestMerge() (mergeCandidate, bool) {
 		rowBest[i], rowFound[i] = best, found
 		return nil
 	})
+	if err != nil {
+		return mergeCandidate{}, false, err
+	}
 	best := mergeCandidate{saving: minMergeSaving}
 	found := false
 	for i := 0; i < n; i++ {
@@ -314,7 +351,7 @@ func (s *synthesizer) bestMerge() (mergeCandidate, bool) {
 			best, found = rowBest[i], true
 		}
 	}
-	return best, found
+	return best, found, nil
 }
 
 // evalMerge scores merging links i and j (which must share the chosen

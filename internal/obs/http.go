@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the metrics snapshot as JSON.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w)
+	})
+}
+
+// DebugMux returns a mux exposing the metrics snapshot at /metrics and
+// the standard pprof profiles under /debug/pprof/. The pprof handlers
+// are registered explicitly rather than through net/http/pprof's
+// DefaultServeMux side effect, so importing this package never exposes
+// profiles on servers that did not ask for them.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr and serves DebugMux in a background
+// goroutine, returning the bound address (useful with ":0") and a stop
+// function. The CLIs start one behind their -debug-addr flags.
+func StartDebugServer(addr string) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,144 @@
+// Package obs is the process-wide observability layer for the
+// synthesis and yield hot paths: named atomic counters and gauges that
+// the hot packages (pool, noc, variation) update lock-free, exposed as
+// an expvar-style JSON snapshot and an optional debug HTTP endpoint.
+//
+// Metrics are registered once at package init of their owning package
+// (obs.NewCounter / obs.NewGauge) and updated with plain atomic adds,
+// so instrumentation costs a few nanoseconds per event and never
+// perturbs the engines' determinism contracts — a run with metrics
+// enabled is bit-identical to one without.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (events, items,
+// samples). All methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (active workers, open runs). All
+// methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is the registry's view of one counter or gauge.
+type metric interface{ Value() int64 }
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]metric{}
+)
+
+func register(name string, m metric) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	registry[name] = m
+}
+
+// NewCounter registers a counter under a unique dotted name (e.g.
+// "noc.design_cache.hits"). Duplicate names panic: registration
+// happens in package-level var initializers, so a collision is a
+// programming error, not a runtime condition.
+func NewCounter(name string) *Counter {
+	c := &Counter{}
+	register(name, c)
+	return c
+}
+
+// NewGauge registers a gauge under a unique dotted name.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{}
+	register(name, g)
+	return g
+}
+
+// Snapshot returns the current value of every registered metric. The
+// map is a private copy; mutating it does not affect the registry.
+func Snapshot() map[string]int64 {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make(map[string]int64, len(registry))
+	for name, m := range registry {
+		out[name] = m.Value()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as stable (key-sorted, indented) JSON,
+// the format the CLIs print behind their -metrics flags and the debug
+// endpoint serves at /metrics.
+func WriteJSON(w io.Writer) error {
+	snap := Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// encoding/json sorts map keys itself, but building the document
+	// by hand keeps the registration order out of the output and the
+	// format trivially diffable.
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		sep := ","
+		if i == len(names)-1 {
+			sep = ""
+		}
+		key, err := json.Marshal(name)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %s: %d%s\n", key, snap[name], sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// Reset zeroes every registered metric. Tests use it to observe one
+// operation's deltas in isolation; production code never calls it.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, m := range registry {
+		switch v := m.(type) {
+		case *Counter:
+			v.v.Store(0)
+		case *Gauge:
+			v.v.Store(0)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	testCounter = NewCounter("obs_test.counter")
+	testGauge   = NewGauge("obs_test.gauge")
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	Reset()
+	testCounter.Inc()
+	testCounter.Add(41)
+	testGauge.Add(3)
+	testGauge.Add(-1)
+	snap := Snapshot()
+	if snap["obs_test.counter"] != 42 {
+		t.Errorf("counter = %d, want 42", snap["obs_test.counter"])
+	}
+	if snap["obs_test.gauge"] != 2 {
+		t.Errorf("gauge = %d, want 2", snap["obs_test.gauge"])
+	}
+	testGauge.Set(7)
+	if v := testGauge.Value(); v != 7 {
+		t.Errorf("gauge after Set = %d, want 7", v)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	Reset()
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				testCounter.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := testCounter.Value(); v != goroutines*per {
+		t.Fatalf("counter = %d, want %d", v, goroutines*per)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name accepted")
+		}
+	}()
+	NewCounter("obs_test.counter")
+}
+
+func TestWriteJSONIsValidAndSorted(t *testing.T) {
+	Reset()
+	testCounter.Add(5)
+	var sb strings.Builder
+	if err := WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded["obs_test.counter"] != 5 {
+		t.Errorf("decoded counter = %d, want 5", decoded["obs_test.counter"])
+	}
+	// Stable ordering: lines must appear in sorted-key order.
+	lines := strings.Split(sb.String(), "\n")
+	var keys []string
+	for _, l := range lines {
+		if i := strings.Index(l, `"`); i >= 0 {
+			if j := strings.Index(l[i+1:], `"`); j >= 0 {
+				keys = append(keys, l[i+1:i+1+j])
+			}
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	Reset()
+	testCounter.Add(9)
+	addr, stop, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal([]byte(get("/metrics")), &decoded); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if decoded["obs_test.counter"] != 9 {
+		t.Errorf("/metrics counter = %d, want 9", decoded["obs_test.counter"])
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index does not list profiles:\n%.200s", body)
+	}
+}

@@ -6,13 +6,32 @@
 // The synthesis and sizing hot paths evaluate many independently
 // costed candidates per step; this package is how they spread that
 // work across cores without each call site reinventing goroutine
-// bookkeeping.
+// bookkeeping. ForEachCtx adds cooperative cancellation: workers stop
+// claiming new indices once the context is done, so a caller can bound
+// or interrupt a sweep without poisoning the determinism contract of
+// uncancelled runs.
 package pool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Hot-path observability (see internal/obs): items processed, fan-out
+// runs, and the live worker level. Updates are lock-free atomics and
+// do not affect results.
+var (
+	metItems         = obs.NewCounter("pool.items")
+	metRuns          = obs.NewCounter("pool.runs")
+	metWorkers       = obs.NewCounter("pool.workers_spawned")
+	metActiveWorkers = obs.NewGauge("pool.workers_active")
+	metPanics        = obs.NewCounter("pool.panics_recovered")
 )
 
 // Workers resolves a requested worker count for n items: requested
@@ -32,57 +51,123 @@ func Workers(requested, n int) int {
 	return w
 }
 
+// PanicError is the error ForEach reports when fn(i) panicked: the
+// panic is recovered in the worker (so sibling goroutines drain
+// instead of the process dying mid-flight) and attributed to its item
+// index, selected under the same lowest-index rule as ordinary errors.
+type PanicError struct {
+	// Index is the item whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in item %d: %v", e.Index, e.Value)
+}
+
+// call invokes fn(i), converting a panic into a *PanicError so one
+// bad item cannot crash the process with the index lost.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			metPanics.Inc()
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // ForEach runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines; see ForEachCtx for the full contract. It never cancels:
+// the background context is used.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx runs fn(i) for every i in [0, n) on at most `workers`
 // goroutines (workers < 1 means all cores) and returns the error of
 // the lowest failing index, matching what a serial loop would report.
-// Once any call fails, unclaimed indices are skipped; calls already in
-// flight run to completion. fn must be safe for concurrent
-// invocation. With one worker (or n < 2) the loop runs inline with no
-// goroutines at all.
-func ForEach(workers, n int, fn func(i int) error) error {
+// A panicking fn is recovered and reported as a *PanicError under the
+// same lowest-index rule. Once any call fails, unclaimed indices are
+// skipped; calls already in flight run to completion. fn must be safe
+// for concurrent invocation. With one worker (or n < 2) the loop runs
+// inline with no goroutines at all.
+//
+// Cancellation is cooperative and checked before each index claim:
+// when ctx is done before every index completed, ForEachCtx returns
+// ctx.Err() after in-flight calls drain. Uncancelled runs behave
+// bit-identically to ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	metRuns.Inc()
 	w := Workers(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if err := call(fn, i); err != nil {
+				return err
+			}
+			metItems.Inc()
 		}
 		return nil
 	}
 
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
+		next      atomic.Int64
+		failed    atomic.Bool
+		cancelled atomic.Bool
+		wg        sync.WaitGroup
 	)
 	errs := make([]error, n)
 	wg.Add(w)
+	metWorkers.Add(int64(w))
 	for g := 0; g < w; g++ {
 		go func() {
-			defer wg.Done()
+			metActiveWorkers.Add(1)
+			defer func() {
+				metActiveWorkers.Add(-1)
+				wg.Done()
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				if err := call(fn, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
+				} else {
+					metItems.Inc()
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	// Indices are claimed in ascending order, so every index below a
-	// recorded failure ran to completion: the first non-nil entry is
-	// exactly the error the serial loop would have returned.
+	// Indices are claimed in ascending order, so absent cancellation
+	// every index below a recorded failure ran to completion: the
+	// first non-nil entry is exactly the error the serial loop would
+	// have returned. A cancelled run may have skipped arbitrary
+	// indices, so its result is ctx.Err() unless an fn error was
+	// recorded first — either way the caller must discard the partial
+	// output.
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	if cancelled.Load() {
+		return ctx.Err()
 	}
 	return nil
 }

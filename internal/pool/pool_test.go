@@ -1,10 +1,14 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -77,6 +81,106 @@ func TestForEachStopsClaimingAfterFailure(t *testing.T) {
 	})
 	if err == nil || ran != 6 {
 		t.Fatalf("ran %d items (err %v), want 6", ran, err)
+	}
+}
+
+func TestForEachRecoversPanicWithIndex(t *testing.T) {
+	// A panicking item must not crash the process; it must surface as
+	// the deterministic lowest-index error with the index attributed,
+	// under every worker count (including the inline serial path).
+	for _, workers := range []int{1, 4, 0} {
+		err := ForEach(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				panic(fmt.Sprintf("kaboom-%d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v (%T), want *PanicError", workers, err, err)
+		}
+		if pe.Index != 3 {
+			t.Fatalf("workers=%d: panic attributed to item %d, want 3", workers, pe.Index)
+		}
+		if want := "panic in item 3: kaboom-3"; err.Error() != want {
+			t.Fatalf("workers=%d: error %q, want %q", workers, err.Error(), want)
+		}
+		if !strings.Contains(string(pe.Stack), "pool_test") {
+			t.Fatalf("workers=%d: stack trace missing the panic site", workers)
+		}
+	}
+}
+
+func TestForEachPanicLosesToLowerError(t *testing.T) {
+	// An ordinary error at a lower index beats a panic at a higher
+	// one — the same serial-equivalence rule as error vs. error.
+	err := ForEach(4, 10, func(i int) error {
+		switch i {
+		case 2:
+			return fmt.Errorf("plain-2")
+		case 8:
+			panic("late panic")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "plain-2" {
+		t.Fatalf("got %v, want plain-2", err)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran.Load() != 0 {
+			t.Fatalf("serial path ran %d items under a dead context", ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	const n = 10000
+	err := ForEachCtx(ctx, 4, n, func(i int) error {
+		if ran.Add(1) == 16 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("cancellation never stopped the sweep (%d items ran)", got)
+	}
+}
+
+func TestForEachCtxCompletedRunIdenticalToForEach(t *testing.T) {
+	// A live context must not change anything: every index visited
+	// exactly once, nil error.
+	ctx := context.Background()
+	const n = 500
+	var hits [n]atomic.Int32
+	if err := ForEachCtx(ctx, 3, n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
 	}
 }
 

@@ -1,10 +1,24 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
+)
+
+// Estimator observability (see internal/obs): how many samples the
+// process has drawn, which estimator ran, and which stopping rule (if
+// any) ended each run early.
+var (
+	metSamples      = obs.NewCounter("variation.samples_drawn")
+	metRunsPlain    = obs.NewCounter("variation.runs_plain_mc")
+	metRunsShifted  = obs.NewCounter("variation.runs_importance_sampled")
+	metStopRelErr   = obs.NewCounter("variation.stop_rule_rel_err")
+	metStopAbsErr   = obs.NewCounter("variation.stop_rule_abs_err")
+	metStopZeroFail = obs.NewCounter("variation.stop_rule_zero_failure")
 )
 
 // This file holds the sampling engine shared by the plain Monte Carlo
@@ -44,7 +58,21 @@ type Options struct {
 	// RelErr, when positive, stops sampling early once the estimator's
 	// relative standard error (stderr / failure probability) drops to
 	// this level. Zero runs all Samples.
+	//
+	// With zero observed failures the relative error is undefined (the
+	// mean is zero), which used to burn the whole budget silently on
+	// high-yield links. Now the rule-of-three escape applies: after
+	// MinSamples, a run with no failures stops once the 95% upper
+	// confidence bound on the failure probability (3/n) drops to
+	// RelErr — at that point the yield is pinned to within RelErr and
+	// more zero-failure samples cannot sharpen the estimate faster.
 	RelErr float64
+	// AbsErr, when positive, stops sampling early once the estimator's
+	// absolute standard error drops to this level; with zero observed
+	// failures the rule-of-three bound 3/n stands in for the
+	// unresolvable standard error. Combine with RelErr freely — the
+	// first rule to fire stops the run.
+	AbsErr float64
 	// Workers bounds the sampling goroutines (0 = all cores, 1 =
 	// serial). The estimate is bit-identical for every value.
 	Workers int
@@ -84,6 +112,9 @@ func (o Options) validate() error {
 	if o.RelErr < 0 || math.IsNaN(o.RelErr) {
 		return fmt.Errorf("variation: negative relative-error target %g", o.RelErr)
 	}
+	if o.AbsErr < 0 || math.IsNaN(o.AbsErr) {
+		return fmt.Errorf("variation: negative absolute-error target %g", o.AbsErr)
+	}
 	if o.Shift != nil && len(o.Shift) != o.Dims {
 		return fmt.Errorf("variation: shift has %d dims, want %d", len(o.Shift), o.Dims)
 	}
@@ -115,9 +146,51 @@ type Estimate struct {
 // on the failure probability.
 func (e Estimate) CI95() float64 { return 1.96 * e.StdErr }
 
+// stopRule decides whether sampling may end before the budget. The
+// relative rule is the historical one: stderr/mean at or below RelErr.
+// The absolute rule compares stderr against AbsErr directly. Both are
+// undefined with zero observed failures (the sample variance is zero),
+// where the rule-of-three escape applies instead: no failures in n
+// samples bounds the failure probability below 3/n at 95% confidence,
+// and once that bound reaches the requested tolerance the remaining
+// budget cannot improve the answer — the estimate is 0 either way.
+func stopRule(o Options, n int, mean, m2 float64) bool {
+	if n < o.MinSamples || n < 2 || (o.RelErr <= 0 && o.AbsErr <= 0) {
+		return false
+	}
+	if mean > 0 {
+		se := math.Sqrt(m2 / float64(n-1) / float64(n))
+		if o.RelErr > 0 && se/mean <= o.RelErr {
+			metStopRelErr.Inc()
+			return true
+		}
+		if o.AbsErr > 0 && se <= o.AbsErr {
+			metStopAbsErr.Inc()
+			return true
+		}
+		return false
+	}
+	bound := 3 / float64(n)
+	if (o.RelErr > 0 && bound <= o.RelErr) || (o.AbsErr > 0 && bound <= o.AbsErr) {
+		metStopZeroFail.Inc()
+		return true
+	}
+	return false
+}
+
 // Run estimates the failure probability of trial under the options.
 // See the package comment for the determinism contract.
 func Run(o Options, trial Trial) (Estimate, error) {
+	return RunCtx(context.Background(), o, trial)
+}
+
+// RunCtx is Run under a context. Cancellation is cooperative, checked
+// at batch boundaries (and at each sample claim inside a batch's
+// fan-out): a cancelled run returns ctx.Err() promptly and discards
+// its partial accumulation. A run that completes under a live context
+// is bit-identical to Run — the context never influences which samples
+// are drawn or the order they are folded.
+func RunCtx(ctx context.Context, o Options, trial Trial) (Estimate, error) {
 	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return Estimate{}, err
@@ -130,6 +203,11 @@ func Run(o Options, trial Trial) (Estimate, error) {
 		}
 		shiftSq += t * t
 	}
+	if shifted {
+		metRunsShifted.Inc()
+	} else {
+		metRunsPlain.Inc()
+	}
 
 	// Streaming (Welford) accumulator over the per-sample
 	// contributions x_i = w_i·1[fail_i].
@@ -138,12 +216,15 @@ func Run(o Options, trial Trial) (Estimate, error) {
 
 	contrib := make([]float64, o.Batch)
 	for done := 0; done < o.Samples; {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
 		batch := o.Batch
 		if rem := o.Samples - done; rem < batch {
 			batch = rem
 		}
 		start := done
-		err := pool.ForEach(o.Workers, batch, func(k int) error {
+		err := pool.ForEachCtx(ctx, o.Workers, batch, func(k int) error {
 			i := start + k
 			st := NewStream(o.Seed, uint64(i))
 			z := st.Norms(o.Dims)
@@ -180,11 +261,9 @@ func Run(o Options, trial Trial) (Estimate, error) {
 			m2 += d * (x - mean)
 		}
 		done += batch
-		if o.RelErr > 0 && n >= o.MinSamples && mean > 0 && n > 1 {
-			se := math.Sqrt(m2 / float64(n-1) / float64(n))
-			if se/mean <= o.RelErr {
-				break
-			}
+		metSamples.Add(int64(batch))
+		if stop := stopRule(o, n, mean, m2); stop {
+			break
 		}
 	}
 

@@ -1,8 +1,11 @@
 package variation
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 )
 
@@ -113,6 +116,138 @@ func TestStoppingRule(t *testing.T) {
 	}
 }
 
+// TestStoppingRuleZeroFailureEscape pins the fix for the silent
+// budget exhaustion: a trial that never fails used to run the entire
+// Samples budget because the relative rule requires mean > 0. With the
+// rule-of-three escape the run stops once 3/n <= RelErr (here n = 60,
+// below the MinSamples floor of 512, so the floor governs).
+func TestStoppingRuleZeroFailureEscape(t *testing.T) {
+	never := func(i int, z []float64) (bool, error) { return false, nil }
+	est, err := Run(Options{Dims: 2, Samples: 200000, RelErr: 0.05, Seed: 3}, never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples >= 200000 {
+		t.Fatalf("zero-failure run burned the whole budget (%d samples)", est.Samples)
+	}
+	if est.Samples < 512 {
+		t.Fatalf("stopped below the MinSamples floor: %d", est.Samples)
+	}
+	if est.FailProb != 0 || est.Yield != 1 {
+		t.Fatalf("zero-failure estimate corrupted: fail %g yield %g", est.FailProb, est.Yield)
+	}
+	// The bound the escape certifies: p < 3/n at 95%.
+	if bound := 3 / float64(est.Samples); bound > 0.05 {
+		t.Fatalf("stopped before the rule-of-three bound reached RelErr (bound %g)", bound)
+	}
+}
+
+// TestStoppingRuleZeroFailureKeepsSamplingUnderTightTolerance pins the
+// other half of the contract: the escape only fires once 3/n actually
+// reaches the tolerance, so a tight RelErr keeps drawing samples past
+// the floor instead of bailing at MinSamples.
+func TestStoppingRuleZeroFailureKeepsSamplingUnderTightTolerance(t *testing.T) {
+	never := func(i int, z []float64) (bool, error) { return false, nil }
+	const tol = 1e-3 // needs n >= 3000
+	est, err := Run(Options{Dims: 2, Samples: 8192, RelErr: tol, Seed: 3}, never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples < 3000 {
+		t.Fatalf("escaped at %d samples, before 3/n <= %g", est.Samples, tol)
+	}
+	if est.Samples >= 8192 {
+		t.Fatalf("tight tolerance should still stop before the budget (ran %d)", est.Samples)
+	}
+}
+
+// TestStoppingRuleWithFailuresUnchanged pins that the historical
+// relative rule still governs runs that do observe failures: the
+// mean > 0 branch is bit-identical to the pre-escape estimator.
+func TestStoppingRuleWithFailuresUnchanged(t *testing.T) {
+	withEscape, err := Run(Options{Dims: 2, Samples: 200000, RelErr: 0.05, Seed: 3}, tailTrial(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEscape.StdErr/withEscape.FailProb > 0.05*1.01 {
+		t.Fatalf("relative rule drifted: rel err %g", withEscape.StdErr/withEscape.FailProb)
+	}
+}
+
+func TestAbsErrStopping(t *testing.T) {
+	// p ≈ 0.5: stderr ≈ 0.5/√n, so AbsErr 0.02 needs n ≈ 625.
+	est, err := Run(Options{Dims: 2, Samples: 200000, AbsErr: 0.02, Seed: 3}, tailTrial(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples >= 200000 {
+		t.Fatalf("absolute rule never fired (%d samples)", est.Samples)
+	}
+	if est.StdErr > 0.02*1.01 {
+		t.Fatalf("stopped at stderr %g, target 0.02", est.StdErr)
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	// Pre-cancelled: no samples drawn.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	_, err := RunCtx(ctx, Options{Dims: 2, Samples: 100000}, func(i int, z []float64) (bool, error) {
+		ran.Add(1)
+		return false, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("dead context still evaluated %d samples", ran.Load())
+	}
+
+	// Cancelled mid-run: returns promptly at a batch boundary without
+	// burning the rest of the budget.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	ran.Store(0)
+	_, err = RunCtx(ctx2, Options{Dims: 2, Samples: 1 << 20}, func(i int, z []float64) (bool, error) {
+		if ran.Add(1) == 300 {
+			cancel2()
+		}
+		return false, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1<<20 {
+		t.Fatalf("cancellation never stopped sampling (%d samples ran)", got)
+	}
+}
+
+// TestRunCtxLiveMatchesRun pins that a live context changes nothing:
+// the full Estimate is bit-identical to the context-free path, for
+// plain MC, early-stopping, and shifted configurations.
+func TestRunCtxLiveMatchesRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, opts := range []Options{
+		{Dims: 4, Samples: 20000, Seed: 11},
+		{Dims: 4, Samples: 20000, Seed: 11, RelErr: 0.05},
+		{Dims: 4, Samples: 8192, Seed: 11, Shift: []float64{2, 0, 0, 0}},
+	} {
+		ref, err := Run(opts, tailTrial(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunCtx(ctx, opts, tailTrial(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("live-ctx run diverged: %+v vs %+v (opts %+v)", got, ref, opts)
+		}
+	}
+}
+
 func TestRunPropagatesTrialError(t *testing.T) {
 	boom := fmt.Errorf("boom")
 	_, err := Run(Options{Dims: 1, Samples: 100}, func(i int, z []float64) (bool, error) {
@@ -132,6 +267,7 @@ func TestRunValidation(t *testing.T) {
 		"no-dims":        {Samples: 10},
 		"negative-n":     {Dims: 2, Samples: -1},
 		"bad-relerr":     {Dims: 2, RelErr: -0.1},
+		"bad-abserr":     {Dims: 2, AbsErr: -0.1},
 		"shift-mismatch": {Dims: 2, Shift: []float64{1}},
 	} {
 		if _, err := Run(o, ok); err == nil {

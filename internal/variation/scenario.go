@@ -1,6 +1,7 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -70,10 +71,10 @@ func (sc *LinkScenario) NominalDelay() (float64, error) {
 
 // YieldOptions configures a link-yield estimation.
 type YieldOptions struct {
-	// Samples, MinSamples, Batch, RelErr, Workers, Seed mirror
-	// Options (see estimator.go).
+	// Samples, MinSamples, Batch, RelErr, AbsErr, Workers, Seed
+	// mirror Options (see estimator.go).
 	Samples, MinSamples, Batch int
-	RelErr                     float64
+	RelErr, AbsErr             float64
 	Workers                    int
 	Seed                       uint64
 	// ImportanceSampling selects the ISLE-style estimator: the
@@ -90,6 +91,7 @@ func (o YieldOptions) runOptions() Options {
 		MinSamples: o.MinSamples,
 		Batch:      o.Batch,
 		RelErr:     o.RelErr,
+		AbsErr:     o.AbsErr,
 		Workers:    o.Workers,
 		Seed:       o.Seed,
 	}
@@ -99,18 +101,33 @@ func (o YieldOptions) runOptions() Options {
 // meets its delay target under process variation. The estimate is
 // bit-identical for every Workers value at a fixed seed.
 func EstimateLinkYield(sc *LinkScenario, o YieldOptions) (Estimate, error) {
+	return EstimateLinkYieldCtx(context.Background(), sc, o)
+}
+
+// EstimateLinkYieldCtx is EstimateLinkYield under a context:
+// cancellation is checked between sample batches (and between the
+// deterministic metric evaluations of the importance-sampling shift
+// search), so an estimation legitimately stretching to millions of
+// samples can be interrupted or deadline-bound. A run that completes
+// under a live context is bit-identical to EstimateLinkYield.
+func EstimateLinkYieldCtx(ctx context.Context, sc *LinkScenario, o YieldOptions) (Estimate, error) {
 	if err := sc.Validate(); err != nil {
 		return Estimate{}, err
 	}
 	ropts := o.runOptions()
 	if o.ImportanceSampling {
-		shift, err := FindShift(Dims, sc.Target, sc.Delay)
+		shift, err := FindShift(Dims, sc.Target, func(z []float64) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return sc.Delay(z)
+		})
 		if err != nil {
 			return Estimate{}, err
 		}
 		ropts.Shift = shift
 	}
-	return Run(ropts, func(i int, z []float64) (bool, error) {
+	return RunCtx(ctx, ropts, func(i int, z []float64) (bool, error) {
 		d, err := sc.Delay(z)
 		if err != nil {
 			return false, err

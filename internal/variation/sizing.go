@@ -1,6 +1,7 @@
 package variation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -61,6 +62,16 @@ type SizedDesign struct {
 // weighted-objective design is evaluated first; only if it misses the
 // target does the search walk the cost-ordered candidate grid.
 func SizeForYield(base *tech.Technology, seg wire.Segment, o SizingOptions) (SizedDesign, error) {
+	return SizeForYieldCtx(context.Background(), base, seg, o)
+}
+
+// SizeForYieldCtx is SizeForYield under a context: the per-candidate
+// Monte Carlo evaluations check for cancellation at batch boundaries
+// and the candidate walk checks between candidates, so a search that
+// submits dozens of designs to the estimator can be interrupted or
+// deadline-bound. A search that completes under a live context is
+// bit-identical to SizeForYield.
+func SizeForYieldCtx(ctx context.Context, base *tech.Technology, seg wire.Segment, o SizingOptions) (SizedDesign, error) {
 	if o.Target <= 0 {
 		return SizedDesign{}, fmt.Errorf("variation: non-positive delay target %g", o.Target)
 	}
@@ -86,7 +97,7 @@ func SizeForYield(base *tech.Technology, seg wire.Segment, o SizingOptions) (Siz
 			Spec:   lineSpec(d, seg, o.Buffering),
 			Target: o.Target,
 		}
-		return EstimateLinkYield(sc, o.MC)
+		return EstimateLinkYieldCtx(ctx, sc, o.MC)
 	}
 	est, err := evalYield(nominal)
 	if err != nil {
@@ -99,6 +110,9 @@ func SizeForYield(base *tech.Technology, seg wire.Segment, o SizingOptions) (Siz
 	checked := 0
 	var bestEst Estimate
 	des, err := buffering.Constrained(seg, o.Buffering, func(d buffering.Design) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		// A candidate that cannot meet the target even at nominal
 		// never meets it under variation; skip the Monte Carlo run
 		// (and don't charge it against the budget).

@@ -10,6 +10,7 @@
 package wiresize
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,6 +66,14 @@ func (o Options) withDefaults() Options {
 // combination), subject to the pitch budget. The returned design's
 // Buffer carries the model-predicted delay and power.
 func Optimize(tc *tech.Technology, length float64, style wire.Style, opts Options) (Design, error) {
+	return OptimizeCtx(context.Background(), tc, length, style, opts)
+}
+
+// OptimizeCtx is Optimize under a context: cancellation is checked at
+// each geometry candidate's claim in the fan-out, so a deadline-bound
+// caller gets ctx.Err() instead of waiting out the full sweep. A sweep
+// that completes under a live context selects the identical design.
+func OptimizeCtx(ctx context.Context, tc *tech.Technology, length float64, style wire.Style, opts Options) (Design, error) {
 	o := opts.withDefaults()
 	if o.Buffering.Coeffs == nil {
 		return Design{}, fmt.Errorf("wiresize: missing model coefficients")
@@ -117,7 +126,7 @@ func Optimize(tc *tech.Technology, length float64, style wire.Style, opts Option
 		}
 	}
 	designs := make([]buffering.Design, len(cands))
-	err = pool.ForEach(o.Workers, len(cands), func(i int) error {
+	err = pool.ForEachCtx(ctx, o.Workers, len(cands), func(i int) error {
 		c := cands[i]
 		var des buffering.Design
 		var err error

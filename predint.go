@@ -1,6 +1,7 @@
 package predint
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -172,6 +173,19 @@ type LinkResult struct {
 // DesignLink designs a buffered link with the paper's calibrated
 // predictive models and buffering optimizer.
 func DesignLink(req LinkRequest) (LinkResult, error) {
+	return DesignLinkCtx(context.Background(), req)
+}
+
+// DesignLinkCtx is DesignLink under a context. A plain buffering
+// search is fast enough that only an up-front check applies, but with
+// OptimizeGeometry the joint geometry × buffering sweep checks for
+// cancellation at each candidate, so a deadline-bound caller gets
+// ctx.Err() instead of waiting the sweep out. A design that completes
+// under a live context is identical to DesignLink's.
+func DesignLinkCtx(ctx context.Context, req LinkRequest) (LinkResult, error) {
+	if err := ctx.Err(); err != nil {
+		return LinkResult{}, err
+	}
 	tc, err := tech.Lookup(req.Tech)
 	if err != nil {
 		return LinkResult{}, err
@@ -233,7 +247,7 @@ func DesignLink(req LinkRequest) (LinkResult, error) {
 	widthMult, spacingMult := 1.0, 1.0
 	var des buffering.Design
 	if req.OptimizeGeometry {
-		wsDes, err := wiresize.Optimize(tc, seg.Length, style, wiresize.Options{
+		wsDes, err := wiresize.OptimizeCtx(ctx, tc, seg.Length, style, wiresize.Options{
 			Buffering:    opts,
 			MaxPitchMult: req.MaxPitchMult,
 		})
@@ -533,6 +547,15 @@ type NoCResult struct {
 // SynthesizeNoC runs the COSI-style synthesis for a built-in test
 // case.
 func SynthesizeNoC(req NoCRequest) (NoCResult, error) {
+	return SynthesizeNoCCtx(context.Background(), req)
+}
+
+// SynthesizeNoCCtx is SynthesizeNoC under a context: cancellation is
+// cooperative (checked between flows and candidate batches inside the
+// synthesizer), returns ctx.Err() promptly, and never poisons the
+// underlying design caches — see noc.SynthesizeCtx. A run completing
+// under a live context is bit-identical to SynthesizeNoC.
+func SynthesizeNoCCtx(ctx context.Context, req NoCRequest) (NoCResult, error) {
 	tc, err := tech.Lookup(req.Tech)
 	if err != nil {
 		return NoCResult{}, err
@@ -554,7 +577,7 @@ func SynthesizeNoC(req NoCRequest) (NoCResult, error) {
 	if err != nil {
 		return NoCResult{}, err
 	}
-	net, err := noc.Synthesize(spec, lm, noc.SynthOptions{Workers: req.Workers})
+	net, err := noc.SynthesizeCtx(ctx, spec, lm, noc.SynthOptions{Workers: req.Workers})
 	if err != nil {
 		return NoCResult{}, err
 	}

@@ -1,8 +1,11 @@
 package predint
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestDesignLinkConcurrent hammers the facade from many goroutines
@@ -129,4 +132,165 @@ func TestLinkYieldConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestLinkYieldCtxCancellation covers the facade-level cancellation
+// contract end to end: a pre-cancelled context is refused, a mid-run
+// cancel of a huge-budget estimation returns promptly with ctx.Err(),
+// and — the cache-unpoisoning half — the same request afterwards still
+// reproduces the reference bit for bit (the package-level calibration
+// cache must not have memoized the cancellation).
+func TestLinkYieldCtxCancellation(t *testing.T) {
+	req := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(1024), Seed: 1}
+	ref, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LinkYieldCtx(dead, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: got %v, want context.Canceled", err)
+	}
+
+	big := req
+	big.Samples = Int(100_000_000)
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	_, err = LinkYieldCtx(ctx, big)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("mid-run cancel took %v, want prompt return", elapsed)
+	}
+	cancel2()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: got %v, want context.Canceled", err)
+	}
+
+	after, err := LinkYield(req)
+	if err != nil {
+		t.Fatalf("post-cancel run failed (poisoned cache?): %v", err)
+	}
+	if after != ref {
+		t.Fatalf("post-cancel run diverged from reference:\n%+v\nvs\n%+v", after, ref)
+	}
+}
+
+// TestLinkYieldCtxLiveMatchesNoCtx pins that a live context is free:
+// the facade result under a never-expiring deadline is bit-identical
+// to the context-free call.
+func TestLinkYieldCtxLiveMatchesNoCtx(t *testing.T) {
+	req := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(1024), Seed: 7, Workers: 4}
+	ref, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	got, err := LinkYieldCtx(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("live-ctx facade diverged: %+v vs %+v", got, ref)
+	}
+}
+
+// TestSynthesizeNoCCtxCancellation pins the synthesis facade: a
+// pre-cancelled context is refused up front, a cancel racing a live
+// sweep either completes identically or surfaces ctx.Err() — and in
+// both worlds the next context-free synthesis reproduces the reference
+// exactly (no design-cache poisoning).
+func TestSynthesizeNoCCtxCancellation(t *testing.T) {
+	req := NoCRequest{Case: "DVOPD", Tech: "90nm"}
+	ref, err := SynthesizeNoC(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SynthesizeNoCCtx(dead, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: got %v, want context.Canceled", err)
+	}
+
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	res, err := SynthesizeNoCCtx(ctx, req)
+	cancel2()
+	switch {
+	case err == nil:
+		// The sweep beat the cancel; it must then be the reference.
+		if res.Metrics != ref.Metrics {
+			t.Fatalf("race-completed run diverged: %+v vs %+v", res.Metrics, ref.Metrics)
+		}
+	case errors.Is(err, context.Canceled):
+		// Expected mid-sweep abort.
+	default:
+		t.Fatalf("mid-sweep cancel: got %v, want context.Canceled or success", err)
+	}
+
+	after, err := SynthesizeNoC(req)
+	if err != nil {
+		t.Fatalf("post-cancel synthesis failed (poisoned cache?): %v", err)
+	}
+	if after.Metrics != ref.Metrics || after.Links != ref.Links || after.Routers != ref.Routers {
+		t.Fatalf("post-cancel synthesis diverged from reference")
+	}
+}
+
+// TestLinkYieldCtxCancelConcurrent hammers cancellation and live runs
+// together: half the goroutines get cancelled mid-estimation, half run
+// to completion against the shared caches; the completed runs must all
+// be bit-identical to the serial reference. Run under `go test -race`.
+func TestLinkYieldCtxCancelConcurrent(t *testing.T) {
+	req := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(2048), Seed: 9}
+	ref, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				res, err := LinkYield(req)
+				if err != nil {
+					t.Errorf("live goroutine %d: %v", g, err)
+					return
+				}
+				if res != ref {
+					t.Errorf("live goroutine %d diverged", g)
+				}
+				return
+			}
+			big := req
+			big.Samples = Int(50_000_000)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(g)*time.Millisecond)
+			defer cancel()
+			if _, err := LinkYieldCtx(ctx, big); err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled goroutine %d: unexpected error %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The shared caches must still hand every later caller the
+	// reference answer.
+	after, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != ref {
+		t.Fatalf("post-hammer run diverged from reference")
+	}
 }

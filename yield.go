@@ -1,6 +1,7 @@
 package predint
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,8 +50,14 @@ type YieldRequest struct {
 	// RelErr, when set and positive, stops sampling early once the
 	// estimator's relative standard error reaches it; nil (or an
 	// explicit zero) runs the full budget. Negative values are an
-	// error.
+	// error. A run with zero observed failures stops once the
+	// rule-of-three bound 3/n reaches the tolerance (see
+	// variation.Options.RelErr).
 	RelErr *float64
+	// AbsErr, when set and positive, stops sampling early once the
+	// estimator's absolute standard error reaches it; nil (or an
+	// explicit zero) disables the rule. Negative values are an error.
+	AbsErr *float64
 	// Seed is the base PRNG seed. Results are bit-identical for a
 	// fixed seed regardless of Workers.
 	Seed uint64
@@ -116,6 +123,16 @@ type YieldResult struct {
 // streams are keyed by (seed ⊕ sample index) and accumulated in index
 // order, the same contract PR 1 established for synthesis.
 func LinkYield(req YieldRequest) (YieldResult, error) {
+	return LinkYieldCtx(context.Background(), req)
+}
+
+// LinkYieldCtx is LinkYield under a context: the Monte Carlo sampling
+// (and, with YieldTarget, the candidate search driving it) checks for
+// cancellation at batch boundaries, so a large-budget estimation can
+// be interrupted by a signal or bounded by a deadline — it returns
+// ctx.Err() promptly and discards the partial accumulation. A run
+// that completes under a live context is bit-identical to LinkYield.
+func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 	tc, err := tech.Lookup(req.Tech)
 	if err != nil {
 		return YieldResult{}, err
@@ -162,6 +179,13 @@ func LinkYield(req YieldRequest) (YieldResult, error) {
 			return YieldResult{}, fmt.Errorf("predint: negative relative-error target %g", relErr)
 		}
 	}
+	absErr := 0.0
+	if req.AbsErr != nil {
+		absErr = *req.AbsErr
+		if math.IsNaN(absErr) || absErr < 0 {
+			return YieldResult{}, fmt.Errorf("predint: negative absolute-error target %g", absErr)
+		}
+	}
 	sigma := 1.0
 	if req.SigmaScale != nil {
 		sigma = *req.SigmaScale
@@ -185,6 +209,7 @@ func LinkYield(req YieldRequest) (YieldResult, error) {
 	mc := variation.YieldOptions{
 		Samples:            samples,
 		RelErr:             relErr,
+		AbsErr:             absErr,
 		Workers:            req.Workers,
 		Seed:               req.Seed,
 		ImportanceSampling: req.ImportanceSampling,
@@ -198,7 +223,7 @@ func LinkYield(req YieldRequest) (YieldResult, error) {
 		if math.IsNaN(yt) || yt <= 0 || yt >= 1 {
 			return YieldResult{}, fmt.Errorf("predint: yield target %g outside (0,1)", yt)
 		}
-		sized, err := variation.SizeForYield(tc, seg, variation.SizingOptions{
+		sized, err := variation.SizeForYieldCtx(ctx, tc, seg, variation.SizingOptions{
 			Buffering:   bufOpts,
 			Space:       space,
 			Target:      target,
@@ -221,7 +246,7 @@ func LinkYield(req YieldRequest) (YieldResult, error) {
 			Spec:   model.LineSpec{Kind: des.Kind, Size: des.Size, N: des.N, Segment: seg, InputSlew: slewPS * 1e-12},
 			Target: target,
 		}
-		est, err = variation.EstimateLinkYield(sc, mc)
+		est, err = variation.EstimateLinkYieldCtx(ctx, sc, mc)
 		if err != nil {
 			return YieldResult{}, err
 		}
