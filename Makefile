@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench-yield fmt
+.PHONY: all build build-prod test race vet staticcheck bench-yield fuzz serve fmt
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+# Production build: the fault-injection registry is compiled out.
+build-prod:
+	$(GO) build -tags prod ./...
 
 test:
 	$(GO) test ./...
@@ -28,6 +32,14 @@ staticcheck:
 # Emits BENCH_yield.json with the yield engine's benchmark trajectory.
 bench-yield:
 	sh scripts/bench_yield.sh
+
+# Short coverage-guided run of the Liberty parser fuzzer (CI smoke).
+fuzz:
+	$(GO) test -fuzz=FuzzParseLibrary -fuzztime=10s -run FuzzParseLibrary ./internal/liberty
+
+# Run the hardened HTTP serving layer on the default address.
+serve:
+	$(GO) run ./cmd/predintd
 
 fmt:
 	gofmt -l -w .

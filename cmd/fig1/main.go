@@ -11,45 +11,58 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
 	"repro/internal/tech"
 )
 
-func main() {
-	techFlag := flag.String("tech", "90nm", "technology name")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fig1", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techFlag := fs.String("tech", "90nm", "technology name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	tc, err := tech.Lookup(*techFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig1:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "fig1: characterizing %s library...\n", tc.Name)
+	fmt.Fprintf(stderr, "fig1: characterizing %s library...\n", tc.Name)
 	res, err := experiments.Fig1(tc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig1:", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("FIG. 1: REPEATER INTRINSIC DELAY (%s, inverters, rising output)\n\n", res.Tech)
-	fmt.Printf("%8s %10s %14s\n", "size", "slew[ps]", "intrinsic[ps]")
+	fmt.Fprintf(stdout, "FIG. 1: REPEATER INTRINSIC DELAY (%s, inverters, rising output)\n\n", res.Tech)
+	fmt.Fprintf(stdout, "%8s %10s %14s\n", "size", "slew[ps]", "intrinsic[ps]")
 	last := -1.0
 	for _, p := range res.Points {
 		if p.Size != last {
 			if last >= 0 {
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 			last = p.Size
 		}
-		fmt.Printf("%8g %10.1f %14.3f\n", p.Size, p.Slew*1e12, p.Intrinsic*1e12)
+		fmt.Fprintf(stdout, "%8g %10.1f %14.3f\n", p.Size, p.Slew*1e12, p.Intrinsic*1e12)
 	}
-	fmt.Println()
-	fmt.Printf("pooled quadratic fit: i(s) = %.4g + %.4g*s + %.4g*s^2  [s in seconds]\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "pooled quadratic fit: i(s) = %.4g + %.4g*s + %.4g*s^2  [s in seconds]\n",
 		res.QuadCoeffs[0], res.QuadCoeffs[1], res.QuadCoeffs[2])
-	fmt.Printf("max spread across sizes at fixed slew: %.3f ps\n", res.SizeSpreadMax*1e12)
-	fmt.Printf("min spread across slews at fixed size: %.3f ps\n", res.SlewSpreadMin*1e12)
-	fmt.Println("(paper: intrinsic delay is essentially independent of repeater size")
-	fmt.Println(" and depends nearly quadratically on input slew)")
+	fmt.Fprintf(stdout, "max spread across sizes at fixed slew: %.3f ps\n", res.SizeSpreadMax*1e12)
+	fmt.Fprintf(stdout, "min spread across slews at fixed size: %.3f ps\n", res.SlewSpreadMin*1e12)
+	fmt.Fprintln(stdout, "(paper: intrinsic delay is essentially independent of repeater size")
+	fmt.Fprintln(stdout, " and depends nearly quadratically on input slew)")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "fig1:", err)
+		}
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("library characterization is seconds of work")
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "90nm"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"FIG. 1", "intrinsic[ps]", "pooled quadratic fit"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "characterizing") {
+		t.Errorf("progress line missing from stderr: %s", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "flag") {
+		t.Errorf("no usage/diagnostic on stderr: %s", errOut.String())
+	}
+}
+
+func TestRunUnknownTech(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "13nm"}, &out, &errOut); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+	if out.Len() != 0 {
+		t.Errorf("partial output despite the error: %s", out.String())
+	}
+}

@@ -1,0 +1,107 @@
+// Command predintd serves the predint facade over HTTP/JSON — link
+// design, timing-yield estimation, and NoC synthesis as a hardened
+// service:
+//
+//   - POST /v1/link, /v1/yield, /v1/noc — the facade entry points,
+//     snake_case JSON in and out
+//   - GET /healthz, /metrics — liveness and the observability snapshot
+//
+// Hardening, in request order: every request runs under a deadline
+// (-request-timeout, tightened by a ?timeout= query parameter); at
+// most -inflight requests execute at once with at most -queue more
+// waiting, and anything beyond that is shed with 503 + Retry-After;
+// /v1/yield requests whose Monte Carlo budget exceeds -max-yield-cost
+// — or that arrive while the queue is under pressure — degrade to the
+// closed-form nominal estimate, marked "degraded": true; SIGINT or
+// SIGTERM drains gracefully, finishing in-flight requests (bounded by
+// -drain-timeout) while rejecting new ones.
+//
+// Usage:
+//
+//	predintd [-addr localhost:8080] [-inflight 8] [-queue 64]
+//	         [-request-timeout 30s] [-drain-timeout 30s]
+//	         [-max-yield-cost 65536] [-retry-after 1s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+)
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("predintd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addrFlag := fs.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
+	inflightFlag := fs.Int("inflight", 8, "maximum concurrently executing requests")
+	queueFlag := fs.Int("queue", 64, "admission queue depth beyond the in-flight cap; excess requests are shed with 503")
+	reqTimeoutFlag := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (a ?timeout= query parameter can tighten it)")
+	drainTimeoutFlag := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	maxYieldCostFlag := fs.Int("max-yield-cost", 65536, "largest Monte Carlo sample budget served in full; costlier /v1/yield requests degrade to the nominal estimate")
+	retryAfterFlag := fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inflightFlag < 1 {
+		return fmt.Errorf("predintd: -inflight %d, need at least 1", *inflightFlag)
+	}
+	if *queueFlag < 1 {
+		return fmt.Errorf("predintd: -queue %d, need at least 1", *queueFlag)
+	}
+	if *maxYieldCostFlag < 1 {
+		return fmt.Errorf("predintd: -max-yield-cost %d, need at least 1", *maxYieldCostFlag)
+	}
+
+	ctx, cancel := cliutil.Context(0)
+	defer cancel()
+
+	s := newServer(*inflightFlag, *queueFlag, *maxYieldCostFlag, *reqTimeoutFlag, *retryAfterFlag)
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.routes()}
+	fmt.Fprintf(stderr, "predintd listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Drain: flag first so keep-alive connections see 503s on new
+		// requests, then Shutdown — which stops the listener and waits
+		// for in-flight handlers — bounded by the drain timeout.
+		s.draining.Store(true)
+		fmt.Fprintln(stderr, "predintd draining: finishing in-flight requests, rejecting new ones")
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeoutFlag)
+		defer cancelDrain()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("predintd: drain timed out: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(stderr, "predintd drained cleanly")
+		return nil
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "predintd:", err)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,440 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	predint "repro"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// Serving-layer metrics. queue_depth and inflight are levels; shed and
+// degraded count the hardening paths firing; latency carries p50/p99
+// through the shared registry.
+var (
+	metRequests   = obs.NewCounter("predintd.requests")
+	metShed       = obs.NewCounter("predintd.shed")
+	metDegraded   = obs.NewCounter("predintd.degraded")
+	metQueueDepth = obs.NewGauge("predintd.queue_depth")
+	metInflight   = obs.NewGauge("predintd.inflight")
+	metLatency    = obs.NewHistogram("predintd.latency")
+)
+
+// server is the hardened HTTP facade over the predint engines. Every
+// v1 request passes admission control (bounded queue + in-flight cap,
+// shedding beyond), runs under a per-request deadline, and /v1/yield
+// additionally degrades to the closed-form nominal estimate when its
+// Monte Carlo budget exceeds the cost ceiling or the queue is under
+// pressure.
+type server struct {
+	inflight     chan struct{} // slot semaphore; capacity = in-flight cap
+	queued       atomic.Int64  // admitted requests not yet holding a slot
+	queueDepth   int64         // waiting requests beyond which we shed
+	maxYieldCost int           // largest Monte Carlo budget served in full
+	reqTimeout   time.Duration // server-side per-request deadline
+	retryAfter   time.Duration // Retry-After hint on shed responses
+	draining     atomic.Bool   // set on SIGTERM before the listener drains
+}
+
+func newServer(inflight, queue, maxYieldCost int, reqTimeout, retryAfter time.Duration) *server {
+	return &server{
+		inflight:     make(chan struct{}, inflight),
+		queueDepth:   int64(queue),
+		maxYieldCost: maxYieldCost,
+		reqTimeout:   reqTimeout,
+		retryAfter:   retryAfter,
+	}
+}
+
+// pressureKey carries the admission-time queue-pressure observation to
+// the handler (degrade decisions must use the state seen at admission,
+// not whatever the queue looks like once the handler runs).
+type ctxKey int
+
+const pressureKey ctxKey = iota
+
+func pressured(ctx context.Context) bool {
+	p, _ := ctx.Value(pressureKey).(bool)
+	return p
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/link", s.admit(s.handleLink))
+	mux.HandleFunc("POST /v1/yield", s.admit(s.handleYield))
+	mux.HandleFunc("POST /v1/noc", s.admit(s.handleNoC))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", obs.Handler())
+	return mux
+}
+
+// apiFunc is one endpoint's logic: context in, response document (or
+// error) out. The admission wrapper owns deadlines, shedding, panic
+// containment, and serialization.
+type apiFunc func(ctx context.Context, r *http.Request) (any, error)
+
+// admit wraps an endpoint with the hardening layers, outermost first:
+// drain check, bounded queue with shedding, in-flight slot wait
+// (bounded by the request deadline), panic containment, latency
+// accounting.
+func (s *server) admit(fn apiFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metRequests.Inc()
+		if s.draining.Load() {
+			s.shed(w, "draining")
+			return
+		}
+
+		d, err := s.deadline(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+
+		waiting := s.queued.Add(1)
+		metQueueDepth.Set(waiting)
+		if waiting > s.queueDepth {
+			s.queued.Add(-1)
+			s.shed(w, "queue full")
+			return
+		}
+		// Queue pressure is observed before the slot wait: a request
+		// that could not start immediately sees pressured=true even if
+		// a slot frees up a microsecond later.
+		underPressure := false
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			underPressure = true
+			select {
+			case s.inflight <- struct{}{}:
+			case <-ctx.Done():
+				s.queued.Add(-1)
+				metQueueDepth.Set(s.queued.Load())
+				writeErr(w, http.StatusGatewayTimeout,
+					fmt.Errorf("predintd: deadline expired while queued: %w", ctx.Err()))
+				return
+			}
+		}
+		s.queued.Add(-1)
+		metQueueDepth.Set(s.queued.Load())
+		metInflight.Add(1)
+		start := time.Now()
+		defer func() {
+			<-s.inflight
+			metInflight.Add(-1)
+			metLatency.Observe(time.Since(start))
+		}()
+		defer func() {
+			if p := recover(); p != nil {
+				writeErr(w, http.StatusInternalServerError, fmt.Errorf("predintd: handler panicked: %v", p))
+			}
+		}()
+
+		res, err := fn(context.WithValue(ctx, pressureKey, underPressure), r)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// deadline resolves the effective per-request deadline: the server's
+// -request-timeout, tightened (never widened) by an optional ?timeout=
+// query parameter.
+func (s *server) deadline(r *http.Request) (time.Duration, error) {
+	d := s.reqTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		client, err := time.ParseDuration(v)
+		if err != nil || client <= 0 {
+			return 0, fmt.Errorf("predintd: invalid timeout parameter %q", v)
+		}
+		if client < d {
+			d = client
+		}
+	}
+	return d, nil
+}
+
+func (s *server) shed(w http.ResponseWriter, reason string) {
+	metShed.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+	writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("predintd: overloaded (%s), retry later", reason))
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, faultinject.ErrInjected):
+		return http.StatusInternalServerError
+	default:
+		// Everything else out of the engines is request validation.
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody decodes a JSON request body strictly: unknown fields and
+// trailing garbage are 400s, and bodies are capped at 1 MiB.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("predintd: bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("predintd: bad request body: trailing data")
+	}
+	return nil
+}
+
+// ---- /v1/link ----
+
+type linkRequestDTO struct {
+	Tech             string   `json:"tech"`
+	LengthMM         float64  `json:"length_mm"`
+	Bits             *int     `json:"bits,omitempty"`
+	Style            string   `json:"style,omitempty"`
+	PowerWeight      *float64 `json:"power_weight,omitempty"`
+	DelayOptimal     bool     `json:"delay_optimal,omitempty"`
+	LibrarySizesOnly bool     `json:"library_sizes_only,omitempty"`
+	OptimizeGeometry bool     `json:"optimize_geometry,omitempty"`
+	MaxPitchMult     float64  `json:"max_pitch_mult,omitempty"`
+	ActivityFactor   *float64 `json:"activity_factor,omitempty"`
+	InputSlewPS      *float64 `json:"input_slew_ps,omitempty"`
+}
+
+type linkResultDTO struct {
+	Repeaters       int     `json:"repeaters"`
+	RepeaterSize    float64 `json:"repeater_size"`
+	DelayS          float64 `json:"delay_s"`
+	OutputSlewS     float64 `json:"output_slew_s"`
+	DynamicPowerW   float64 `json:"dynamic_power_w"`
+	LeakagePowerW   float64 `json:"leakage_power_w"`
+	AreaM2          float64 `json:"area_m2"`
+	WireResistance  float64 `json:"wire_resistance_ohm"`
+	WireCapacitance float64 `json:"wire_capacitance_f"`
+	WidthMult       float64 `json:"width_mult"`
+	SpacingMult     float64 `json:"spacing_mult"`
+}
+
+func (s *server) handleLink(ctx context.Context, r *http.Request) (any, error) {
+	if err := faultinject.Hit("predintd.handle"); err != nil {
+		return nil, err
+	}
+	var dto linkRequestDTO
+	if err := decodeBody(nil, r, &dto); err != nil {
+		return nil, err
+	}
+	res, err := predint.DesignLinkCtx(ctx, predint.LinkRequest{
+		Tech:             dto.Tech,
+		LengthMM:         dto.LengthMM,
+		Bits:             dto.Bits,
+		Style:            predint.Style(dto.Style),
+		PowerWeight:      dto.PowerWeight,
+		DelayOptimal:     dto.DelayOptimal,
+		LibrarySizesOnly: dto.LibrarySizesOnly,
+		OptimizeGeometry: dto.OptimizeGeometry,
+		MaxPitchMult:     dto.MaxPitchMult,
+		ActivityFactor:   dto.ActivityFactor,
+		InputSlewPS:      dto.InputSlewPS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return linkResultDTO{
+		Repeaters:       res.Repeaters,
+		RepeaterSize:    res.RepeaterSize,
+		DelayS:          res.Delay,
+		OutputSlewS:     res.OutputSlew,
+		DynamicPowerW:   res.DynamicPower,
+		LeakagePowerW:   res.LeakagePower,
+		AreaM2:          res.Area,
+		WireResistance:  res.WireResistance,
+		WireCapacitance: res.WireCapacitance,
+		WidthMult:       res.WidthMult,
+		SpacingMult:     res.SpacingMult,
+	}, nil
+}
+
+// ---- /v1/yield ----
+
+type yieldRequestDTO struct {
+	Tech               string   `json:"tech"`
+	LengthMM           float64  `json:"length_mm"`
+	Style              string   `json:"style,omitempty"`
+	PowerWeight        *float64 `json:"power_weight,omitempty"`
+	InputSlewPS        *float64 `json:"input_slew_ps,omitempty"`
+	TargetPS           *float64 `json:"target_ps,omitempty"`
+	Samples            *int     `json:"samples,omitempty"`
+	RelErr             *float64 `json:"rel_err,omitempty"`
+	AbsErr             *float64 `json:"abs_err,omitempty"`
+	Seed               uint64   `json:"seed,omitempty"`
+	Workers            int      `json:"workers,omitempty"`
+	ImportanceSampling bool     `json:"importance_sampling,omitempty"`
+	SigmaScale         *float64 `json:"sigma_scale,omitempty"`
+	YieldTarget        *float64 `json:"yield_target,omitempty"`
+}
+
+type yieldResultDTO struct {
+	Repeaters         int     `json:"repeaters"`
+	RepeaterSize      float64 `json:"repeater_size"`
+	NominalDelayS     float64 `json:"nominal_delay_s"`
+	TargetS           float64 `json:"target_s"`
+	Yield             float64 `json:"yield"`
+	FailProb          float64 `json:"fail_prob"`
+	StdErr            float64 `json:"std_err"`
+	CI95              float64 `json:"ci95"`
+	Samples           int     `json:"samples"`
+	ImportanceSampled bool    `json:"importance_sampled,omitempty"`
+	VarianceReduction float64 `json:"variance_reduction,omitempty"`
+	Resized           bool    `json:"resized,omitempty"`
+	Degraded          bool    `json:"degraded,omitempty"`
+	FailProbBound     float64 `json:"fail_prob_bound,omitempty"`
+}
+
+func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) {
+	if err := faultinject.Hit("predintd.handle"); err != nil {
+		return nil, err
+	}
+	var dto yieldRequestDTO
+	if err := decodeBody(nil, r, &dto); err != nil {
+		return nil, err
+	}
+	req := predint.YieldRequest{
+		Tech:               dto.Tech,
+		LengthMM:           dto.LengthMM,
+		Style:              predint.Style(dto.Style),
+		PowerWeight:        dto.PowerWeight,
+		InputSlewPS:        dto.InputSlewPS,
+		TargetPS:           dto.TargetPS,
+		Samples:            dto.Samples,
+		RelErr:             dto.RelErr,
+		AbsErr:             dto.AbsErr,
+		Seed:               dto.Seed,
+		Workers:            dto.Workers,
+		ImportanceSampling: dto.ImportanceSampling,
+		SigmaScale:         dto.SigmaScale,
+		YieldTarget:        dto.YieldTarget,
+	}
+
+	// Graceful degradation: a Monte Carlo budget beyond the cost
+	// ceiling, or admission-time queue pressure, buys the closed-form
+	// nominal estimate instead of an error or an unbounded wait. The
+	// response is marked degraded and carries the vacuous rule-of-three
+	// bound so callers can't mistake it for a sampled estimate.
+	samples := predint.DefaultYieldSamples
+	if dto.Samples != nil {
+		samples = *dto.Samples
+	}
+	var res predint.YieldResult
+	var err error
+	if samples > s.maxYieldCost || pressured(ctx) {
+		metDegraded.Inc()
+		res, err = predint.LinkYieldNominalCtx(ctx, req)
+	} else {
+		res, err = predint.LinkYieldCtx(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return yieldResultDTO{
+		Repeaters:         res.Repeaters,
+		RepeaterSize:      res.RepeaterSize,
+		NominalDelayS:     res.NominalDelay,
+		TargetS:           res.Target,
+		Yield:             res.Yield,
+		FailProb:          res.FailProb,
+		StdErr:            res.StdErr,
+		CI95:              res.CI95,
+		Samples:           res.Samples,
+		ImportanceSampled: res.ImportanceSampled,
+		VarianceReduction: res.VarianceReduction,
+		Resized:           res.Resized,
+		Degraded:          res.Degraded,
+		FailProbBound:     res.FailProbBound,
+	}, nil
+}
+
+// ---- /v1/noc ----
+
+type nocRequestDTO struct {
+	Case             string `json:"case"`
+	Tech             string `json:"tech"`
+	UseOriginalModel bool   `json:"use_original_model,omitempty"`
+	Style            string `json:"style,omitempty"`
+	SimulateTraffic  bool   `json:"simulate_traffic,omitempty"`
+	Workers          int    `json:"workers,omitempty"`
+}
+
+type nocResultDTO struct {
+	Links           int     `json:"links"`
+	Routers         int     `json:"routers"`
+	PowerW          float64 `json:"power_w"`
+	AreaM2          float64 `json:"area_m2"`
+	AvgHops         float64 `json:"avg_hops"`
+	MaxLinkLengthMM float64 `json:"max_link_length_mm"`
+}
+
+func (s *server) handleNoC(ctx context.Context, r *http.Request) (any, error) {
+	if err := faultinject.Hit("predintd.handle"); err != nil {
+		return nil, err
+	}
+	var dto nocRequestDTO
+	if err := decodeBody(nil, r, &dto); err != nil {
+		return nil, err
+	}
+	res, err := predint.SynthesizeNoCCtx(ctx, predint.NoCRequest{
+		Case:             dto.Case,
+		Tech:             dto.Tech,
+		UseOriginalModel: dto.UseOriginalModel,
+		Style:            predint.Style(dto.Style),
+		SimulateTraffic:  dto.SimulateTraffic,
+		Workers:          dto.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nocResultDTO{
+		Links:           res.Links,
+		Routers:         res.Routers,
+		PowerW:          res.Metrics.TotalPower(),
+		AreaM2:          res.Metrics.Area,
+		AvgHops:         res.Metrics.AvgHops,
+		MaxLinkLengthMM: res.MaxLinkLengthMM,
+	}, nil
+}
+
+// ---- /healthz ----
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// testServer wires routes() into an httptest server with generous
+// limits (individual tests tighten what they exercise).
+func testServer(t *testing.T, inflight, queue, maxYieldCost int, reqTimeout time.Duration) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(inflight, queue, maxYieldCost, reqTimeout, time.Second)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestBadRequestBodies(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	for name, body := range map[string]string{
+		"malformed":     `{"tech": "90nm",`,
+		"unknown-field": `{"tech": "90nm", "length_mm": 5, "lenght": 3}`,
+		"trailing":      `{"tech": "90nm", "length_mm": 5} extra`,
+		"validation":    `{"tech": "13nm", "length_mm": 5}`,
+		"zero-length":   `{"tech": "90nm"}`,
+	} {
+		code, _, resp := postJSON(t, ts.URL+"/v1/link", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, code, resp)
+		}
+		var doc map[string]string
+		if err := json.Unmarshal(resp, &doc); err != nil || doc["error"] == "" {
+			t.Errorf("%s: error body malformed: %s", name, resp)
+		}
+	}
+}
+
+func TestTimeoutParam(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	if code, _, _ := postJSON(t, ts.URL+"/v1/yield?timeout=bogus", `{"tech": "90nm", "length_mm": 5}`); code != http.StatusBadRequest {
+		t.Errorf("invalid timeout param: status %d, want 400", code)
+	}
+	if code, _, _ := postJSON(t, ts.URL+"/v1/yield?timeout=-1s", `{"tech": "90nm", "length_mm": 5}`); code != http.StatusBadRequest {
+		t.Errorf("negative timeout param: status %d, want 400", code)
+	}
+	// A 1ms deadline cannot cover a large Monte Carlo run: the engine
+	// returns context.DeadlineExceeded at a batch boundary and the
+	// server maps it to 504.
+	code, _, body := postJSON(t, ts.URL+"/v1/yield?timeout=1ms",
+		`{"tech": "90nm", "length_mm": 5, "samples": 1048576, "workers": 1}`)
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("expired deadline: status %d, want 504 (body %s)", code, body)
+	}
+}
+
+func TestInjectedFaultMapsTo500(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+		"predintd.handle": {Kind: faultinject.Error, Times: 1},
+	}})()
+	code, _, body := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("injected fault: status %d, want 500 (body %s)", code, body)
+	}
+	if !strings.Contains(string(body), "injected") {
+		t.Errorf("error body does not name the injected fault: %s", body)
+	}
+	// The budget is spent; the server recovered.
+	if code, _, _ := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`); code != http.StatusOK {
+		t.Errorf("request after injected fault: status %d, want 200", code)
+	}
+}
+
+func TestInjectedPanicContained(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+		"predintd.handle": {Kind: faultinject.Panic, Times: 1},
+	}})()
+	code, _, body := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("injected panic: status %d, want 500 (body %s)", code, body)
+	}
+	if !strings.Contains(string(body), "panic") {
+		t.Errorf("error body does not mention the panic: %s", body)
+	}
+	// The slot was released on the way out: the server still serves,
+	// and a full in-flight complement is available.
+	for i := 0; i < 5; i++ {
+		if code, _, _ := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`); code != http.StatusOK {
+			t.Fatalf("request %d after contained panic: status %d", i, code)
+		}
+	}
+}
+
+// TestQueuePressureDegradesYield: a yield request admitted while
+// another request holds the only slot sees pressure and is served the
+// nominal estimate even though its sample budget is affordable.
+func TestQueuePressureDegradesYield(t *testing.T) {
+	_, ts := testServer(t, 1, 8, 1<<20, 10*time.Second)
+	defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+		"predintd.handle": {Kind: faultinject.Delay, Delay: 400 * time.Millisecond, Times: 1},
+	}})()
+	slow := make(chan int, 1)
+	go func() {
+		code, _, _ := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
+		slow <- code
+	}()
+	time.Sleep(100 * time.Millisecond) // slow request holds the slot
+	code, _, body := postJSON(t, ts.URL+"/v1/yield", `{"tech": "90nm", "length_mm": 5, "samples": 64}`)
+	if code != http.StatusOK {
+		t.Fatalf("pressured yield: status %d, body %s", code, body)
+	}
+	var res yieldResultDTO
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Errorf("yield under queue pressure not degraded: %+v", res)
+	}
+	if got := <-slow; got != http.StatusOK {
+		t.Errorf("slot-holding request: status %d", got)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy: status %d", resp.StatusCode)
+	}
+	s.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("draining: status %d, body %s", resp.StatusCode, body)
+	}
+	// Admission refuses outright while draining.
+	code, hdr, _ := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("draining admission: status %d, Retry-After %q", code, hdr.Get("Retry-After"))
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	resp, err := http.Get(ts.URL + "/v1/link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on a POST route: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestNoCEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NoC synthesis is seconds of work")
+	}
+	_, ts := testServer(t, 4, 16, 1<<20, 60*time.Second)
+	code, _, body := postJSON(t, ts.URL+"/v1/noc", `{"case": "VPROC", "tech": "90nm"}`)
+	if code != http.StatusOK {
+		t.Fatalf("noc: status %d, body %s", code, body)
+	}
+	var res nocResultDTO
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Links <= 0 || res.Routers <= 0 || res.PowerW <= 0 {
+		t.Fatalf("degenerate noc result: %+v", res)
+	}
+}

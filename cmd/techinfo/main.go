@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/liberty"
@@ -20,29 +21,28 @@ import (
 	"repro/internal/wire"
 )
 
-func main() {
-	techFlag := flag.String("tech", "65nm", "technology node")
-	jsonFlag := flag.Bool("json", false, "dump the descriptor as JSON")
-	fo4Flag := flag.Bool("fo4", false, "characterize the library and report FO4 (slow on first use)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("techinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techFlag := fs.String("tech", "65nm", "technology node")
+	jsonFlag := fs.Bool("json", false, "dump the descriptor as JSON")
+	fo4Flag := fs.Bool("fo4", false, "characterize the library and report FO4 (slow on first use)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	tc, err := tech.Lookup(*techFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "techinfo:", err)
-		os.Exit(1)
+		return err
 	}
 	if *jsonFlag {
-		if err := tc.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "techinfo:", err)
-			os.Exit(1)
-		}
-		return
+		return tc.WriteJSON(stdout)
 	}
 
-	fmt.Printf("%s\n\n", tc)
-	fmt.Printf("devices:    Vth %-5.2g/%-5.2g V   Ioff %.3g/%.3g A/m   P/N ratio %g\n",
+	fmt.Fprintf(stdout, "%s\n\n", tc)
+	fmt.Fprintf(stdout, "devices:    Vth %-5.2g/%-5.2g V   Ioff %.3g/%.3g A/m   P/N ratio %g\n",
 		tc.NMOS.Vth, tc.PMOS.Vth, tc.NMOS.IOff, tc.PMOS.IOff, tc.PNRatio)
-	fmt.Printf("global wire: w=%.0fnm s=%.0fnm t=%.0fnm (barrier %.1fnm)\n",
+	fmt.Fprintf(stdout, "global wire: w=%.0fnm s=%.0fnm t=%.0fnm (barrier %.1fnm)\n",
 		tc.Global.Width*1e9, tc.Global.Spacing*1e9, tc.Global.Thickness*1e9, tc.Barrier*1e9)
 
 	w := tc.Global.Width
@@ -50,7 +50,7 @@ func main() {
 	rClassic := wire.ClassicResistancePerMeter(tc, tc.Global, w) * 1e-3
 	cg := wire.GroundCapPerMeter(tc, tc.Global, w) * 1e-3 * 1e15
 	cc := wire.CouplingCapPerMeter(tc, tc.Global, tc.Global.Spacing) * 1e-3 * 1e15
-	fmt.Printf("per mm:     R=%.1f Ω (classic %.1f Ω, +%.0f%%)   Cg=%.1f fF   Cc=%.1f fF/side\n",
+	fmt.Fprintf(stdout, "per mm:     R=%.1f Ω (classic %.1f Ω, +%.0f%%)   Cg=%.1f fF   Cc=%.1f fF/side\n",
 		rCorr, rClassic, (rCorr/rClassic-1)*100, cg, cc)
 
 	for _, mk := range []string{"proposed", "original"} {
@@ -62,25 +62,32 @@ func main() {
 			lm, err = noc.NewOriginalModel(tc, 128, wire.SWSS)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "techinfo:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("max feasible link (%s model, %.3g GHz): %.2f mm\n",
+		fmt.Fprintf(stdout, "max feasible link (%s model, %.3g GHz): %.2f mm\n",
 			mk, tc.Clock/1e9, lm.MaxLength()*1e3)
 	}
 
 	if *fo4Flag {
-		fmt.Fprintln(os.Stderr, "characterizing library for FO4...")
+		fmt.Fprintln(stderr, "characterizing library for FO4...")
 		lib, err := liberty.Get(tc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "techinfo:", err)
-			os.Exit(1)
+			return err
 		}
 		fo4, err := lib.FO4(8)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "techinfo:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("FO4 delay:  %.2f ps\n", fo4*1e12)
+		fmt.Fprintf(stdout, "FO4 delay:  %.2f ps\n", fo4*1e12)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "techinfo:", err)
+		}
+		os.Exit(1)
 	}
 }

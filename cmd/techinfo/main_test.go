@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "90nm"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"devices:", "global wire:", "per mm:", "max feasible link"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONDump(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "65nm", "-json"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc["Name"] != "65nm" {
+		t.Errorf("dumped descriptor names %v, want 65nm", doc["Name"])
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "flag") {
+		t.Errorf("no usage/diagnostic on stderr: %s", errOut.String())
+	}
+}
+
+func TestRunUnknownTech(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "13nm"}, &out, &errOut); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+	if out.Len() != 0 {
+		t.Errorf("partial output despite the error: %s", out.String())
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -19,18 +20,21 @@ import (
 	"repro/internal/experiments"
 )
 
-func main() {
-	techFlag := flag.String("tech", "90nm,65nm,45nm", "comma-separated technologies")
-	lenFlag := flag.String("lengths", "1,3,5,10,15", "line lengths in mm")
-	rt := flag.Bool("rt", false, "measure the runtime-ratio column (slower)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techFlag := fs.String("tech", "90nm,65nm,45nm", "comma-separated technologies")
+	lenFlag := fs.String("lengths", "1,3,5,10,15", "line lengths in mm")
+	rt := fs.Bool("rt", false, "measure the runtime-ratio column (slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var lengths []float64
 	for _, s := range strings.Split(*lenFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "validate: bad length:", err)
-			os.Exit(1)
+			return fmt.Errorf("bad length: %w", err)
 		}
 		lengths = append(lengths, v)
 	}
@@ -40,24 +44,23 @@ func main() {
 		LengthsMM:      lengths,
 		MeasureRuntime: *rt,
 	}
-	fmt.Fprintln(os.Stderr, "validate: characterizing libraries and running golden analyses...")
+	fmt.Fprintln(stderr, "validate: characterizing libraries and running golden analyses...")
 	rows, err := experiments.TableII(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "validate:", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Println("TABLE II: EVALUATION OF MODEL ACCURACY")
-	fmt.Println("(errors are (model - golden)/golden; PT is the golden sign-off delay)")
-	fmt.Println()
-	fmt.Printf("%-6s %-9s %6s %5s %5s %12s %8s %8s %8s %8s\n",
+	fmt.Fprintln(stdout, "TABLE II: EVALUATION OF MODEL ACCURACY")
+	fmt.Fprintln(stdout, "(errors are (model - golden)/golden; PT is the golden sign-off delay)")
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "%-6s %-9s %6s %5s %5s %12s %8s %8s %8s %8s\n",
 		"tech", "style", "L[mm]", "N", "size", "PT[ps]", "B[%]", "P[%]", "Prop[%]", "RT[x]")
 	for _, r := range rows {
 		rtCol := "-"
 		if r.RuntimeRatio > 0 {
 			rtCol = fmt.Sprintf("%.0f", r.RuntimeRatio)
 		}
-		fmt.Printf("%-6s %-9s %6.1f %5d %5g %12.1f %+8.1f %+8.1f %+8.1f %8s\n",
+		fmt.Fprintf(stdout, "%-6s %-9s %6.1f %5d %5g %12.1f %+8.1f %+8.1f %+8.1f %8s\n",
 			r.Tech, r.Style, r.Length*1e3, r.N, r.Size, r.Golden*1e12,
 			r.ErrBakoglu*100, r.ErrPamunuwa*100, r.ErrProposed*100, rtCol)
 	}
@@ -75,9 +78,10 @@ func main() {
 			worstBase = a
 		}
 	}
-	fmt.Println()
-	fmt.Printf("worst |proposed| error: %.1f%%   worst |baseline| error: %.1f%%\n", worstProp*100, worstBase*100)
-	fmt.Println("(paper: proposed within ~12%, baselines -7%..+106%)")
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "worst |proposed| error: %.1f%%   worst |baseline| error: %.1f%%\n", worstProp*100, worstBase*100)
+	fmt.Fprintln(stdout, "(paper: proposed within ~12%, baselines -7%..+106%)")
+	return nil
 }
 
 func abs(x float64) float64 {
@@ -85,4 +89,13 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "validate:", err)
+		}
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden analyses are seconds of work")
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "90nm", "-lengths", "1"}, &out, &errOut); err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"TABLE II", "Prop[%]", "worst |proposed| error"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "flag") {
+		t.Errorf("no usage/diagnostic on stderr: %s", errOut.String())
+	}
+}
+
+func TestRunBadLength(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-lengths", "1,banana"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("unparseable length accepted")
+	}
+	if !strings.Contains(err.Error(), "bad length") {
+		t.Errorf("error %q does not name the bad length", err)
+	}
+}
+
+func TestRunUnknownTech(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tech", "13nm", "-lengths", "1"}, &out, &errOut); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Serving-layer demo: talk to a running predintd instance and show
+// the hardened contract — a full Monte Carlo yield estimate, then the
+// same question constrained enough to come back degraded (the
+// closed-form nominal estimate, marked as such).
+//
+// Start the server first, then run the client:
+//
+//	go run ./cmd/predintd -max-yield-cost 1024 &
+//	go run ./examples/predintd
+//
+// Point it elsewhere with PREDINTD_ADDR=host:port.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func post(client *http.Client, url, body string) (map[string]any, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("non-JSON response (%d): %.200s", resp.StatusCode, raw)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %v (Retry-After %q)",
+			resp.StatusCode, doc["error"], resp.Header.Get("Retry-After"))
+	}
+	return doc, nil
+}
+
+func main() {
+	addr := os.Getenv("PREDINTD_ADDR")
+	if addr == "" {
+		addr = "localhost:8080"
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	if _, err := client.Get(base + "/healthz"); err != nil {
+		log.Fatalf("no predintd at %s — start one with `go run ./cmd/predintd` (%v)", addr, err)
+	}
+
+	// A link design: the facade's DesignLink over the wire.
+	link, err := post(client, base+"/v1/link", `{"tech": "65nm", "length_mm": 5}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5 mm link at 65nm: %v repeaters of size D%v, delay %.1f ps\n",
+		link["repeaters"], link["repeater_size"], link["delay_s"].(float64)*1e12)
+
+	// An affordable yield estimation runs the full Monte Carlo engine.
+	full, err := post(client, base+"/v1/yield",
+		`{"tech": "65nm", "length_mm": 5, "samples": 1024, "seed": 1, "target_ps": 560}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yield (%v samples): %.4f ± %.2g\n",
+		full["samples"], full["yield"].(float64), full["ci95"].(float64))
+
+	// A budget past the server's -max-yield-cost ceiling degrades: the
+	// server answers with the closed-form nominal-corner evaluation
+	// instead of queueing an unbounded amount of work. The marker and
+	// the vacuous rule-of-three bound make the downgrade explicit.
+	degraded, err := post(client, base+"/v1/yield",
+		`{"tech": "65nm", "length_mm": 5, "samples": 1000000, "seed": 1, "target_ps": 560}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1M-sample request: degraded=%v, nominal delay %.1f ps, yield step %v, fail-prob bound %v\n",
+		degraded["degraded"], degraded["nominal_delay_s"].(float64)*1e12,
+		degraded["yield"], degraded["fail_prob_bound"])
+
+	// The serving metrics (queue depth, sheds, degrades, latency
+	// quantiles) ride the same /metrics snapshot as the engine
+	// counters.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server so far: %d requests, %d shed, %d degraded, p99 %d µs\n",
+		snap["predintd.requests"], snap["predintd.shed"],
+		snap["predintd.degraded"], snap["predintd.latency.p99_us"])
+}

@@ -1,0 +1,21 @@
+//go:build prod
+
+package faultinject
+
+// Compiled reports whether the registry is present in this build:
+// `prod` builds stub every entry point to a constant no-op, so a
+// production binary cannot be made to inject faults.
+const Compiled = false
+
+// Activate is a no-op in prod builds; the restore func does nothing.
+func Activate(Plan) (restore func()) { return func() {} }
+
+// Enabled always reports false in prod builds.
+func Enabled() bool { return false }
+
+// Hits always reports zero in prod builds.
+func Hits(string) uint64 { return 0 }
+
+// Hit is a constant no-op in prod builds; the inliner erases it from
+// the instrumented call sites.
+func Hit(string) error { return nil }

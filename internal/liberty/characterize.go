@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/spice"
 	"repro/internal/tech"
 )
@@ -55,6 +56,12 @@ const bufferFirstStageRatio = 4.0
 // of the paper's "generate the data set using SPICE simulations" step
 // for technologies without Liberty files.
 func Characterize(tc *tech.Technology, opts CharOpts) (*Library, error) {
+	// Fault point for robustness tests; note Get memoizes whatever
+	// Characterize returns (including an injected failure), so fault
+	// tests target Characterize directly rather than Get.
+	if err := faultinject.Hit("liberty.characterize"); err != nil {
+		return nil, err
+	}
 	if err := tc.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,37 @@
+package liberty
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tech"
+)
+
+// TestCharacterizeInjectedFault: the characterization entry point is
+// instrumented, so a serving stack built on top of it can prove its
+// behavior when foundry-data generation fails. Characterize (not Get)
+// is targeted because Get memoizes failures process-wide.
+func TestCharacterizeInjectedFault(t *testing.T) {
+	defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+		"liberty.characterize": {Kind: faultinject.Error, Times: 1},
+	}})()
+	tc := tech.MustLookup("90nm")
+	if _, err := Characterize(tc, CharOpts{}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("got %v, want the injected error", err)
+	}
+	// The fault budget is spent; characterization is healthy again
+	// (restricted grid keeps this fast).
+	lib, err := Characterize(tc, CharOpts{
+		Sizes:         []float64{4},
+		SlewAxis:      []float64{100e-12, 300e-12},
+		LoadMultiples: []float64{1, 4},
+		Kinds:         []CellKind{Inverter},
+	})
+	if err != nil {
+		t.Fatalf("characterization after fault: %v", err)
+	}
+	if len(lib.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(lib.Cells))
+	}
+}

@@ -1,0 +1,71 @@
+package liberty
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// FuzzParseLibrary drives the Liberty parser with arbitrary input. The
+// invariants: never panic or recurse without bound, and any input the
+// parser accepts must be a usable library — non-empty and re-emittable
+// by WriteLibrary without error.
+func FuzzParseLibrary(f *testing.F) {
+	// A genuinely characterized library is the richest seed: every
+	// production of the grammar the writer can emit.
+	lib, err := Characterize(tech.MustLookup("90nm"), CharOpts{
+		Sizes:         []float64{4},
+		SlewAxis:      []float64{50e-12, 200e-12},
+		LoadMultiples: []float64{3, 20},
+		Kinds:         []CellKind{Inverter},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		f.Fatal(err)
+	}
+	emitted := buf.String()
+	f.Add(emitted)
+	// The comment-injection case from the round-trip tests.
+	f.Add(strings.Replace(emitted, "library (", "/* header\ncomment */ library (", 1))
+	// The known rejection cases.
+	for _, s := range []string{
+		"",
+		"cell (X) { }",
+		`library (l) { technology : "90nm";`,
+		`library (l) { cell (INVD4) { } }`,
+		`library (l) { technology : "7nm"; cell (INVD4) { } }`,
+		`library (l) { technology : "90nm"; }`,
+		`library (l) { technology : "90nm"; cell (NAND2) { } }`,
+		`library (l) { technology : "90nm`,
+		`library (l) { /* nope `,
+		`library (l) { a : 1; b (1, 2); \` + "\n" + `}`,
+	} {
+		f.Add(s)
+	}
+	// Deep nesting (the recursion-depth cap) and comment storms (the
+	// formerly quadratic scanner).
+	f.Add("library (l) { " + strings.Repeat("g (1) { ", 200))
+	f.Add("library (l) { " + strings.Repeat("/*x*/ ", 500) + "}")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		parsed, err := ParseLibrary(strings.NewReader(in))
+		if err != nil {
+			if parsed != nil {
+				t.Fatalf("error %v alongside a non-nil library", err)
+			}
+			return
+		}
+		if parsed == nil || len(parsed.Cells) == 0 || parsed.Tech == nil {
+			t.Fatalf("accepted input produced a degenerate library: %+v", parsed)
+		}
+		if err := WriteLibrary(io.Discard, parsed); err != nil {
+			t.Fatalf("accepted library cannot be re-emitted: %v", err)
+		}
+	})
+}

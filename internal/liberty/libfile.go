@@ -16,6 +16,7 @@ package liberty
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -138,11 +139,13 @@ func (lx *lexer) next() (libToken, error) {
 		case c == '\\': // line continuation
 			lx.pos++
 		case c == '/' && lx.pos+1 < len(lx.data) && lx.data[lx.pos+1] == '*':
-			end := strings.Index(string(lx.data[lx.pos+2:]), "*/")
+			// Scan over the raw bytes: converting the tail to a string
+			// per comment made a file of n comments cost O(n²) copies.
+			end := bytes.Index(lx.data[lx.pos+2:], []byte("*/"))
 			if end < 0 {
 				return libToken{}, lx.errf("unterminated comment")
 			}
-			lx.line += strings.Count(string(lx.data[lx.pos:lx.pos+end+4]), "\n")
+			lx.line += bytes.Count(lx.data[lx.pos:lx.pos+end+4], []byte("\n"))
 			lx.pos += end + 4
 		default:
 			return lx.scanToken()
@@ -187,11 +190,18 @@ func (lx *lexer) scanToken() (libToken, error) {
 	}
 }
 
+// maxGroupDepth bounds group nesting. Real Liberty files nest a
+// handful of levels (library → cell → pin → timing → table); the cap
+// turns a pathological deeply-nested input into a parse error instead
+// of unbounded recursion blowing the stack.
+const maxGroupDepth = 100
+
 // parser consumes the token stream into a generic group tree, then
 // interprets it.
 type parser struct {
 	lx     *lexer
 	peeked *libToken
+	depth  int
 }
 
 func (p *parser) next() (libToken, error) {
@@ -243,6 +253,11 @@ func (p *parser) parseGroup(name string) (*group, error) {
 
 // fillGroupBody parses the body of a group whose `{` was consumed.
 func (p *parser) fillGroupBody(g *group) error {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxGroupDepth {
+		return p.lx.errf("group nesting deeper than %d levels", maxGroupDepth)
+	}
 	for {
 		t, err := p.next()
 		if err != nil {

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -24,9 +26,20 @@ const designCacheShards = 16
 
 // Design-cache observability (see internal/obs).
 var (
-	metCacheHits   = obs.NewCounter("noc.design_cache.hits")
-	metCacheMisses = obs.NewCounter("noc.design_cache.misses")
-	metDesigns     = obs.NewCounter("noc.designs_computed")
+	metCacheHits    = obs.NewCounter("noc.design_cache.hits")
+	metCacheMisses  = obs.NewCounter("noc.design_cache.misses")
+	metCacheRetries = obs.NewCounter("noc.design_cache.retries")
+	metDesigns      = obs.NewCounter("noc.designs_computed")
+)
+
+// Retry policy for transient compute failures (see computeRetrying):
+// up to maxComputeRetries re-attempts with exponential backoff from
+// computeRetryBase, each sleep jittered deterministically by the
+// (bucket, attempt) hash so a retry storm across shards never
+// synchronizes.
+const (
+	maxComputeRetries = 3
+	computeRetryBase  = time.Millisecond
 )
 
 // DesignCache is a concurrency-safe memoizing wrapper around a
@@ -102,7 +115,42 @@ func designVia(ctx context.Context, lm LinkModel, length float64) (LinkDesign, e
 // context rather than the design problem itself. Such errors must not
 // be memoized: the next caller, with a live context, may well succeed.
 func transientErr(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		faultinject.IsTransient(err)
+}
+
+// computeRetrying runs one bucket's design computation, retrying
+// transient (retryable, non-context) failures with jittered
+// exponential backoff. Context errors are returned immediately — the
+// caller's deadline owns those — and a transient error that survives
+// every retry is returned as-is so the cache never memoizes it.
+func (c *DesignCache) computeRetrying(ctx context.Context, q int64, length float64) (LinkDesign, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return LinkDesign{}, err
+		}
+		d, err := func() (LinkDesign, error) {
+			if err := faultinject.Hit("noc.cache.compute"); err != nil {
+				return LinkDesign{}, err
+			}
+			return designVia(ctx, c.LinkModel, length)
+		}()
+		if err == nil || !faultinject.IsTransient(err) || attempt >= maxComputeRetries {
+			return d, err
+		}
+		metCacheRetries.Inc()
+		time.Sleep(retryBackoff(q, attempt))
+	}
+}
+
+// retryBackoff is the attempt'th sleep for bucket q: exponential from
+// computeRetryBase with a deterministic jitter factor in [0.5, 1.5)
+// keyed by (bucket, attempt), so retries are reproducible in tests yet
+// de-synchronized across buckets in a sweep.
+func retryBackoff(q int64, attempt int) time.Duration {
+	base := computeRetryBase << uint(attempt)
+	jitter := 0.5 + faultinject.Uniform(uint64(q), "noc.cache.retry", uint64(attempt))
+	return time.Duration(float64(base) * jitter)
 }
 
 // Design returns the cached design for the quantized length,
@@ -152,7 +200,7 @@ func (c *DesignCache) DesignCtx(ctx context.Context, length float64) (LinkDesign
 		return LinkDesign{}, err
 	}
 	metCacheMisses.Inc()
-	d, err := designVia(ctx, c.LinkModel, float64(q)*lengthQuantum)
+	d, err := c.computeRetrying(ctx, q, float64(q)*lengthQuantum)
 	if err != nil && transientErr(err) {
 		return LinkDesign{}, err
 	}

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler serves the metrics snapshot as JSON.
@@ -30,9 +32,20 @@ func DebugMux() *http.ServeMux {
 	return mux
 }
 
+// debugStopTimeout bounds how long StartDebugServer's stop function
+// waits for in-flight requests (a pprof profile capture can legitimately
+// run for seconds) before closing connections outright.
+const debugStopTimeout = 5 * time.Second
+
 // StartDebugServer listens on addr and serves DebugMux in a background
 // goroutine, returning the bound address (useful with ":0") and a stop
 // function. The CLIs start one behind their -debug-addr flags.
+//
+// The stop function drains gracefully: it stops accepting new
+// connections immediately, then waits up to debugStopTimeout for
+// in-flight requests — an interrupted CLI run shouldn't truncate the
+// very profile capture it was being debugged with — and only then
+// falls back to Close.
 func StartDebugServer(addr string) (boundAddr string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -40,5 +53,12 @@ func StartDebugServer(addr string) (boundAddr string, stop func(), err error) {
 	}
 	srv := &http.Server{Handler: DebugMux()}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), debugStopTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
 }

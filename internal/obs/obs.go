@@ -14,9 +14,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric (events, items,
@@ -49,8 +52,119 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// metric is the registry's view of one counter or gauge.
+// histBuckets is the bucket count of a Histogram: bucket 0 holds
+// sub-microsecond observations, bucket i (1..32) holds durations with
+// 2^(i-1) ≤ µs < 2^i, and the last bucket absorbs everything from
+// ~71 minutes up.
+const histBuckets = 34
+
+// Histogram is a fixed log2-bucketed latency distribution
+// (microsecond resolution, lock-free Observe). It exposes itself
+// through the registry as three derived metrics — <name>.count,
+// <name>.p50_us and <name>.p99_us — so the existing snapshot/JSON
+// plumbing carries quantiles without learning a new value type.
+// Quantiles are bucket upper bounds, i.e. conservative to within the
+// 2× bucket width.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[histBucket(d.Microseconds())].Add(1)
+}
+
+func histBucket(us int64) int {
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Quantile returns the q-quantile (q in (0,1]) in microseconds: the
+// inclusive upper bound of the bucket holding the rank-⌈q·n⌉
+// observation, or 0 when empty. The bucket counts are copied first so
+// a concurrent Observe cannot make the rank walk disagree with the
+// total.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return (int64(1) << uint(i)) - 1
+		}
+	}
+	return (int64(1) << uint(histBuckets-1)) - 1
+}
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// histCount and histQuantile adapt a Histogram to the registry's
+// int64-valued metric interface.
+type histCount struct{ h *Histogram }
+
+func (m histCount) Value() int64 { return m.h.Count() }
+func (m histCount) reset()       { m.h.reset() }
+
+type histQuantile struct {
+	h *Histogram
+	q float64
+}
+
+func (m histQuantile) Value() int64 { return m.h.Quantile(m.q) }
+func (m histQuantile) reset()       { m.h.reset() }
+
+// NewHistogram registers a latency histogram under a dotted base name,
+// surfacing <name>.count, <name>.p50_us and <name>.p99_us in the
+// snapshot.
+func NewHistogram(name string) *Histogram {
+	h := &Histogram{}
+	register(name+".count", histCount{h})
+	register(name+".p50_us", histQuantile{h, 0.50})
+	register(name+".p99_us", histQuantile{h, 0.99})
+	return h
+}
+
+// metric is the registry's view of one counter, gauge, or histogram
+// facet.
 type metric interface{ Value() int64 }
+
+// resettable marks metrics Reset can zero beyond the two concrete
+// atomic types.
+type resettable interface{ reset() }
 
 var (
 	regMu    sync.Mutex
@@ -139,6 +253,8 @@ func Reset() {
 			v.v.Store(0)
 		case *Gauge:
 			v.v.Store(0)
+		case resettable:
+			v.reset()
 		}
 	}
 }

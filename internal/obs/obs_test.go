@@ -8,11 +8,13 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var (
 	testCounter = NewCounter("obs_test.counter")
 	testGauge   = NewGauge("obs_test.gauge")
+	testHist    = NewHistogram("obs_test.hist")
 )
 
 func TestCounterAndGauge(t *testing.T) {
@@ -93,6 +95,71 @@ func TestWriteJSONIsValidAndSorted(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	Reset()
+	if testHist.Count() != 0 || testHist.Quantile(0.99) != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	// 90 fast observations in [64µs,128µs), 10 slow in [8192µs,16384µs):
+	// p50 lands in the fast bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		testHist.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		testHist.Observe(10 * time.Millisecond)
+	}
+	if n := testHist.Count(); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	if p50 := testHist.Quantile(0.50); p50 != 127 {
+		t.Errorf("p50 = %dµs, want 127 (upper bound of [64,128))", p50)
+	}
+	if p99 := testHist.Quantile(0.99); p99 != 16383 {
+		t.Errorf("p99 = %dµs, want 16383 (upper bound of [8192,16384))", p99)
+	}
+	snap := Snapshot()
+	if snap["obs_test.hist.count"] != 100 || snap["obs_test.hist.p50_us"] != 127 || snap["obs_test.hist.p99_us"] != 16383 {
+		t.Errorf("snapshot facets wrong: count=%d p50=%d p99=%d",
+			snap["obs_test.hist.count"], snap["obs_test.hist.p50_us"], snap["obs_test.hist.p99_us"])
+	}
+	Reset()
+	if testHist.Count() != 0 {
+		t.Fatal("Reset did not zero the histogram")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	Reset()
+	testHist.Observe(0) // sub-µs → bucket 0, quantile 0
+	if q := testHist.Quantile(1); q != 0 {
+		t.Errorf("sub-µs quantile = %d, want 0", q)
+	}
+	Reset()
+	testHist.Observe(100 * time.Hour) // beyond the last bucket boundary
+	if q := testHist.Quantile(1); q != (int64(1)<<(histBuckets-1))-1 {
+		t.Errorf("overflow quantile = %d, want the last bucket bound", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	Reset()
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				testHist.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := testHist.Count(); n != goroutines*per {
+		t.Fatalf("count = %d, want %d", n, goroutines*per)
+	}
+}
+
 func TestDebugServer(t *testing.T) {
 	Reset()
 	testCounter.Add(9)
@@ -126,5 +193,50 @@ func TestDebugServer(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index does not list profiles:\n%.200s", body)
+	}
+}
+
+// TestDebugServerStopDrainsInflight is the regression test for the
+// stop function abandoning in-flight requests: a CPU profile capture
+// that outlives the stop call must still complete with a full 200
+// response, because stop now drains via Shutdown instead of Close.
+func TestDebugServerStopDrainsInflight(t *testing.T) {
+	addr, stop, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/profile?seconds=1", addr))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+	// Let the profile request get in flight, then stop the server
+	// while the 1-second capture is still running.
+	time.Sleep(150 * time.Millisecond)
+	stop()
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight profile dropped by stop: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("profile status %d, body %.200s", res.status, res.body)
+	}
+	if len(res.body) == 0 {
+		t.Fatal("profile body empty")
+	}
+	// New connections must be refused once stop returns.
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Fatal("server still accepting connections after stop")
 	}
 }

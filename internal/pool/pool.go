@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -69,7 +70,9 @@ func (e *PanicError) Error() string {
 }
 
 // call invokes fn(i), converting a panic into a *PanicError so one
-// bad item cannot crash the process with the index lost.
+// bad item cannot crash the process with the index lost. The
+// "pool.item" fault point fires inside the recover scope, so injected
+// panics exercise exactly the recovery path a panicking fn would.
 func call(fn func(i int) error, i int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -77,6 +80,9 @@ func call(fn func(i int) error, i int) (err error) {
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
+	if err := faultinject.Hit("pool.item"); err != nil {
+		return err
+	}
 	return fn(i)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/pool"
 )
@@ -217,6 +218,12 @@ func RunCtx(ctx context.Context, o Options, trial Trial) (Estimate, error) {
 	contrib := make([]float64, o.Batch)
 	for done := 0; done < o.Samples; {
 		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
+		// Fault point at the batch boundary: robustness tests inject
+		// errors/delays here to prove a failing estimator surfaces
+		// promptly instead of burning the remaining budget.
+		if err := faultinject.Hit("variation.batch"); err != nil {
 			return Estimate{}, err
 		}
 		batch := o.Batch

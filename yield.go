@@ -17,6 +17,9 @@ import (
 // designed link, optionally with the ISLE-style importance-sampling
 // estimator for deep-tail failure probabilities, and yield-aware
 // buffering that resizes the repeaters until a yield target holds.
+// LinkYieldNominal is the graceful-degradation path the serving layer
+// (cmd/predintd) falls back to when a cost budget or queue pressure
+// won't allow sampling.
 
 // Defaults applied to unset (nil) optional YieldRequest fields.
 const (
@@ -111,6 +114,144 @@ type YieldResult struct {
 	// Resized reports whether YieldTarget moved the design away from
 	// the nominal weighted-objective solution.
 	Resized bool
+	// Degraded reports that this result came from LinkYieldNominal —
+	// the closed-form nominal-corner evaluation (model.ScaledFor with
+	// no perturbation), not a Monte Carlo estimation. Yield is then a
+	// 0/1 step around the target.
+	Degraded bool
+	// FailProbBound is only set on degraded results: the rule-of-three
+	// 95% upper bound on the failure probability given the evaluations
+	// actually performed, min(1, 3/n). With only the single nominal
+	// evaluation it is 1 — deliberately vacuous, telling the caller
+	// exactly how much statistical weight the degraded answer carries.
+	FailProbBound float64
+}
+
+// yieldPlan is a validated, derived YieldRequest: every optional
+// field resolved, the technology and coefficients looked up, and the
+// engine option structs built. Both the full Monte Carlo path and the
+// degraded nominal path start from here, so the two can never drift
+// in how they interpret a request.
+type yieldPlan struct {
+	tc      *tech.Technology
+	coeffs  *model.Coefficients
+	seg     wire.Segment
+	bufOpts buffering.Options
+	space   variation.Space
+	mc      variation.YieldOptions
+	target  float64
+	slew    float64
+	yt      *float64
+}
+
+// plan validates the request and derives the evaluation inputs.
+func (req YieldRequest) plan() (*yieldPlan, error) {
+	tc, err := tech.Lookup(req.Tech)
+	if err != nil {
+		return nil, err
+	}
+	if req.LengthMM <= 0 {
+		return nil, fmt.Errorf("predint: non-positive length %g mm", req.LengthMM)
+	}
+	style, err := req.Style.wireStyle()
+	if err != nil {
+		return nil, err
+	}
+	weight := DefaultPowerWeight
+	if req.PowerWeight != nil {
+		weight = *req.PowerWeight
+		if math.IsNaN(weight) || weight < 0 || weight >= 1 {
+			return nil, fmt.Errorf("predint: power weight %g outside [0,1)", weight)
+		}
+	}
+	slewPS := DefaultInputSlewPS
+	if req.InputSlewPS != nil {
+		slewPS = *req.InputSlewPS
+		if math.IsNaN(slewPS) || slewPS <= 0 {
+			return nil, fmt.Errorf("predint: non-positive input slew %g ps", slewPS)
+		}
+	}
+	target := 1 / tc.Clock
+	if req.TargetPS != nil {
+		if math.IsNaN(*req.TargetPS) || *req.TargetPS <= 0 {
+			return nil, fmt.Errorf("predint: non-positive delay target %g ps", *req.TargetPS)
+		}
+		target = *req.TargetPS * 1e-12
+	}
+	samples := DefaultYieldSamples
+	if req.Samples != nil {
+		samples = *req.Samples
+		if samples <= 0 {
+			return nil, fmt.Errorf("predint: non-positive sample count %d", samples)
+		}
+	}
+	relErr := 0.0
+	if req.RelErr != nil {
+		relErr = *req.RelErr
+		if math.IsNaN(relErr) || relErr < 0 {
+			return nil, fmt.Errorf("predint: negative relative-error target %g", relErr)
+		}
+	}
+	absErr := 0.0
+	if req.AbsErr != nil {
+		absErr = *req.AbsErr
+		if math.IsNaN(absErr) || absErr < 0 {
+			return nil, fmt.Errorf("predint: negative absolute-error target %g", absErr)
+		}
+	}
+	sigma := 1.0
+	if req.SigmaScale != nil {
+		sigma = *req.SigmaScale
+		if math.IsNaN(sigma) || sigma < 0 {
+			return nil, fmt.Errorf("predint: negative sigma scale %g", sigma)
+		}
+	}
+	if req.YieldTarget != nil {
+		yt := *req.YieldTarget
+		if math.IsNaN(yt) || yt <= 0 || yt >= 1 {
+			return nil, fmt.Errorf("predint: yield target %g outside (0,1)", yt)
+		}
+	}
+
+	coeffs, err := coefficientsFor(tc)
+	if err != nil {
+		return nil, err
+	}
+	slew := slewPS * 1e-12
+	return &yieldPlan{
+		tc:     tc,
+		coeffs: coeffs,
+		seg:    wire.NewSegment(tc, req.LengthMM*1e-3, style),
+		bufOpts: buffering.Options{
+			Coeffs:      coeffs,
+			InputSlew:   slew,
+			Power:       model.PowerParams{Activity: DefaultActivityFactor, Freq: tc.Clock},
+			PowerWeight: weight,
+		},
+		space: variation.DefaultSpace().Scaled(sigma),
+		mc: variation.YieldOptions{
+			Samples:            samples,
+			RelErr:             relErr,
+			AbsErr:             absErr,
+			Workers:            req.Workers,
+			Seed:               req.Seed,
+			ImportanceSampling: req.ImportanceSampling,
+		},
+		target: target,
+		slew:   slew,
+		yt:     req.YieldTarget,
+	}, nil
+}
+
+// scenario binds a designed line to the plan's variation space.
+func (p *yieldPlan) scenario(des buffering.Design) *variation.LinkScenario {
+	return &variation.LinkScenario{
+		Base:   p.tc,
+		Coeffs: p.coeffs,
+		Space:  p.space,
+		Spec:   model.LineSpec{Kind: des.Kind, Size: des.Size, N: des.N, Segment: p.seg, InputSlew: p.slew},
+		Target: p.target,
+	}
 }
 
 // LinkYield estimates the timing yield of a buffered link under
@@ -133,120 +274,32 @@ func LinkYield(req YieldRequest) (YieldResult, error) {
 // ctx.Err() promptly and discards the partial accumulation. A run
 // that completes under a live context is bit-identical to LinkYield.
 func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
-	tc, err := tech.Lookup(req.Tech)
+	p, err := req.plan()
 	if err != nil {
 		return YieldResult{}, err
-	}
-	if req.LengthMM <= 0 {
-		return YieldResult{}, fmt.Errorf("predint: non-positive length %g mm", req.LengthMM)
-	}
-	style, err := req.Style.wireStyle()
-	if err != nil {
-		return YieldResult{}, err
-	}
-	weight := DefaultPowerWeight
-	if req.PowerWeight != nil {
-		weight = *req.PowerWeight
-		if math.IsNaN(weight) || weight < 0 || weight >= 1 {
-			return YieldResult{}, fmt.Errorf("predint: power weight %g outside [0,1)", weight)
-		}
-	}
-	slewPS := DefaultInputSlewPS
-	if req.InputSlewPS != nil {
-		slewPS = *req.InputSlewPS
-		if math.IsNaN(slewPS) || slewPS <= 0 {
-			return YieldResult{}, fmt.Errorf("predint: non-positive input slew %g ps", slewPS)
-		}
-	}
-	target := 1 / tc.Clock
-	if req.TargetPS != nil {
-		if math.IsNaN(*req.TargetPS) || *req.TargetPS <= 0 {
-			return YieldResult{}, fmt.Errorf("predint: non-positive delay target %g ps", *req.TargetPS)
-		}
-		target = *req.TargetPS * 1e-12
-	}
-	samples := DefaultYieldSamples
-	if req.Samples != nil {
-		samples = *req.Samples
-		if samples <= 0 {
-			return YieldResult{}, fmt.Errorf("predint: non-positive sample count %d", samples)
-		}
-	}
-	relErr := 0.0
-	if req.RelErr != nil {
-		relErr = *req.RelErr
-		if math.IsNaN(relErr) || relErr < 0 {
-			return YieldResult{}, fmt.Errorf("predint: negative relative-error target %g", relErr)
-		}
-	}
-	absErr := 0.0
-	if req.AbsErr != nil {
-		absErr = *req.AbsErr
-		if math.IsNaN(absErr) || absErr < 0 {
-			return YieldResult{}, fmt.Errorf("predint: negative absolute-error target %g", absErr)
-		}
-	}
-	sigma := 1.0
-	if req.SigmaScale != nil {
-		sigma = *req.SigmaScale
-		if math.IsNaN(sigma) || sigma < 0 {
-			return YieldResult{}, fmt.Errorf("predint: negative sigma scale %g", sigma)
-		}
-	}
-
-	coeffs, err := coefficientsFor(tc)
-	if err != nil {
-		return YieldResult{}, err
-	}
-	seg := wire.NewSegment(tc, req.LengthMM*1e-3, style)
-	bufOpts := buffering.Options{
-		Coeffs:      coeffs,
-		InputSlew:   slewPS * 1e-12,
-		Power:       model.PowerParams{Activity: DefaultActivityFactor, Freq: tc.Clock},
-		PowerWeight: weight,
-	}
-	space := variation.DefaultSpace().Scaled(sigma)
-	mc := variation.YieldOptions{
-		Samples:            samples,
-		RelErr:             relErr,
-		AbsErr:             absErr,
-		Workers:            req.Workers,
-		Seed:               req.Seed,
-		ImportanceSampling: req.ImportanceSampling,
 	}
 
 	var des buffering.Design
 	var est variation.Estimate
 	resized := false
-	if req.YieldTarget != nil {
-		yt := *req.YieldTarget
-		if math.IsNaN(yt) || yt <= 0 || yt >= 1 {
-			return YieldResult{}, fmt.Errorf("predint: yield target %g outside (0,1)", yt)
-		}
-		sized, err := variation.SizeForYieldCtx(ctx, tc, seg, variation.SizingOptions{
-			Buffering:   bufOpts,
-			Space:       space,
-			Target:      target,
-			YieldTarget: yt,
-			MC:          mc,
+	if p.yt != nil {
+		sized, err := variation.SizeForYieldCtx(ctx, p.tc, p.seg, variation.SizingOptions{
+			Buffering:   p.bufOpts,
+			Space:       p.space,
+			Target:      p.target,
+			YieldTarget: *p.yt,
+			MC:          p.mc,
 		})
 		if err != nil {
 			return YieldResult{}, err
 		}
 		des, est, resized = sized.Design, sized.Estimate, sized.Resized
 	} else {
-		des, err = buffering.Optimize(seg, bufOpts)
+		des, err = buffering.Optimize(p.seg, p.bufOpts)
 		if err != nil {
 			return YieldResult{}, err
 		}
-		sc := &variation.LinkScenario{
-			Base:   tc,
-			Coeffs: coeffs,
-			Space:  space,
-			Spec:   model.LineSpec{Kind: des.Kind, Size: des.Size, N: des.N, Segment: seg, InputSlew: slewPS * 1e-12},
-			Target: target,
-		}
-		est, err = variation.EstimateLinkYieldCtx(ctx, sc, mc)
+		est, err = variation.EstimateLinkYieldCtx(ctx, p.scenario(des), p.mc)
 		if err != nil {
 			return YieldResult{}, err
 		}
@@ -256,7 +309,7 @@ func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 		Repeaters:         des.N,
 		RepeaterSize:      des.Size,
 		NominalDelay:      des.Delay,
-		Target:            target,
+		Target:            p.target,
 		Yield:             est.Yield,
 		FailProb:          est.FailProb,
 		StdErr:            est.StdErr,
@@ -265,5 +318,58 @@ func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 		ImportanceSampled: est.Shifted,
 		VarianceReduction: est.VarianceReduction,
 		Resized:           resized,
+	}, nil
+}
+
+// LinkYieldNominal is the graceful-degradation fallback for LinkYield:
+// it validates the request identically, designs the link identically,
+// but replaces the Monte Carlo estimation with a single closed-form
+// evaluation at the nominal process corner (model.ScaledFor against an
+// unperturbed technology — microseconds, not milliseconds). The
+// result is marked Degraded, its Yield collapses to a 0/1 step around
+// the target, and FailProbBound carries the (vacuous, and therefore
+// honest) rule-of-three bound for the single evaluation performed.
+// A YieldTarget is validated but not acted on — resizing needs
+// sampling — so Resized is always false.
+//
+// cmd/predintd serves this path when a request's cost budget or the
+// admission-queue pressure won't allow sampling.
+func LinkYieldNominal(req YieldRequest) (YieldResult, error) {
+	return LinkYieldNominalCtx(context.Background(), req)
+}
+
+// LinkYieldNominalCtx is LinkYieldNominal under a context; only an
+// up-front check applies, as the evaluation itself is a handful of
+// closed-form model calls.
+func LinkYieldNominalCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
+	if err := ctx.Err(); err != nil {
+		return YieldResult{}, err
+	}
+	p, err := req.plan()
+	if err != nil {
+		return YieldResult{}, err
+	}
+	des, err := buffering.Optimize(p.seg, p.bufOpts)
+	if err != nil {
+		return YieldResult{}, err
+	}
+	nominal, err := p.scenario(des).NominalDelay()
+	if err != nil {
+		return YieldResult{}, err
+	}
+	fail := 0.0
+	if nominal > p.target {
+		fail = 1
+	}
+	return YieldResult{
+		Repeaters:     des.N,
+		RepeaterSize:  des.Size,
+		NominalDelay:  nominal,
+		Target:        p.target,
+		Yield:         1 - fail,
+		FailProb:      fail,
+		Samples:       1,
+		Degraded:      true,
+		FailProbBound: 1, // min(1, 3/n) at n = 1
 	}, nil
 }

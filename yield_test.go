@@ -136,6 +136,7 @@ func TestLinkYieldValidation(t *testing.T) {
 		"zero-target":      func(r *YieldRequest) { r.TargetPS = Float(0) },
 		"zero-samples":     func(r *YieldRequest) { r.Samples = Int(0) },
 		"negative-relerr":  func(r *YieldRequest) { r.RelErr = Float(-0.1) },
+		"negative-abserr":  func(r *YieldRequest) { r.AbsErr = Float(-0.1) },
 		"negative-sigma":   func(r *YieldRequest) { r.SigmaScale = Float(-1) },
 		"yield-target-one": func(r *YieldRequest) { r.YieldTarget = Float(1) },
 	} {
@@ -146,5 +147,69 @@ func TestLinkYieldValidation(t *testing.T) {
 		} else if !strings.Contains(err.Error(), ":") {
 			t.Errorf("%s: error %q lacks a package prefix", name, err)
 		}
+		// The degraded path shares the plan, so it must reject the
+		// same requests.
+		if _, err := LinkYieldNominal(req); err == nil {
+			t.Errorf("%s: degraded path accepted an invalid request", name)
+		}
+	}
+}
+
+// TestLinkYieldNominalMatchesFullPath: the degraded result evaluates
+// the same design the Monte Carlo path would — same repeater solution,
+// and a nominal delay that agrees with the full estimator's (both are
+// model.ScaledFor at the nominal corner, where scaling is the
+// identity).
+func TestLinkYieldNominalMatchesFullPath(t *testing.T) {
+	req := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(256), Seed: 1}
+	full, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := LinkYieldNominal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Repeaters != full.Repeaters || deg.RepeaterSize != full.RepeaterSize {
+		t.Fatalf("degraded design (%d, %g) diverged from full (%d, %g)",
+			deg.Repeaters, deg.RepeaterSize, full.Repeaters, full.RepeaterSize)
+	}
+	if deg.NominalDelay != full.NominalDelay {
+		t.Fatalf("degraded nominal delay %g != full-path %g", deg.NominalDelay, full.NominalDelay)
+	}
+	if !deg.Degraded || full.Degraded {
+		t.Fatalf("Degraded markers wrong: degraded=%v full=%v", deg.Degraded, full.Degraded)
+	}
+}
+
+// TestLinkYieldNominalContract pins the degraded-response contract the
+// serving layer documents: a 0/1 yield step around the target, a
+// single evaluation, and the vacuous rule-of-three bound.
+func TestLinkYieldNominalContract(t *testing.T) {
+	req := YieldRequest{Tech: "90nm", LengthMM: 5} // target = clock period, comfortably met
+	res, err := LinkYieldNominal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield != 1 || res.FailProb != 0 {
+		t.Fatalf("met target: yield %g / fail %g, want exactly 1 / 0", res.Yield, res.FailProb)
+	}
+	if res.Samples != 1 {
+		t.Fatalf("degraded result claims %d samples, want 1", res.Samples)
+	}
+	if res.FailProbBound != 1 {
+		t.Fatalf("rule-of-three bound %g at n=1, want 1", res.FailProbBound)
+	}
+	if res.Resized || res.ImportanceSampled {
+		t.Fatalf("degraded result claims sampling work: %+v", res)
+	}
+
+	req.TargetPS = Float(res.NominalDelay*1e12 - 1)
+	miss, err := LinkYieldNominal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Yield != 0 || miss.FailProb != 1 {
+		t.Fatalf("missed target: yield %g / fail %g, want exactly 0 / 1", miss.Yield, miss.FailProb)
 	}
 }
