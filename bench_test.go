@@ -18,6 +18,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sta"
 	"repro/internal/tech"
+	"repro/internal/variation"
 	"repro/internal/wire"
 	"repro/internal/wiresize"
 )
@@ -380,6 +381,7 @@ func BenchmarkLinkYield(b *testing.B) {
 		{"is-parallel", true, 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			req := YieldRequest{
 				Tech: "90nm", LengthMM: 5,
 				Samples: Int(2048), Seed: 1,
@@ -397,9 +399,73 @@ func BenchmarkLinkYield(b *testing.B) {
 			}
 			b.ReportMetric(res.Yield, "yield")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/2048, "ns/sample")
+			b.ReportMetric(2048, "samples/op")
 			if bc.is {
 				b.ReportMetric(res.VarianceReduction, "var-reduction-x")
 			}
 		})
 	}
+}
+
+// BenchmarkLinkYieldSweep measures the cross-candidate sampling kernel
+// on a 16-candidate sizing sweep of the 90nm 5mm link. "shared" scores
+// every candidate in one EstimateYieldsShared pass — one draw, one
+// perturbed technology, one rescaled coefficient set, and one wire
+// extraction per sample serve all 16 candidates (common random
+// numbers). "per-candidate" is the baseline that runs the single-link
+// estimator once per candidate with the same options, paying that
+// per-sample work 16 times over. ns/sample counts candidate-samples
+// (samples summed over candidates), so the two sub-benchmarks are
+// directly comparable; with -benchmem, allocs/op over samples/op is
+// the steady-state allocation rate the kernel pins near zero.
+func BenchmarkLinkYieldSweep(b *testing.B) {
+	tc := tech.MustLookup("90nm")
+	coeffs := model.MustDefault("90nm")
+	seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+	var specs []model.LineSpec
+	for _, size := range []float64{6, 8, 12, 16} {
+		for _, n := range []int{6, 8, 10, 12} {
+			specs = append(specs, model.LineSpec{
+				Kind: liberty.Inverter, Size: size, N: n,
+				Segment: seg, InputSlew: 300e-12,
+			})
+		}
+	}
+	const (
+		samples = 1024
+		target  = 520e-12
+	)
+	opts := variation.YieldOptions{Samples: samples, Seed: 1, Workers: 1}
+	total := float64(len(specs) * samples)
+
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		ms := &variation.MultiScenario{
+			Base: tc, Coeffs: coeffs, Space: variation.DefaultSpace(),
+			Specs: specs, Target: target,
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := variation.EstimateYieldsShared(ms, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/total, "ns/sample")
+		b.ReportMetric(total, "samples/op")
+	})
+	b.Run("per-candidate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, spec := range specs {
+				sc := &variation.LinkScenario{
+					Base: tc, Coeffs: coeffs, Space: variation.DefaultSpace(),
+					Spec: spec, Target: target,
+				}
+				if _, err := variation.EstimateLinkYield(sc, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/total, "ns/sample")
+		b.ReportMetric(total, "samples/op")
+	})
 }

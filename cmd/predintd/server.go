@@ -69,6 +69,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/link", s.admit(s.handleLink))
 	mux.HandleFunc("POST /v1/yield", s.admit(s.handleYield))
+	mux.HandleFunc("POST /v1/yield/batch", s.admit(s.handleYieldBatch))
 	mux.HandleFunc("POST /v1/noc", s.admit(s.handleNoC))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", obs.Handler())
@@ -317,15 +318,9 @@ type yieldResultDTO struct {
 	FailProbBound     float64 `json:"fail_prob_bound,omitempty"`
 }
 
-func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) {
-	if err := faultinject.Hit("predintd.handle"); err != nil {
-		return nil, err
-	}
-	var dto yieldRequestDTO
-	if err := decodeBody(nil, r, &dto); err != nil {
-		return nil, err
-	}
-	req := predint.YieldRequest{
+// yieldRequest maps the wire DTO onto the facade request.
+func (dto yieldRequestDTO) yieldRequest() predint.YieldRequest {
+	return predint.YieldRequest{
 		Tech:               dto.Tech,
 		LengthMM:           dto.LengthMM,
 		Style:              predint.Style(dto.Style),
@@ -341,27 +336,19 @@ func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) 
 		SigmaScale:         dto.SigmaScale,
 		YieldTarget:        dto.YieldTarget,
 	}
+}
 
-	// Graceful degradation: a Monte Carlo budget beyond the cost
-	// ceiling, or admission-time queue pressure, buys the closed-form
-	// nominal estimate instead of an error or an unbounded wait. The
-	// response is marked degraded and carries the vacuous rule-of-three
-	// bound so callers can't mistake it for a sampled estimate.
+// degradeYield decides the graceful-degradation path from the
+// requested Monte Carlo budget and the admission-time queue pressure.
+func (s *server) degradeYield(ctx context.Context, samplesField *int) bool {
 	samples := predint.DefaultYieldSamples
-	if dto.Samples != nil {
-		samples = *dto.Samples
+	if samplesField != nil {
+		samples = *samplesField
 	}
-	var res predint.YieldResult
-	var err error
-	if samples > s.maxYieldCost || pressured(ctx) {
-		metDegraded.Inc()
-		res, err = predint.LinkYieldNominalCtx(ctx, req)
-	} else {
-		res, err = predint.LinkYieldCtx(ctx, req)
-	}
-	if err != nil {
-		return nil, err
-	}
+	return samples > s.maxYieldCost || pressured(ctx)
+}
+
+func yieldResultDTOFrom(res predint.YieldResult) yieldResultDTO {
 	return yieldResultDTO{
 		Repeaters:         res.Repeaters,
 		RepeaterSize:      res.RepeaterSize,
@@ -377,7 +364,93 @@ func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) 
 		Resized:           res.Resized,
 		Degraded:          res.Degraded,
 		FailProbBound:     res.FailProbBound,
-	}, nil
+	}
+}
+
+func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) {
+	if err := faultinject.Hit("predintd.handle"); err != nil {
+		return nil, err
+	}
+	var dto yieldRequestDTO
+	if err := decodeBody(nil, r, &dto); err != nil {
+		return nil, err
+	}
+	req := dto.yieldRequest()
+
+	// Graceful degradation: a Monte Carlo budget beyond the cost
+	// ceiling, or admission-time queue pressure, buys the closed-form
+	// nominal estimate instead of an error or an unbounded wait. The
+	// response is marked degraded and carries the vacuous rule-of-three
+	// bound so callers can't mistake it for a sampled estimate.
+	var res predint.YieldResult
+	var err error
+	if s.degradeYield(ctx, dto.Samples) {
+		metDegraded.Inc()
+		res, err = predint.LinkYieldNominalCtx(ctx, req)
+	} else {
+		res, err = predint.LinkYieldCtx(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return yieldResultDTOFrom(res), nil
+}
+
+// ---- /v1/yield/batch ----
+
+type yieldCandidateDTO struct {
+	RepeaterSize float64 `json:"repeater_size"`
+	Repeaters    int     `json:"repeaters"`
+}
+
+type yieldBatchRequestDTO struct {
+	yieldRequestDTO
+	Candidates []yieldCandidateDTO `json:"candidates"`
+}
+
+type yieldBatchResultDTO struct {
+	TargetS float64          `json:"target_s"`
+	Results []yieldResultDTO `json:"results"`
+}
+
+// handleYieldBatch scores explicit candidate buffering solutions of
+// one link on common random numbers (predint.LinkYieldBatch): one
+// sample stream and one per-sample technology perturbation serve every
+// candidate. The same degradation rule as /v1/yield applies — past the
+// cost ceiling or under queue pressure every candidate gets the
+// closed-form nominal evaluation, marked degraded.
+func (s *server) handleYieldBatch(ctx context.Context, r *http.Request) (any, error) {
+	if err := faultinject.Hit("predintd.handle"); err != nil {
+		return nil, err
+	}
+	var dto yieldBatchRequestDTO
+	if err := decodeBody(nil, r, &dto); err != nil {
+		return nil, err
+	}
+	req := predint.YieldBatchRequest{
+		YieldRequest: dto.yieldRequest(),
+		Candidates:   make([]predint.YieldCandidate, len(dto.Candidates)),
+	}
+	for i, c := range dto.Candidates {
+		req.Candidates[i] = predint.YieldCandidate{RepeaterSize: c.RepeaterSize, Repeaters: c.Repeaters}
+	}
+
+	var res predint.YieldBatchResult
+	var err error
+	if s.degradeYield(ctx, dto.Samples) {
+		metDegraded.Inc()
+		res, err = predint.LinkYieldBatchNominalCtx(ctx, req)
+	} else {
+		res, err = predint.LinkYieldBatchCtx(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := yieldBatchResultDTO{TargetS: res.Target, Results: make([]yieldResultDTO, len(res.Results))}
+	for i, r := range res.Results {
+		out.Results[i] = yieldResultDTOFrom(r)
+	}
+	return out, nil
 }
 
 // ---- /v1/noc ----

@@ -129,6 +129,71 @@ func TestQueuePressureDegradesYield(t *testing.T) {
 	}
 }
 
+func TestYieldBatchEndpoint(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 30*time.Second)
+	code, _, body := postJSON(t, ts.URL+"/v1/yield/batch",
+		`{"tech": "90nm", "length_mm": 5, "samples": 512, "seed": 1, "target_ps": 520,
+		  "candidates": [{"repeater_size": 8, "repeaters": 10}, {"repeater_size": 12, "repeaters": 8}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", code, body)
+	}
+	var res yieldBatchResultDTO
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetS <= 0 || len(res.Results) != 2 {
+		t.Fatalf("degenerate batch result: %+v", res)
+	}
+	for c, r := range res.Results {
+		if r.Samples != 512 || r.NominalDelayS <= 0 || r.Yield < 0 || r.Yield > 1 {
+			t.Errorf("candidate %d degenerate: %+v", c, r)
+		}
+		if r.Degraded {
+			t.Errorf("candidate %d degraded on an affordable budget: %+v", c, r)
+		}
+	}
+	if res.Results[0].RepeaterSize != 8 || res.Results[1].RepeaterSize != 12 {
+		t.Errorf("results out of request order: %+v", res.Results)
+	}
+}
+
+func TestYieldBatchBadRequests(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	for name, body := range map[string]string{
+		"yield-target":  `{"tech": "90nm", "length_mm": 5, "yield_target": 0.95, "candidates": [{"repeater_size": 8, "repeaters": 10}]}`,
+		"no-candidates": `{"tech": "90nm", "length_mm": 5}`,
+		"bad-candidate": `{"tech": "90nm", "length_mm": 5, "candidates": [{"repeater_size": -1, "repeaters": 10}]}`,
+		"unknown-field": `{"tech": "90nm", "length_mm": 5, "candidtaes": [{"repeater_size": 8, "repeaters": 10}]}`,
+	} {
+		code, _, resp := postJSON(t, ts.URL+"/v1/yield/batch", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, code, resp)
+		}
+	}
+}
+
+// TestYieldBatchDegradesOverCostCeiling: a batch whose sample budget
+// exceeds the server's ceiling is served the closed-form nominal
+// evaluation for every candidate, marked degraded.
+func TestYieldBatchDegradesOverCostCeiling(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 256, 10*time.Second)
+	code, _, body := postJSON(t, ts.URL+"/v1/yield/batch",
+		`{"tech": "90nm", "length_mm": 5, "samples": 1024,
+		  "candidates": [{"repeater_size": 60, "repeaters": 2}, {"repeater_size": 4, "repeaters": 1}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch over ceiling: status %d, body %s", code, body)
+	}
+	var res yieldBatchResultDTO
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	for c, r := range res.Results {
+		if !r.Degraded || r.Samples != 1 || r.FailProbBound != 1 {
+			t.Errorf("candidate %d not degraded: %+v", c, r)
+		}
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	s, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -7,8 +7,13 @@
 //
 //	yield -tech 65nm -length 5 [-n 4096] [-seed 1] [-j 0]
 //	      [-target 444] [-is] [-relerr 0.05] [-abserr 0.001] [-yield 0.99]
-//	      [-style swss|shielded|staggered] [-weight 0.5] [-sigma 1]
+//	      [-candidates 8:10,12:8,16:6] [-style swss|shielded|staggered]
+//	      [-weight 0.5] [-sigma 1]
 //	      [-timeout 30s] [-metrics] [-debug-addr localhost:6060]
+//
+// With -candidates, the listed size:count buffering solutions are
+// scored together on common random numbers (one shared sample stream)
+// instead of designing a single link.
 package main
 
 import (
@@ -16,10 +21,41 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	predint "repro"
 	"repro/internal/cliutil"
 )
+
+// parseCandidates parses the -candidates syntax: comma-separated
+// size:count pairs, e.g. "8:10,12:8".
+func parseCandidates(s string) ([]predint.YieldCandidate, error) {
+	var out []predint.YieldCandidate
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		size, count, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("candidate %q is not size:count", part)
+		}
+		sz, err := strconv.ParseFloat(strings.TrimSpace(size), 64)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %q: bad size: %v", part, err)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(count))
+		if err != nil {
+			return nil, fmt.Errorf("candidate %q: bad count: %v", part, err)
+		}
+		out = append(out, predint.YieldCandidate{RepeaterSize: sz, Repeaters: n})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no candidates in %q", s)
+	}
+	return out, nil
+}
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("yield", flag.ContinueOnError)
@@ -35,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	relErrFlag := fs.Float64("relerr", 0, "stop early at this relative standard error (0 = run all samples)")
 	absErrFlag := fs.Float64("abserr", 0, "stop early at this absolute standard error (0 = disabled)")
 	yieldFlag := fs.Float64("yield", 0, "yield target in (0,1): resize the buffering to meet it (0 = estimate only)")
+	candFlag := fs.String("candidates", "", "score these size:count buffering solutions on shared samples, e.g. 8:10,12:8")
 	weightFlag := fs.Float64("weight", predint.DefaultPowerWeight, "power weight of the buffering objective")
 	sigmaFlag := fs.Float64("sigma", 1, "scale on the default variation sigmas")
 	timeoutFlag := fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline; SIGINT/SIGTERM always cancel)")
@@ -75,6 +112,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *yieldFlag > 0 {
 		req.YieldTarget = predint.Float(*yieldFlag)
+	}
+
+	if *candFlag != "" {
+		cands, err := parseCandidates(*candFlag)
+		if err != nil {
+			return err
+		}
+		batch, err := predint.LinkYieldBatchCtx(ctx, predint.YieldBatchRequest{
+			YieldRequest: req,
+			Candidates:   cands,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%g mm link at %s (%s), target %.1f ps, %d candidates on shared samples\n",
+			*lengthFlag, *techFlag, *styleFlag, batch.Target*1e12, len(batch.Results))
+		for _, r := range batch.Results {
+			fmt.Fprintf(stdout, "  %3d × INVD%-4g  nominal %.1f ps  yield %.6f (fail %.3g ± %.2g at 95%%, %d samples)\n",
+				r.Repeaters, r.RepeaterSize, r.NominalDelay*1e12, r.Yield, r.FailProb, r.CI95, r.Samples)
+		}
+		return nil
 	}
 
 	res, err := predint.LinkYieldCtx(ctx, req)

@@ -51,6 +51,55 @@ func TestRunImportanceSamplingFlag(t *testing.T) {
 	}
 }
 
+// TestRunCandidatesSweep exercises the -candidates batch mode: the
+// listed buffering solutions are scored on shared samples and each
+// gets a report line.
+func TestRunCandidatesSweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-tech", "90nm", "-length", "5", "-n", "512", "-seed", "1",
+		"-target", "520", "-candidates", "8:10, 12:8"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run failed: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"2 candidates on shared samples", "INVD8", "INVD12", "512 samples"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunCandidatesDeterministicAcrossWorkers: the shared-sample sweep
+// keeps the CLI's byte-identical -j guarantee.
+func TestRunCandidatesDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 2)
+	for i, j := range []string{"1", "8"} {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-tech", "90nm", "-length", "5", "-n", "1024", "-seed", "7",
+			"-target", "520", "-candidates", "8:10,12:8,16:6", "-j", j}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("-j %s: %v", j, err)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-j 1 and -j 8 candidate reports differ:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestRunBadCandidates(t *testing.T) {
+	for name, spec := range map[string]string{
+		"no-colon":    "8x10",
+		"bad-size":    "eight:10",
+		"bad-count":   "8:ten",
+		"empty-pairs": " , ,",
+	} {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-tech", "90nm", "-length", "5", "-candidates", spec}, &out, &errOut); err == nil {
+			t.Errorf("%s: malformed -candidates %q accepted", name, spec)
+		}
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-n", "not-a-number"}, &out, &errOut); err == nil {

@@ -262,13 +262,42 @@ func Constrained(seg wire.Segment, opts Options, accept func(Design) (bool, erro
 	if accept == nil {
 		return Design{}, fmt.Errorf("buffering: nil acceptance predicate")
 	}
-	ref, err := DelayOptimal(seg, o)
+	cands, err := Candidates(seg, o)
 	if err != nil {
 		return Design{}, err
 	}
+	for _, cand := range cands {
+		ok, err := accept(cand)
+		if err != nil {
+			return Design{}, err
+		}
+		if ok {
+			return cand, nil
+		}
+	}
+	return Design{}, fmt.Errorf("%w (searched %d candidates)", ErrNoFeasibleDesign, len(cands))
+}
+
+// Candidates evaluates the full (kind, size, count) candidate grid
+// with the closed-form models and returns it in ascending cost order
+// under the same weighted delay–power objective Optimize minimizes
+// (cost ties break toward smaller size, then fewer repeaters — the
+// deterministic order Constrained offers candidates in). Callers that
+// evaluate many candidates at once (the shared-sample yield sweep)
+// consume the grid directly instead of going through the one-at-a-time
+// acceptance walk.
+func Candidates(seg wire.Segment, opts Options) ([]Design, error) {
+	o := opts.withDefaults()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	ref, err := DelayOptimal(seg, o)
+	if err != nil {
+		return nil, err
+	}
 	dRef, pRef := ref.Delay, ref.Power.Total()
 	if dRef <= 0 || pRef <= 0 {
-		return Design{}, fmt.Errorf("buffering: degenerate reference design")
+		return nil, fmt.Errorf("buffering: degenerate reference design")
 	}
 	cost := func(d Design) float64 {
 		return (1-o.PowerWeight)*d.Delay/dRef + o.PowerWeight*d.Power.Total()/pRef
@@ -284,7 +313,7 @@ func Constrained(seg wire.Segment, opts Options, accept func(Design) (bool, erro
 			for n := 1; n <= o.MaxN; n++ {
 				d, err := evaluate(seg, o, kind, size, n)
 				if err != nil {
-					return Design{}, err
+					return nil, err
 				}
 				cands = append(cands, candidate{d, cost(d)})
 			}
@@ -300,14 +329,9 @@ func Constrained(seg wire.Segment, opts Options, accept func(Design) (bool, erro
 		}
 		return a.d.N < b.d.N
 	})
-	for _, cand := range cands {
-		ok, err := accept(cand.d)
-		if err != nil {
-			return Design{}, err
-		}
-		if ok {
-			return cand.d, nil
-		}
+	out := make([]Design, len(cands))
+	for i, cand := range cands {
+		out[i] = cand.d
 	}
-	return Design{}, fmt.Errorf("%w (searched %d candidates)", ErrNoFeasibleDesign, len(cands))
+	return out, nil
 }

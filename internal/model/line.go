@@ -48,6 +48,58 @@ type LineTiming struct {
 	OutputSlew float64
 }
 
+// LineRC holds the per-meter electrical parameters of a line's wire:
+// the corrected resistance and the style-resolved quiet/coupled
+// capacitances. Extracting them once with SegmentRC and reusing them
+// across evaluations (LineDelayRC) skips the math.Pow-heavy per-meter
+// formulas, which is what makes cross-candidate sample sharing cheap:
+// candidates of a sizing sweep differ only in repeater size and count,
+// never in wire geometry, so one extraction per Monte Carlo sample
+// serves all of them.
+type LineRC struct {
+	// RPerM is the scattering/barrier-corrected resistance (Ω/m).
+	RPerM float64
+	// GroundPerM is the quiet capacitance per meter (F/m); for the
+	// shielded style it already includes both shield sidewalls,
+	// mirroring wire.Segment.GroundCap.
+	GroundPerM float64
+	// CouplingPerM is the switching-neighbor coupling capacitance per
+	// meter (F/m) — both neighbors; zero for the shielded style.
+	CouplingPerM float64
+}
+
+// SegmentRC extracts the per-meter parameters of a segment. The
+// folding mirrors wire.Segment.GroundCap/CouplingCap exactly (same
+// operations in the same order), so delays computed through LineRC are
+// bit-identical to the Segment-method path.
+func SegmentRC(seg wire.Segment) LineRC {
+	var rc LineRC
+	rc.RPerM = wire.ResistancePerMeter(seg.Tech, seg.Layer, seg.Width)
+	cg := wire.GroundCapPerMeter(seg.Tech, seg.Layer, seg.Width)
+	if seg.Style == wire.Shielded {
+		cg += 2 * wire.CouplingCapPerMeter(seg.Tech, seg.Layer, seg.Spacing)
+	} else {
+		rc.CouplingPerM = 2 * wire.CouplingCapPerMeter(seg.Tech, seg.Layer, seg.Spacing)
+	}
+	rc.GroundPerM = cg
+	return rc
+}
+
+// stageCaps resolves one stage's quiet/coupled capacitance split,
+// mirroring wire.Segment.DelayCaps for a stage of the given length.
+func (rc LineRC) stageCaps(style wire.Style, length float64) (quiet, coupled float64) {
+	ground := rc.GroundPerM * length
+	coupling := rc.CouplingPerM * length
+	switch style {
+	case wire.SWSS:
+		return ground, coupling
+	case wire.Staggered:
+		return ground + coupling, 0
+	default: // Shielded (CouplingPerM is zero by construction)
+		return ground, 0
+	}
+}
+
 // LineDelay predicts the delay of the line: the sum over stages of the
 // repeater delay (intrinsic + drive resistance × load) and the
 // enhanced Pamunuwa wire delay, with the model's own output-slew
@@ -55,11 +107,29 @@ type LineTiming struct {
 // polarities are evaluated and the worst kept, mirroring the golden
 // analysis.
 func (c *Coefficients) LineDelay(spec LineSpec) (LineTiming, error) {
+	return c.LineDelayRC(spec, SegmentRC(spec.Segment))
+}
+
+// LineDelayRC is LineDelay with the wire's per-meter parameters
+// supplied by the caller, bit-identical to LineDelay when rc is
+// SegmentRC(spec.Segment). The sampling kernel extracts rc once per
+// perturbed sample and evaluates every candidate spec against it.
+func (c *Coefficients) LineDelayRC(spec LineSpec, rc LineRC) (LineTiming, error) {
 	if err := spec.Validate(); err != nil {
 		return LineTiming{}, err
 	}
-	rise, riseSlew := c.lineEdge(spec, true)
-	fall, fallSlew := c.lineEdge(spec, false)
+	tc := spec.Segment.Tech
+	wn, wp := tc.InverterWidths(spec.Size)
+	ci := c.InputCap(spec.Kind, wn, wp)
+
+	stageLen := spec.Segment.Length / float64(spec.N)
+	quiet, coupled := rc.stageCaps(spec.Segment.Style, stageLen)
+	cl := quiet + 2*coupled + ci
+	lambda := spec.Segment.Style.MillerFactor()
+	dWire := rc.RPerM * stageLen * (0.4*quiet + (lambda/2)*coupled + 0.7*ci)
+
+	rise, riseSlew := c.lineEdge(spec, true, wn, wp, cl, dWire)
+	fall, fallSlew := c.lineEdge(spec, false, wn, wp, cl, dWire)
 	t := LineTiming{RiseDelay: rise, FallDelay: fall}
 	if rise >= fall {
 		t.Delay, t.OutputSlew = rise, riseSlew
@@ -69,17 +139,10 @@ func (c *Coefficients) LineDelay(spec LineSpec) (LineTiming, error) {
 	return t, nil
 }
 
-// lineEdge evaluates one starting polarity.
-func (c *Coefficients) lineEdge(spec LineSpec, startRising bool) (total, outSlew float64) {
-	tc := spec.Segment.Tech
-	wn, wp := tc.InverterWidths(spec.Size)
-	ci := c.InputCap(spec.Kind, wn, wp)
-
-	stageSeg := spec.Segment
-	stageSeg.Length = spec.Segment.Length / float64(spec.N)
-	cl := GateLoad(stageSeg, ci)
-	dWire := WireDelay(stageSeg, ci)
-
+// lineEdge evaluates one starting polarity. The stage load cl and wire
+// delay dWire are identical for both polarities and supplied by the
+// caller so they are computed once per line instead of once per edge.
+func (c *Coefficients) lineEdge(spec LineSpec, startRising bool, wn, wp, cl, dWire float64) (total, outSlew float64) {
 	slew := spec.InputSlew
 	outRising := startRising
 	if spec.Kind == liberty.Inverter {

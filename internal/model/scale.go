@@ -87,6 +87,17 @@ func scaleKind(k KindCoeffs, rdRise, rdFall, rCap, rLeak float64) KindCoeffs {
 // re-characterization would capture — and it costs arithmetic only,
 // which is what makes per-sample Monte Carlo evaluation feasible.
 func (c *Coefficients) ScaledFor(nom, pert *tech.Technology) *Coefficients {
+	out := &Coefficients{}
+	c.ScaleInto(out, nom, pert)
+	return out
+}
+
+// ScaleInto is ScaledFor writing into a caller-owned destination
+// instead of allocating one, producing bit-identical coefficients. The
+// Monte Carlo sampling kernel keeps one Coefficients per worker and
+// rescales into it per sample, keeping the steady path allocation-
+// free. dst may not alias the receiver.
+func (c *Coefficients) ScaleInto(dst *Coefficients, nom, pert *tech.Technology) {
 	rdN := driveRatio(nom.NMOS, pert.NMOS, nom.Vdd, pert.Vdd)
 	rdP := driveRatio(nom.PMOS, pert.PMOS, nom.Vdd, pert.Vdd)
 	var rCap float64 = 1
@@ -96,10 +107,9 @@ func (c *Coefficients) ScaledFor(nom, pert *tech.Technology) *Coefficients {
 	rLeak := (leakRatio(nom.NMOS, pert.NMOS, nom.Vdd, pert.Vdd) +
 		leakRatio(nom.PMOS, pert.PMOS, nom.Vdd, pert.Vdd)) / 2
 
-	out := &Coefficients{Tech: c.Tech}
+	dst.Tech = c.Tech
 	// A rising output is pulled by the pMOS, a falling one by the
 	// nMOS.
-	out.Inv = scaleKind(c.Inv, rdP, rdN, rCap, rLeak)
-	out.Buf = scaleKind(c.Buf, rdP, rdN, rCap, rLeak)
-	return out
+	dst.Inv = scaleKind(c.Inv, rdP, rdN, rCap, rLeak)
+	dst.Buf = scaleKind(c.Buf, rdP, rdN, rCap, rLeak)
 }

@@ -69,11 +69,12 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("panic in item %d: %v", e.Index, e.Value)
 }
 
-// call invokes fn(i), converting a panic into a *PanicError so one
-// bad item cannot crash the process with the index lost. The
-// "pool.item" fault point fires inside the recover scope, so injected
-// panics exercise exactly the recovery path a panicking fn would.
-func call(fn func(i int) error, i int) (err error) {
+// callWorker invokes fn(i, worker), converting a panic into a
+// *PanicError so one bad item cannot crash the process with the index
+// lost. The "pool.item" fault point fires inside the recover scope, so
+// injected panics exercise exactly the recovery path a panicking fn
+// would.
+func callWorker(fn func(i, worker int) error, i, worker int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			metPanics.Inc()
@@ -83,7 +84,7 @@ func call(fn func(i int) error, i int) (err error) {
 	if err := faultinject.Hit("pool.item"); err != nil {
 		return err
 	}
-	return fn(i)
+	return fn(i, worker)
 }
 
 // ForEach runs fn(i) for every i in [0, n) on at most `workers`
@@ -107,6 +108,32 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // ctx.Err() after in-flight calls drain. Uncancelled runs behave
 // bit-identically to ForEach.
 func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, workers, n, func(i, _ int) error { return fn(i) })
+}
+
+// ForEachWorker runs fn(i, worker) for every i in [0, n); see
+// ForEachWorkerCtx for the full contract. It never cancels: the
+// background context is used.
+func ForEachWorker(workers, n int, fn func(i, worker int) error) error {
+	return ForEachWorkerCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachWorkerCtx is ForEachCtx for callers that keep per-worker
+// scratch state: fn additionally receives the claiming worker's id, a
+// stable integer in [0, Workers(workers, n)). Exactly one goroutine
+// holds a given id for the duration of one call, so fn may freely
+// reuse scratch buffers indexed by worker id without locking — the
+// zero-steady-state-allocation hot paths (the Monte Carlo sampling
+// kernel) hoist their per-sample buffers this way. Scratch indexed by
+// worker id may also be carried across consecutive ForEachWorkerCtx
+// calls: the WaitGroup join of the previous call happens-before the
+// goroutines of the next, so no synchronization is needed.
+//
+// Everything else matches ForEachCtx: lowest-index error selection,
+// panic recovery into *PanicError, cooperative cancellation, and an
+// inline (goroutine-free) loop with worker id 0 when only one worker
+// runs.
+func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(i, worker int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -117,7 +144,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := call(fn, i); err != nil {
+			if err := callWorker(fn, i, 0); err != nil {
 				return err
 			}
 			metItems.Inc()
@@ -135,7 +162,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	wg.Add(w)
 	metWorkers.Add(int64(w))
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			metActiveWorkers.Add(1)
 			defer func() {
 				metActiveWorkers.Add(-1)
@@ -150,14 +177,14 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 					cancelled.Store(true)
 					return
 				}
-				if err := call(fn, i); err != nil {
+				if err := callWorker(fn, i, worker); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				} else {
 					metItems.Inc()
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	// Indices are claimed in ascending order, so absent cancellation

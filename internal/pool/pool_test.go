@@ -184,6 +184,83 @@ func TestForEachCtxCompletedRunIdenticalToForEach(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	// Every item must see a worker id in [0, Workers(workers, n)) and
+	// be visited exactly once, for serial, bounded, and all-cores runs.
+	for _, workers := range []int{1, 3, 0} {
+		const n = 500
+		bound := Workers(workers, n)
+		var visits [n]atomic.Int32
+		if err := ForEachWorker(workers, n, func(i, worker int) error {
+			if worker < 0 || worker >= bound {
+				return fmt.Errorf("item %d ran on worker %d, want [0,%d)", i, worker, bound)
+			}
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerScratchExclusive pins the property the worker id
+// exists for: each id is held by exactly one goroutine at a time, so
+// plain (non-atomic) writes into per-worker scratch are race-free.
+// Under -race this test fails if two goroutines ever share an id.
+func TestForEachWorkerScratchExclusive(t *testing.T) {
+	const n, workers = 2000, 4
+	scratch := make([]int, Workers(workers, n))
+	if err := ForEachWorker(workers, n, func(i, worker int) error {
+		scratch[worker]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("per-worker counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestForEachWorkerSerialUsesWorkerZero(t *testing.T) {
+	if err := ForEachWorker(1, 50, func(i, worker int) error {
+		if worker != 0 {
+			return fmt.Errorf("serial path handed out worker id %d", worker)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachWorkerCtxCancelAndError(t *testing.T) {
+	// The worker-id variant keeps ForEachCtx's contracts: a dead
+	// context surfaces as context.Canceled, and the lowest-index error
+	// wins over a higher one.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEachWorkerCtx(ctx, 4, 100, func(i, worker int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	err := ForEachWorkerCtx(context.Background(), 4, 10, func(i, worker int) error {
+		if i == 2 || i == 8 {
+			return fmt.Errorf("fail-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail-2" {
+		t.Fatalf("got %v, want fail-2", err)
+	}
+}
+
 func TestForEachBoundsConcurrency(t *testing.T) {
 	const workers = 3
 	var cur, peak atomic.Int32

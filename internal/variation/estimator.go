@@ -2,12 +2,23 @@ package variation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/pool"
+)
+
+// Sentinel errors for malformed sampling budgets. A negative Batch is
+// the dangerous one: it used to slip through validation and send RunCtx
+// into an infinite loop (done += batch moved backwards), so these are
+// rejected up front and tests pin the rejection.
+var (
+	ErrNegativeBatch      = errors.New("variation: negative batch size")
+	ErrNegativeMinSamples = errors.New("variation: negative minimum sample count")
+	ErrNegativeWorkers    = errors.New("variation: negative worker count")
 )
 
 // Estimator observability (see internal/obs): how many samples the
@@ -41,7 +52,9 @@ var (
 
 // Trial evaluates one sample given its standardized draw z (length
 // Options.Dims) and reports whether the sample fails the constraint
-// under estimation. It must be safe for concurrent invocation.
+// under estimation. It must be safe for concurrent invocation. z is a
+// reusable kernel-owned buffer: it is valid only for the duration of
+// the call and must not be retained.
 type Trial func(i int, z []float64) (fail bool, err error)
 
 // Options configures one estimation run.
@@ -109,6 +122,15 @@ func (o Options) validate() error {
 	}
 	if o.Samples < 0 {
 		return fmt.Errorf("variation: negative sample count %d", o.Samples)
+	}
+	if o.MinSamples < 0 {
+		return fmt.Errorf("%w %d", ErrNegativeMinSamples, o.MinSamples)
+	}
+	if o.Batch < 0 {
+		return fmt.Errorf("%w %d", ErrNegativeBatch, o.Batch)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w %d", ErrNegativeWorkers, o.Workers)
 	}
 	if o.RelErr < 0 || math.IsNaN(o.RelErr) {
 		return fmt.Errorf("variation: negative relative-error target %g", o.RelErr)
@@ -192,6 +214,30 @@ func Run(o Options, trial Trial) (Estimate, error) {
 // is bit-identical to Run — the context never influences which samples
 // are drawn or the order they are folded.
 func RunCtx(ctx context.Context, o Options, trial Trial) (Estimate, error) {
+	return RunBatchCtx(ctx, o, func(i, _ int, z []float64) (bool, error) {
+		return trial(i, z)
+	})
+}
+
+// BatchTrial is Trial for the zero-allocation kernel: it additionally
+// receives the worker id (see pool.ForEachWorkerCtx) so the trial can
+// index per-worker scratch state without locking. z is a per-worker
+// buffer owned by the kernel and is valid only for the duration of
+// the call — a trial must not retain it.
+type BatchTrial func(i, worker int, z []float64) (fail bool, err error)
+
+// RunBatch estimates with a BatchTrial; see RunBatchCtx.
+func RunBatch(o Options, trial BatchTrial) (Estimate, error) {
+	return RunBatchCtx(context.Background(), o, trial)
+}
+
+// RunBatchCtx is the batched zero-steady-state-allocation sampling
+// kernel: each worker owns a reusable Stream and draw buffer (reseeded
+// per sample with Stream.Reset, filled with NormsInto), so after the
+// one-time setup the kernel performs no per-sample heap allocation.
+// Draw sequences, fold order, and stopping behaviour are bit-identical
+// to the historical per-sample path for every Workers value.
+func RunBatchCtx(ctx context.Context, o Options, trial BatchTrial) (Estimate, error) {
 	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return Estimate{}, err
@@ -215,6 +261,14 @@ func RunCtx(ctx context.Context, o Options, trial Trial) (Estimate, error) {
 	var n int
 	var mean, m2 float64
 
+	// Per-worker scratch: one stream and one draw buffer per worker
+	// id, allocated once for the whole run. A worker id is held by
+	// exactly one goroutine at a time and batches are separated by the
+	// pool's join, so reuse is race-free.
+	maxW := pool.Workers(o.Workers, o.Batch)
+	streams := make([]Stream, maxW)
+	zbuf := make([]float64, maxW*o.Dims)
+
 	contrib := make([]float64, o.Batch)
 	for done := 0; done < o.Samples; {
 		if err := ctx.Err(); err != nil {
@@ -231,10 +285,12 @@ func RunCtx(ctx context.Context, o Options, trial Trial) (Estimate, error) {
 			batch = rem
 		}
 		start := done
-		err := pool.ForEachCtx(ctx, o.Workers, batch, func(k int) error {
+		err := pool.ForEachWorkerCtx(ctx, o.Workers, batch, func(k, worker int) error {
 			i := start + k
-			st := NewStream(o.Seed, uint64(i))
-			z := st.Norms(o.Dims)
+			st := &streams[worker]
+			st.Reset(o.Seed, uint64(i))
+			z := zbuf[worker*o.Dims : (worker+1)*o.Dims]
+			st.NormsInto(z)
 			w := 1.0
 			if shifted {
 				// z ← θ + ε with likelihood ratio
@@ -246,7 +302,7 @@ func RunCtx(ctx context.Context, o Options, trial Trial) (Estimate, error) {
 				}
 				w = math.Exp(-dot + shiftSq/2)
 			}
-			fail, err := trial(i, z)
+			fail, err := trial(i, worker, z)
 			if err != nil {
 				return err
 			}

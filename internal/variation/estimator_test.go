@@ -275,3 +275,32 @@ func TestRunValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRejectsNegativeBudgets pins the fix for the infinite-loop
+// trap: a negative Batch used to slip through validation (only zero was
+// rewritten by the defaults) and send the sampling loop backwards
+// forever. All three negative budget fields are now rejected up front
+// with identifiable sentinels — if this regresses, the negative-batch
+// case hangs instead of failing fast.
+func TestRunRejectsNegativeBudgets(t *testing.T) {
+	ok := func(i int, z []float64) (bool, error) { return false, nil }
+	for _, c := range []struct {
+		name string
+		o    Options
+		want error
+	}{
+		{"negative-batch", Options{Dims: 2, Samples: 100, Batch: -8}, ErrNegativeBatch},
+		{"negative-min-samples", Options{Dims: 2, Samples: 100, MinSamples: -1}, ErrNegativeMinSamples},
+		{"negative-workers", Options{Dims: 2, Samples: 100, Workers: -2}, ErrNegativeWorkers},
+	} {
+		_, err := Run(c.o, ok)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+	// The yield-level options funnel through the same validation.
+	sc := testScenario(t, 480e-12)
+	if _, err := EstimateLinkYield(sc, YieldOptions{Samples: 100, Batch: -8}); !errors.Is(err, ErrNegativeBatch) {
+		t.Errorf("yield options: got %v, want ErrNegativeBatch", err)
+	}
+}

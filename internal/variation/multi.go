@@ -1,0 +1,370 @@
+package variation
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/tech"
+)
+
+// This file is the cross-candidate sampling kernel. A sizing sweep
+// evaluates K candidate implementations of the same link against the
+// same variation space, and almost all of the per-sample cost — the
+// normal draw, the technology perturbation, the closed-form
+// coefficient rescale, the wire per-meter extraction — depends only on
+// the draw, not on the candidate. EstimateYieldsShared therefore does
+// that work once per sample and scores every still-active candidate
+// against it (common random numbers, which is also what makes the
+// candidates statistically comparable), with per-candidate Welford
+// accumulators and a per-candidate stopping rule. Each candidate's
+// estimate is bit-identical to the estimate a standalone
+// EstimateLinkYield run with the same options would produce.
+
+// MultiScenario binds K candidate implementations (specs) of one link
+// to a shared variation space and delay target.
+type MultiScenario struct {
+	// Base is the nominal technology the candidates were designed in.
+	Base *tech.Technology
+	// Coeffs are the calibrated coefficients at Base.
+	Coeffs *model.Coefficients
+	// Space is the variation model.
+	Space Space
+	// Specs are the candidate lines under estimation. Candidates that
+	// share the same Segment (the usual sizing sweep: same geometry,
+	// different repeater size/count) additionally share the per-sample
+	// wire extraction.
+	Specs []model.LineSpec
+	// Target is the delay constraint in seconds: a sample of a
+	// candidate fails when its delay exceeds the target.
+	Target float64
+	// Shifts, when non-nil, holds one importance-sampling mean shift
+	// per candidate (nil entries select plain Monte Carlo for that
+	// candidate). When nil and the run options request importance
+	// sampling, per-candidate shifts are searched automatically.
+	Shifts [][]float64
+}
+
+// Validate rejects an unevaluable multi-scenario.
+func (ms *MultiScenario) Validate() error {
+	if ms.Base == nil || ms.Coeffs == nil {
+		return fmt.Errorf("variation: scenario needs a technology and coefficients")
+	}
+	if ms.Target <= 0 {
+		return fmt.Errorf("variation: non-positive delay target %g", ms.Target)
+	}
+	if err := ms.Space.Validate(); err != nil {
+		return err
+	}
+	if len(ms.Specs) == 0 {
+		return fmt.Errorf("variation: multi-scenario has no candidate specs")
+	}
+	for c := range ms.Specs {
+		if err := ms.Specs[c].Validate(); err != nil {
+			return fmt.Errorf("variation: candidate %d: %w", c, err)
+		}
+	}
+	if ms.Shifts != nil && len(ms.Shifts) != len(ms.Specs) {
+		return fmt.Errorf("variation: %d shifts for %d candidates", len(ms.Shifts), len(ms.Specs))
+	}
+	for c, sh := range ms.Shifts {
+		if sh != nil && len(sh) != Dims {
+			return fmt.Errorf("variation: candidate %d shift has %d dims, want %d", c, len(sh), Dims)
+		}
+	}
+	return nil
+}
+
+// scenario returns candidate c's single-candidate view.
+func (ms *MultiScenario) scenario(c int) *LinkScenario {
+	return &LinkScenario{
+		Base:   ms.Base,
+		Coeffs: ms.Coeffs,
+		Space:  ms.Space,
+		Spec:   ms.Specs[c],
+		Target: ms.Target,
+	}
+}
+
+// FindShiftsCtx searches the importance-sampling mean shift of every
+// candidate (see FindShift), checking the context between the
+// deterministic metric evaluations. A nil entry means the search fell
+// back to plain Monte Carlo for that candidate.
+func (ms *MultiScenario) FindShiftsCtx(ctx context.Context) ([][]float64, error) {
+	shifts := make([][]float64, len(ms.Specs))
+	for c := range ms.Specs {
+		sc := ms.scenario(c)
+		shift, err := FindShift(Dims, ms.Target, func(z []float64) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return sc.Delay(z)
+		})
+		if err != nil {
+			return nil, err
+		}
+		shifts[c] = shift
+	}
+	return shifts, nil
+}
+
+// multiScratch is one worker's reusable per-sample state.
+type multiScratch struct {
+	stream Stream
+	// eps is the sample's base standard-normal draw; z is the shifted
+	// draw of the candidate currently being scored (importance
+	// sampling only).
+	eps, z []float64
+	tech   tech.Technology
+	coeffs model.Coefficients
+}
+
+// evalShared scores every active candidate against one unshifted
+// draw: one technology perturbation and one coefficient rescale serve
+// all candidates, and with a shared segment one wire extraction does
+// too. row[c] receives candidate c's contribution (1 = fail).
+func (ms *MultiScenario) evalShared(s *multiScratch, row []float64, active []bool, sharedSeg bool) error {
+	f := ms.Space.ApplyInto(&s.tech, ms.Base, s.eps)
+	ms.Coeffs.ScaleInto(&s.coeffs, ms.Base, &s.tech)
+	if sharedSeg {
+		seg := ms.Specs[0].Segment
+		perturbSegment(&seg, &s.tech, f)
+		rc := model.SegmentRC(seg)
+		for c := range ms.Specs {
+			if !active[c] {
+				continue
+			}
+			spec := ms.Specs[c]
+			spec.Segment = seg
+			t, err := s.coeffs.LineDelayRC(spec, rc)
+			if err != nil {
+				return err
+			}
+			if t.Delay > ms.Target {
+				row[c] = 1
+			} else {
+				row[c] = 0
+			}
+		}
+		return nil
+	}
+	for c := range ms.Specs {
+		if !active[c] {
+			continue
+		}
+		spec := ms.Specs[c]
+		perturbSegment(&spec.Segment, &s.tech, f)
+		t, err := s.coeffs.LineDelay(spec)
+		if err != nil {
+			return err
+		}
+		if t.Delay > ms.Target {
+			row[c] = 1
+		} else {
+			row[c] = 0
+		}
+	}
+	return nil
+}
+
+// evalShifted scores every active candidate when at least one carries
+// an importance-sampling shift. Only the base draw is shared (common
+// random numbers): the shift moves each candidate to its own point in
+// the space, so the perturbation and rescale are per-candidate,
+// exactly as the standalone estimator computes them.
+func (ms *MultiScenario) evalShifted(s *multiScratch, row []float64, active []bool, shifts [][]float64, shiftedC []bool, shiftSq []float64) error {
+	for c := range ms.Specs {
+		if !active[c] {
+			continue
+		}
+		z := s.eps
+		w := 1.0
+		if shiftedC[c] {
+			// z ← θ + ε with likelihood ratio
+			// φ(z)/φ(z−θ) = exp(−⟨θ,z⟩ + |θ|²/2).
+			copy(s.z, s.eps)
+			var dot float64
+			for d, t := range shifts[c] {
+				s.z[d] += t
+				dot += t * s.z[d]
+			}
+			w = math.Exp(-dot + shiftSq[c]/2)
+			z = s.z
+		}
+		f := ms.Space.ApplyInto(&s.tech, ms.Base, z)
+		ms.Coeffs.ScaleInto(&s.coeffs, ms.Base, &s.tech)
+		spec := ms.Specs[c]
+		perturbSegment(&spec.Segment, &s.tech, f)
+		t, err := s.coeffs.LineDelay(spec)
+		if err != nil {
+			return err
+		}
+		if t.Delay > ms.Target {
+			row[c] = w
+		} else {
+			row[c] = 0
+		}
+	}
+	return nil
+}
+
+// EstimateYieldsShared estimates every candidate's yield on common
+// random numbers; see EstimateYieldsSharedCtx.
+func EstimateYieldsShared(ms *MultiScenario, o YieldOptions) ([]Estimate, error) {
+	return EstimateYieldsSharedCtx(context.Background(), ms, o)
+}
+
+// EstimateYieldsSharedCtx estimates the timing yield of every
+// candidate spec in one pass over a shared sample stream. Element c of
+// the result is bit-identical to what EstimateLinkYieldCtx would
+// return for candidate c alone with the same options (including the
+// per-candidate stopping rule: a candidate whose estimate converges
+// stops accumulating while the others keep sampling), for every
+// Workers value. The steady sampling path performs no heap allocation:
+// all per-sample state lives in per-worker scratch sized once up
+// front.
+func EstimateYieldsSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOptions) ([]Estimate, error) {
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	ro := o.runOptions().withDefaults()
+	if err := ro.validate(); err != nil {
+		return nil, err
+	}
+	K := len(ms.Specs)
+
+	shifts := ms.Shifts
+	if shifts == nil && o.ImportanceSampling {
+		var err error
+		if shifts, err = ms.FindShiftsCtx(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if shifts == nil {
+		shifts = make([][]float64, K)
+	}
+
+	shiftedC := make([]bool, K)
+	shiftSq := make([]float64, K)
+	anyShift := false
+	for c, sh := range shifts {
+		for _, t := range sh {
+			if t != 0 {
+				shiftedC[c] = true
+			}
+			shiftSq[c] += t * t
+		}
+		if shiftedC[c] {
+			anyShift = true
+			metRunsShifted.Inc()
+		} else {
+			metRunsPlain.Inc()
+		}
+	}
+
+	// Candidates of a sizing sweep share the wire: detect it so the
+	// per-sample extraction (the math.Pow-heavy part) runs once.
+	sharedSeg := true
+	for c := 1; c < K; c++ {
+		if ms.Specs[c].Segment != ms.Specs[0].Segment {
+			sharedSeg = false
+			break
+		}
+	}
+
+	// Per-candidate streaming (Welford) accumulators over the
+	// contributions x_i = w_i·1[fail_i].
+	type welford struct {
+		n        int
+		mean, m2 float64
+	}
+	accs := make([]welford, K)
+	// active[c] marks candidates still sampling. It is only written
+	// between pool runs (fold + stop check), never inside one, so
+	// worker reads race with nothing.
+	active := make([]bool, K)
+	for c := range active {
+		active[c] = true
+	}
+	left := K
+
+	maxW := pool.Workers(ro.Workers, ro.Batch)
+	scratch := make([]multiScratch, maxW)
+	draws := make([]float64, 2*maxW*Dims)
+	for w := range scratch {
+		scratch[w].eps = draws[2*w*Dims : (2*w+1)*Dims]
+		scratch[w].z = draws[(2*w+1)*Dims : (2*w+2)*Dims]
+	}
+
+	// contrib row k holds sample (start+k)'s K candidate
+	// contributions; the fold walks rows in index order so no
+	// floating-point reassociation depends on scheduling.
+	contrib := make([]float64, ro.Batch*K)
+	for done := 0; done < ro.Samples && left > 0; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Fault point at the batch boundary, as in RunBatchCtx.
+		if err := faultinject.Hit("variation.batch"); err != nil {
+			return nil, err
+		}
+		batch := ro.Batch
+		if rem := ro.Samples - done; rem < batch {
+			batch = rem
+		}
+		start := done
+		err := pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
+			s := &scratch[worker]
+			s.stream.Reset(ro.Seed, uint64(start+k))
+			s.stream.NormsInto(s.eps)
+			row := contrib[k*K : (k+1)*K]
+			if !anyShift {
+				return ms.evalShared(s, row, active, sharedSeg)
+			}
+			return ms.evalShifted(s, row, active, shifts, shiftedC, shiftSq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < batch; k++ {
+			row := contrib[k*K : (k+1)*K]
+			for c := 0; c < K; c++ {
+				if !active[c] {
+					continue
+				}
+				a := &accs[c]
+				x := row[c]
+				a.n++
+				d := x - a.mean
+				a.mean += d / float64(a.n)
+				a.m2 += d * (x - a.mean)
+			}
+		}
+		done += batch
+		metSamples.Add(int64(batch) * int64(left))
+		for c := 0; c < K; c++ {
+			if active[c] && stopRule(ro, accs[c].n, accs[c].mean, accs[c].m2) {
+				active[c] = false
+				left--
+			}
+		}
+	}
+
+	ests := make([]Estimate, K)
+	for c := range ests {
+		a := accs[c]
+		e := Estimate{FailProb: a.mean, Yield: 1 - a.mean, Samples: a.n, Shifted: shiftedC[c], VarianceReduction: 1}
+		if a.n > 1 {
+			sampleVar := a.m2 / float64(a.n-1)
+			e.StdErr = math.Sqrt(sampleVar / float64(a.n))
+			if sampleVar > 0 && a.mean > 0 && a.mean < 1 {
+				e.VarianceReduction = a.mean * (1 - a.mean) / sampleVar
+			}
+		}
+		ests[c] = e
+	}
+	return ests, nil
+}

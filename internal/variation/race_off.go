@@ -1,0 +1,8 @@
+//go:build !race
+
+package variation
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-count guards skip under -race: the detector's
+// instrumentation allocates on its own and would drown the signal.
+const raceEnabled = false

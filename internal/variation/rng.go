@@ -50,6 +50,18 @@ func NewStream(seed, index uint64) *Stream {
 	return &Stream{state: mix64(seed+smGamma) ^ index}
 }
 
+// Reset reseeds s in place to the exact state NewStream(seed, index)
+// would return, discarding any cached Box–Muller spare. The batched
+// sampling kernel keeps one Stream per worker and Resets it per
+// sample instead of allocating a fresh stream, so the hot path stays
+// allocation-free while the (seed, index) → sequence contract is
+// unchanged.
+func (s *Stream) Reset(seed, index uint64) {
+	s.state = mix64(seed+smGamma) ^ index
+	s.spare = 0
+	s.hasSpare = false
+}
+
 // Uint64 returns the next raw 64-bit output.
 func (s *Stream) Uint64() uint64 {
 	s.state += smGamma
@@ -82,8 +94,16 @@ func (s *Stream) Norm() float64 {
 // Norms fills a fresh slice with n standard normal draws.
 func (s *Stream) Norms(n int) []float64 {
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = s.Norm()
-	}
+	s.NormsInto(out)
 	return out
+}
+
+// NormsInto fills the caller-owned dst with len(dst) standard normal
+// draws, consuming uniforms exactly as Norms would. The batched kernel
+// uses it with a per-worker buffer to keep the steady path free of
+// per-sample allocation.
+func (s *Stream) NormsInto(dst []float64) {
+	for i := range dst {
+		dst[i] = s.Norm()
+	}
 }

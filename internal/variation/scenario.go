@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/tech"
+	"repro/internal/wire"
 )
 
 // LinkScenario binds a designed buffered link to a variation space and
@@ -42,31 +43,61 @@ func (sc *LinkScenario) Validate() error {
 	return sc.Spec.Validate()
 }
 
+// Scratch holds the per-sample working state of a scenario
+// evaluation: the perturbed technology and the rescaled coefficient
+// set. The zero value is ready to use. The sampling kernels keep one
+// Scratch per worker so the steady path performs no heap allocation;
+// one-shot callers can use Delay, which brings its own.
+type Scratch struct {
+	tech   tech.Technology
+	coeffs model.Coefficients
+}
+
 // Delay evaluates the link delay (s) at one standardized draw z.
 func (sc *LinkScenario) Delay(z []float64) (float64, error) {
-	pert, f := sc.Space.Apply(sc.Base, z)
-	scaled := sc.Coeffs.ScaledFor(sc.Base, pert)
+	var s Scratch
+	return sc.DelayScratch(&s, z)
+}
+
+// DelayScratch is Delay evaluating through caller-owned scratch state,
+// bit-identical to Delay. z is only read.
+func (sc *LinkScenario) DelayScratch(s *Scratch, z []float64) (float64, error) {
+	f := sc.Space.ApplyInto(&s.tech, sc.Base, z)
+	sc.Coeffs.ScaleInto(&s.coeffs, sc.Base, &s.tech)
 
 	spec := sc.Spec
-	seg := &spec.Segment
-	seg.Tech = pert
-	dw := seg.Width * (f.WireWidth - 1)
-	seg.Width += dw
-	seg.Spacing = clampSpacing(seg.Spacing-dw, seg.Spacing)
-	seg.Layer.Thickness *= f.WireThickness
-	seg.Layer.ILD *= f.ILD
+	perturbSegment(&spec.Segment, &s.tech, f)
 
-	t, err := scaled.LineDelay(spec)
+	t, err := s.coeffs.LineDelay(spec)
 	if err != nil {
 		return 0, err
 	}
 	return t.Delay, nil
 }
 
+// perturbSegment applies one draw's wire factors to a designed
+// segment, rebinding it to the perturbed technology. The arithmetic
+// mirrors Space.ApplyInto's layer perturbation, applied to the
+// segment's own (possibly non-minimum) geometry.
+func perturbSegment(seg *wire.Segment, pert *tech.Technology, f Factors) {
+	seg.Tech = pert
+	dw := seg.Width * (f.WireWidth - 1)
+	seg.Width += dw
+	seg.Spacing = clampSpacing(seg.Spacing-dw, seg.Spacing)
+	seg.Layer.Thickness *= f.WireThickness
+	seg.Layer.ILD *= f.ILD
+}
+
+// zeroDraw is the shared all-zero standardized draw behind
+// NominalDelay. It is read-only by contract: every consumer of a draw
+// (Space.ApplyInto, the scenario evaluators) only reads z, and a test
+// pins that NominalDelay never writes through it.
+var zeroDraw [Dims]float64
+
 // NominalDelay evaluates the scenario at the nominal point (all-zero
 // draw).
 func (sc *LinkScenario) NominalDelay() (float64, error) {
-	return sc.Delay(make([]float64, Dims))
+	return sc.Delay(zeroDraw[:])
 }
 
 // YieldOptions configures a link-yield estimation.
@@ -114,24 +145,27 @@ func EstimateLinkYieldCtx(ctx context.Context, sc *LinkScenario, o YieldOptions)
 	if err := sc.Validate(); err != nil {
 		return Estimate{}, err
 	}
-	ropts := o.runOptions()
+	// Single-candidate view of the shared kernel: same draws, same
+	// fold order, same stopping rule — bit-identical to the historical
+	// per-sample implementation (RunCtx over sc.Delay), but with the
+	// per-worker scratch keeping the steady path allocation-free.
+	ms := &MultiScenario{
+		Base:   sc.Base,
+		Coeffs: sc.Coeffs,
+		Space:  sc.Space,
+		Specs:  []model.LineSpec{sc.Spec},
+		Target: sc.Target,
+	}
 	if o.ImportanceSampling {
-		shift, err := FindShift(Dims, sc.Target, func(z []float64) (float64, error) {
-			if err := ctx.Err(); err != nil {
-				return 0, err
-			}
-			return sc.Delay(z)
-		})
+		shifts, err := ms.FindShiftsCtx(ctx)
 		if err != nil {
 			return Estimate{}, err
 		}
-		ropts.Shift = shift
+		ms.Shifts = shifts
 	}
-	return RunCtx(ctx, ropts, func(i int, z []float64) (bool, error) {
-		d, err := sc.Delay(z)
-		if err != nil {
-			return false, err
-		}
-		return d > sc.Target, nil
-	})
+	ests, err := EstimateYieldsSharedCtx(ctx, ms, o)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return ests[0], nil
 }

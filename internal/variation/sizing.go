@@ -89,17 +89,13 @@ func SizeForYieldCtx(ctx context.Context, base *tech.Technology, seg wire.Segmen
 	if err != nil {
 		return SizedDesign{}, err
 	}
-	evalYield := func(d buffering.Design) (Estimate, error) {
-		sc := &LinkScenario{
-			Base:   base,
-			Coeffs: o.Buffering.Coeffs,
-			Space:  o.Space,
-			Spec:   lineSpec(d, seg, o.Buffering),
-			Target: o.Target,
-		}
-		return EstimateLinkYieldCtx(ctx, sc, o.MC)
-	}
-	est, err := evalYield(nominal)
+	est, err := EstimateLinkYieldCtx(ctx, &LinkScenario{
+		Base:   base,
+		Coeffs: o.Buffering.Coeffs,
+		Space:  o.Space,
+		Spec:   lineSpec(nominal, seg, o.Buffering),
+		Target: o.Target,
+	}, o.MC)
 	if err != nil {
 		return SizedDesign{}, err
 	}
@@ -107,37 +103,63 @@ func SizeForYieldCtx(ctx context.Context, base *tech.Technology, seg wire.Segmen
 		return SizedDesign{Design: nominal, Estimate: est, Nominal: nominal}, nil
 	}
 
-	checked := 0
-	var bestEst Estimate
-	des, err := buffering.Constrained(seg, o.Buffering, func(d buffering.Design) (bool, error) {
-		if err := ctx.Err(); err != nil {
-			return false, err
-		}
-		// A candidate that cannot meet the target even at nominal
-		// never meets it under variation; skip the Monte Carlo run
-		// (and don't charge it against the budget).
-		if d.Delay > o.Target {
-			return false, nil
-		}
-		if checked >= o.MaxCandidates {
-			return false, fmt.Errorf("%w (budget of %d candidates exhausted)", ErrYieldUnreachable, o.MaxCandidates)
-		}
-		checked++
-		e, err := evalYield(d)
-		if err != nil {
-			return false, err
-		}
-		if e.Yield >= o.YieldTarget {
-			bestEst = e
-			return true, nil
-		}
-		return false, nil
-	})
+	// The nominal design missed the target: sweep the cost-ordered
+	// candidate grid. Candidates that cannot meet the target even at
+	// the nominal corner never meet it under variation, so they are
+	// skipped without charging the Monte Carlo budget; the first
+	// MaxCandidates feasible candidates are then evaluated in one
+	// shared-sample kernel pass (common random numbers — the same
+	// draws the one-at-a-time walk would have burned per candidate,
+	// paid once), and the cheapest candidate whose estimate reaches
+	// the yield target wins. Estimates, selection, and error cases
+	// match the historical sequential walk exactly.
+	if err := ctx.Err(); err != nil {
+		return SizedDesign{}, err
+	}
+	cands, err := buffering.Candidates(seg, o.Buffering)
 	if err != nil {
 		return SizedDesign{}, err
 	}
-	resized := des.Size != nominal.Size || des.N != nominal.N || des.Kind != nominal.Kind
-	return SizedDesign{Design: des, Estimate: bestEst, Nominal: nominal, Resized: resized}, nil
+	feasible := make([]buffering.Design, 0, o.MaxCandidates)
+	overBudget := false
+	for _, d := range cands {
+		if d.Delay > o.Target {
+			continue
+		}
+		if len(feasible) >= o.MaxCandidates {
+			overBudget = true
+			break
+		}
+		feasible = append(feasible, d)
+	}
+	if len(feasible) == 0 {
+		return SizedDesign{}, fmt.Errorf("%w (searched %d candidates)", buffering.ErrNoFeasibleDesign, len(cands))
+	}
+	specs := make([]model.LineSpec, len(feasible))
+	for c, d := range feasible {
+		specs[c] = lineSpec(d, seg, o.Buffering)
+	}
+	ests, err := EstimateYieldsSharedCtx(ctx, &MultiScenario{
+		Base:   base,
+		Coeffs: o.Buffering.Coeffs,
+		Space:  o.Space,
+		Specs:  specs,
+		Target: o.Target,
+	}, o.MC)
+	if err != nil {
+		return SizedDesign{}, err
+	}
+	for c, e := range ests {
+		if e.Yield >= o.YieldTarget {
+			des := feasible[c]
+			resized := des.Size != nominal.Size || des.N != nominal.N || des.Kind != nominal.Kind
+			return SizedDesign{Design: des, Estimate: e, Nominal: nominal, Resized: resized}, nil
+		}
+	}
+	if overBudget {
+		return SizedDesign{}, fmt.Errorf("%w (budget of %d candidates exhausted)", ErrYieldUnreachable, o.MaxCandidates)
+	}
+	return SizedDesign{}, fmt.Errorf("%w (searched %d candidates)", buffering.ErrNoFeasibleDesign, len(cands))
 }
 
 // lineSpec assembles the model spec for one buffering design on a

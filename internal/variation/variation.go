@@ -149,25 +149,37 @@ func relFactor(sigma, z float64) float64 {
 // threshold voltages are clamped below the supply so the perturbed
 // descriptor stays evaluable.
 func (s Space) Apply(base *tech.Technology, z []float64) (*tech.Technology, Factors) {
-	t := base.Clone()
+	t := new(tech.Technology)
+	f := s.ApplyInto(t, base, z)
+	return t, f
+}
+
+// ApplyInto is Apply writing the perturbed descriptor into a
+// caller-owned destination instead of allocating one, producing a
+// bit-identical result. The sampling kernel keeps one Technology per
+// worker and perturbs into it per sample, keeping the steady path
+// allocation-free. dst may not alias base; base is never mutated and
+// z is only read.
+func (s Space) ApplyInto(dst *tech.Technology, base *tech.Technology, z []float64) Factors {
+	*dst = *base
 
 	clampVth := func(v float64) float64 {
 		if v < 0.05 {
 			v = 0.05
 		}
-		if max := t.Vdd - 0.05; v > max {
+		if max := dst.Vdd - 0.05; v > max {
 			v = max
 		}
 		return v
 	}
-	t.NMOS.Vth = clampVth(t.NMOS.Vth + s.VthSigma*z[dimVthN])
-	t.PMOS.Vth = clampVth(t.PMOS.Vth + s.VthSigma*z[dimVthP])
+	dst.NMOS.Vth = clampVth(dst.NMOS.Vth + s.VthSigma*z[dimVthN])
+	dst.PMOS.Vth = clampVth(dst.PMOS.Vth + s.VthSigma*z[dimVthP])
 
 	fL := relFactor(s.LengthSigma, z[dimLength])
-	t.NMOS.K /= fL
-	t.PMOS.K /= fL
-	t.NMOS.CGate *= fL
-	t.PMOS.CGate *= fL
+	dst.NMOS.K /= fL
+	dst.PMOS.K /= fL
+	dst.NMOS.CGate *= fL
+	dst.PMOS.CGate *= fL
 
 	f := Factors{
 		WireWidth:     relFactor(s.WireWidthSigma, z[dimWireWidth]),
@@ -175,18 +187,22 @@ func (s Space) Apply(base *tech.Technology, z []float64) (*tech.Technology, Fact
 		ILD:           relFactor(s.ILDSigma, z[dimILD]),
 		Rho:           relFactor(s.RhoSigma, z[dimRho]),
 	}
-	t.RhoBulk *= f.Rho
-	for _, l := range []*tech.WireLayer{&t.Global, &t.Intermediate} {
-		dw := l.Width * (f.WireWidth - 1)
-		l.Width += dw
-		// Width moves at constant pitch: the neighbors give up the
-		// spacing the line gains. Keep a sliver of spacing so the
-		// coupling model stays finite.
-		l.Spacing = clampSpacing(l.Spacing-dw, l.Spacing)
-		l.Thickness *= f.WireThickness
-		l.ILD *= f.ILD
-	}
-	return t, f
+	dst.RhoBulk *= f.Rho
+	perturbLayer(&dst.Global, f)
+	perturbLayer(&dst.Intermediate, f)
+	return f
+}
+
+// perturbLayer applies one draw's wire factors to a routing layer.
+func perturbLayer(l *tech.WireLayer, f Factors) {
+	dw := l.Width * (f.WireWidth - 1)
+	l.Width += dw
+	// Width moves at constant pitch: the neighbors give up the
+	// spacing the line gains. Keep a sliver of spacing so the
+	// coupling model stays finite.
+	l.Spacing = clampSpacing(l.Spacing-dw, l.Spacing)
+	l.Thickness *= f.WireThickness
+	l.ILD *= f.ILD
 }
 
 // clampSpacing keeps a perturbed spacing at or above a quarter of its

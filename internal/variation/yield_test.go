@@ -49,6 +49,31 @@ func TestScenarioNominalDelayMatchesDesign(t *testing.T) {
 	}
 }
 
+// TestNominalDelayLeavesZeroDrawClean pins the contract behind the
+// shared package-level zero draw: NominalDelay used to allocate a
+// fresh zero slice per call; now every call reads the same array, so
+// nothing downstream may ever write through the draw. A repeated call
+// must also keep returning the same value.
+func TestNominalDelayLeavesZeroDrawClean(t *testing.T) {
+	sc := testScenario(t, 1e-9)
+	first, err := sc.NominalDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, v := range zeroDraw {
+		if v != 0 {
+			t.Fatalf("zeroDraw[%d] = %g after NominalDelay — the shared draw was written through", d, v)
+		}
+	}
+	again, err := sc.NominalDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("second NominalDelay %g != first %g", again, first)
+	}
+}
+
 func TestScenarioDelayRespondsToVariation(t *testing.T) {
 	sc := testScenario(t, 1e-9)
 	nom, err := sc.NominalDelay()

@@ -1,28 +1,47 @@
 #!/bin/sh
-# Runs the BenchmarkLinkYield suite and emits BENCH_yield.json — one
-# object per sub-benchmark with the timing and the custom metrics — so
-# the yield engine's performance trajectory accumulates across
-# commits.
+# Runs the BenchmarkLinkYield* suite under -benchmem and emits
+# BENCH_yield.json — one object per sub-benchmark with the timing, the
+# custom metrics, and the derived per-sample allocation rates — so the
+# yield engine's performance trajectory accumulates across commits.
 #
-# Usage: scripts/bench_yield.sh [benchtime]   (default 5x)
+# With a second argument (or ALLOC_CEILING_PER_SAMPLE in the
+# environment), the script additionally fails when any sub-benchmark
+# allocates more heap objects per sample than the ceiling — the CI
+# regression gate for the zero-allocation sampling kernel.
+#
+# Usage: scripts/bench_yield.sh [benchtime] [alloc ceiling]   (default 5x, no gate)
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-5x}"
+ceiling="${2:-${ALLOC_CEILING_PER_SAMPLE:-}}"
 out="BENCH_yield.json"
 
-go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" . |
+go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem . |
 	awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
-	/^BenchmarkLinkYield\// {
-		# Fields: name iterations N ns/op [value unit]...
-		split($1, parts, "/")
-		printf "%s{\"bench\":\"%s\",\"commit\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s",
-			(n++ ? ",\n" : "[\n"), parts[2], commit, $2, $3
-		for (i = 5; i < NF; i += 2) {
+	/^BenchmarkLinkYield/ {
+		# Fields: name iterations [value unit]...
+		bench = $1
+		sub(/-[0-9]+$/, "", bench) # -GOMAXPROCS suffix, when present
+		sub(/^BenchmarkLinkYieldSweep\//, "sweep-", bench)
+		sub(/^BenchmarkLinkYield\//, "", bench)
+		split("", m)
+		m["iterations"] = $2
+		for (i = 3; i < NF; i += 2) {
 			unit = $(i + 1)
 			gsub(/[^A-Za-z0-9]/, "_", unit)
-			printf ",\"%s\":%s", unit, $i
+			m[unit] = $i
 		}
+		# samples/op is reported by the benchmarks precisely so the
+		# -benchmem counters translate into per-sample rates.
+		if (("allocs_op" in m) && ("samples_op" in m) && m["samples_op"] + 0 > 0) {
+			m["allocs_per_sample"] = m["allocs_op"] / m["samples_op"]
+			m["bytes_per_sample"] = m["B_op"] / m["samples_op"]
+		}
+		printf "%s{\"bench\":\"%s\",\"commit\":\"%s\"", (n++ ? ",\n" : "[\n"), bench, commit
+		nk = split("iterations ns_op ns_sample samples_op yield var_reduction_x B_op allocs_op bytes_per_sample allocs_per_sample", keys, " ")
+		for (i = 1; i <= nk; i++)
+			if (keys[i] in m) printf ",\"%s\":%s", keys[i], m[keys[i]] + 0
 		printf "}"
 	}
 	END {
@@ -32,3 +51,16 @@ go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" . |
 
 echo "wrote $out:" >&2
 cat "$out"
+
+if [ -n "$ceiling" ]; then
+	awk -v ceiling="$ceiling" -F'"allocs_per_sample":' '
+		NF > 1 {
+			split($2, a, /[,}]/)
+			if (a[1] + 0 > ceiling + 0) {
+				bad = 1
+				print "allocs/sample " a[1] " exceeds ceiling " ceiling ": " $0 > "/dev/stderr"
+			}
+		}
+		END { exit bad }' "$out"
+	echo "allocs/sample within ceiling $ceiling" >&2
+fi

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/buffering"
+	"repro/internal/liberty"
 	"repro/internal/model"
 	"repro/internal/tech"
 	"repro/internal/variation"
@@ -372,4 +373,188 @@ func LinkYieldNominalCtx(ctx context.Context, req YieldRequest) (YieldResult, er
 		Degraded:      true,
 		FailProbBound: 1, // min(1, 3/n) at n = 1
 	}, nil
+}
+
+// YieldCandidate names one explicit buffering solution of a batch
+// yield request: an inverter repeater of the given drive strength,
+// repeated the given number of times along the line.
+type YieldCandidate struct {
+	// RepeaterSize is the repeater drive strength in unit-inverter
+	// multiples (required, positive).
+	RepeaterSize float64
+	// Repeaters is the repeater count (required, at least 1).
+	Repeaters int
+}
+
+// YieldBatchRequest scores K explicit candidate buffering solutions of
+// one link against a shared delay target. All candidates are evaluated
+// on common random numbers — the same per-sample technology
+// perturbation serves every candidate — so the per-candidate estimates
+// are directly comparable (and each is bit-identical to what a
+// standalone LinkYield of that candidate would report), at a fraction
+// of K independent estimations' cost.
+//
+// The embedded YieldRequest supplies the link geometry, target, and
+// sampling budget; its YieldTarget must be nil (the candidates are
+// explicit — there is nothing to resize).
+type YieldBatchRequest struct {
+	YieldRequest
+	// Candidates lists the buffering solutions to score (required,
+	// non-empty).
+	Candidates []YieldCandidate
+}
+
+// YieldBatchResult reports one batch estimation.
+type YieldBatchResult struct {
+	// Target is the shared delay constraint (s).
+	Target float64
+	// Results holds one YieldResult per candidate, in request order.
+	Results []YieldResult
+}
+
+// batchSpecs validates the candidates and assembles their line specs
+// plus nominal (unperturbed-model) delays.
+func (p *yieldPlan) batchSpecs(cands []YieldCandidate) ([]model.LineSpec, []float64, error) {
+	specs := make([]model.LineSpec, len(cands))
+	noms := make([]float64, len(cands))
+	for c, cand := range cands {
+		if math.IsNaN(cand.RepeaterSize) || cand.RepeaterSize <= 0 {
+			return nil, nil, fmt.Errorf("predint: candidate %d: non-positive repeater size %g", c, cand.RepeaterSize)
+		}
+		if cand.Repeaters < 1 {
+			return nil, nil, fmt.Errorf("predint: candidate %d: need at least one repeater, got %d", c, cand.Repeaters)
+		}
+		specs[c] = model.LineSpec{
+			Kind:      liberty.Inverter,
+			Size:      cand.RepeaterSize,
+			N:         cand.Repeaters,
+			Segment:   p.seg,
+			InputSlew: p.slew,
+		}
+		t, err := p.coeffs.LineDelay(specs[c])
+		if err != nil {
+			return nil, nil, fmt.Errorf("predint: candidate %d: %w", c, err)
+		}
+		noms[c] = t.Delay
+	}
+	return specs, noms, nil
+}
+
+// validateBatch applies the batch-specific request rules.
+func (req YieldBatchRequest) validateBatch() error {
+	if req.YieldTarget != nil {
+		return fmt.Errorf("predint: batch yield does not accept a yield target — the candidates are explicit")
+	}
+	if len(req.Candidates) == 0 {
+		return fmt.Errorf("predint: batch yield needs at least one candidate")
+	}
+	return nil
+}
+
+// LinkYieldBatch estimates the timing yield of every candidate in one
+// shared-sample pass; see YieldBatchRequest. The determinism guarantee
+// of LinkYield applies per candidate.
+func LinkYieldBatch(req YieldBatchRequest) (YieldBatchResult, error) {
+	return LinkYieldBatchCtx(context.Background(), req)
+}
+
+// LinkYieldBatchCtx is LinkYieldBatch under a context, with the same
+// batch-boundary cancellation contract as LinkYieldCtx.
+func LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchResult, error) {
+	if err := req.validateBatch(); err != nil {
+		return YieldBatchResult{}, err
+	}
+	p, err := req.YieldRequest.plan()
+	if err != nil {
+		return YieldBatchResult{}, err
+	}
+	specs, noms, err := p.batchSpecs(req.Candidates)
+	if err != nil {
+		return YieldBatchResult{}, err
+	}
+	ests, err := variation.EstimateYieldsSharedCtx(ctx, &variation.MultiScenario{
+		Base:   p.tc,
+		Coeffs: p.coeffs,
+		Space:  p.space,
+		Specs:  specs,
+		Target: p.target,
+	}, p.mc)
+	if err != nil {
+		return YieldBatchResult{}, err
+	}
+	out := YieldBatchResult{Target: p.target, Results: make([]YieldResult, len(ests))}
+	for c, e := range ests {
+		out.Results[c] = YieldResult{
+			Repeaters:         req.Candidates[c].Repeaters,
+			RepeaterSize:      req.Candidates[c].RepeaterSize,
+			NominalDelay:      noms[c],
+			Target:            p.target,
+			Yield:             e.Yield,
+			FailProb:          e.FailProb,
+			StdErr:            e.StdErr,
+			CI95:              e.CI95(),
+			Samples:           e.Samples,
+			ImportanceSampled: e.Shifted,
+			VarianceReduction: e.VarianceReduction,
+		}
+	}
+	return out, nil
+}
+
+// LinkYieldBatchNominal is the graceful-degradation fallback for
+// LinkYieldBatch, mirroring LinkYieldNominal: identical validation,
+// but each candidate gets a single closed-form evaluation at the
+// nominal process corner instead of a Monte Carlo estimation. Every
+// result is marked Degraded with the vacuous rule-of-three bound.
+func LinkYieldBatchNominal(req YieldBatchRequest) (YieldBatchResult, error) {
+	return LinkYieldBatchNominalCtx(context.Background(), req)
+}
+
+// LinkYieldBatchNominalCtx is LinkYieldBatchNominal under a context;
+// only an up-front check applies.
+func LinkYieldBatchNominalCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return YieldBatchResult{}, err
+	}
+	if err := req.validateBatch(); err != nil {
+		return YieldBatchResult{}, err
+	}
+	p, err := req.YieldRequest.plan()
+	if err != nil {
+		return YieldBatchResult{}, err
+	}
+	specs, _, err := p.batchSpecs(req.Candidates)
+	if err != nil {
+		return YieldBatchResult{}, err
+	}
+	out := YieldBatchResult{Target: p.target, Results: make([]YieldResult, len(specs))}
+	for c := range specs {
+		sc := &variation.LinkScenario{
+			Base:   p.tc,
+			Coeffs: p.coeffs,
+			Space:  p.space,
+			Spec:   specs[c],
+			Target: p.target,
+		}
+		nominal, err := sc.NominalDelay()
+		if err != nil {
+			return YieldBatchResult{}, err
+		}
+		fail := 0.0
+		if nominal > p.target {
+			fail = 1
+		}
+		out.Results[c] = YieldResult{
+			Repeaters:     req.Candidates[c].Repeaters,
+			RepeaterSize:  req.Candidates[c].RepeaterSize,
+			NominalDelay:  nominal,
+			Target:        p.target,
+			Yield:         1 - fail,
+			FailProb:      fail,
+			Samples:       1,
+			Degraded:      true,
+			FailProbBound: 1, // min(1, 3/n) at n = 1
+		}
+	}
+	return out, nil
 }

@@ -182,6 +182,130 @@ func TestLinkYieldNominalMatchesFullPath(t *testing.T) {
 	}
 }
 
+// TestLinkYieldBatchMatchesSingle pins the batch API's headline
+// guarantee: scoring the single-link path's own designed solution as
+// an explicit batch candidate — alongside a competitor, on shared
+// samples — returns the bit-identical estimate the standalone request
+// produced, for both estimators.
+func TestLinkYieldBatchMatchesSingle(t *testing.T) {
+	for _, is := range []bool{false, true} {
+		req := YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(1024), Seed: 1, TargetPS: Float(470), ImportanceSampling: is}
+		single, err := LinkYield(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := LinkYieldBatch(YieldBatchRequest{
+			YieldRequest: req,
+			Candidates: []YieldCandidate{
+				{RepeaterSize: single.RepeaterSize, Repeaters: single.Repeaters},
+				{RepeaterSize: 8, Repeaters: 12},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Results) != 2 {
+			t.Fatalf("is=%v: %d results for 2 candidates", is, len(batch.Results))
+		}
+		got := batch.Results[0]
+		if got.Yield != single.Yield || got.FailProb != single.FailProb || got.StdErr != single.StdErr ||
+			got.Samples != single.Samples || got.NominalDelay != single.NominalDelay || got.Target != single.Target {
+			t.Fatalf("is=%v: batch candidate 0 diverged from the standalone run:\n got %+v\nwant %+v", is, got, single)
+		}
+		if got.ImportanceSampled != single.ImportanceSampled {
+			t.Fatalf("is=%v: estimator markers diverged: batch %v, single %v", is, got.ImportanceSampled, single.ImportanceSampled)
+		}
+	}
+}
+
+// TestLinkYieldBatchWorkerDeterminism extends the bit-identical
+// Workers contract to the batch path.
+func TestLinkYieldBatchWorkerDeterminism(t *testing.T) {
+	req := YieldBatchRequest{
+		YieldRequest: YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(1024), Seed: 7, TargetPS: Float(470)},
+		Candidates:   []YieldCandidate{{RepeaterSize: 8, Repeaters: 10}, {RepeaterSize: 12, Repeaters: 8}},
+	}
+	req.Workers = 1
+	serial, err := LinkYieldBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Workers = 8
+	parallel, err := LinkYieldBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range serial.Results {
+		if serial.Results[c] != parallel.Results[c] {
+			t.Fatalf("candidate %d: Workers=8 diverged: %+v vs %+v", c, parallel.Results[c], serial.Results[c])
+		}
+	}
+}
+
+func TestLinkYieldBatchValidation(t *testing.T) {
+	ok := YieldBatchRequest{
+		YieldRequest: YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(64)},
+		Candidates:   []YieldCandidate{{RepeaterSize: 8, Repeaters: 10}},
+	}
+	for name, mutate := range map[string]func(*YieldBatchRequest){
+		"yield-target":   func(r *YieldBatchRequest) { r.YieldTarget = Float(0.95) },
+		"no-candidates":  func(r *YieldBatchRequest) { r.Candidates = nil },
+		"zero-size":      func(r *YieldBatchRequest) { r.Candidates = []YieldCandidate{{RepeaterSize: 0, Repeaters: 10}} },
+		"zero-repeaters": func(r *YieldBatchRequest) { r.Candidates = []YieldCandidate{{RepeaterSize: 8, Repeaters: 0}} },
+		"unknown-tech":   func(r *YieldBatchRequest) { r.Tech = "13nm" },
+	} {
+		req := ok
+		mutate(&req)
+		if _, err := LinkYieldBatch(req); err == nil {
+			t.Errorf("%s: invalid batch request accepted", name)
+		}
+		// The degraded path shares the validation.
+		if _, err := LinkYieldBatchNominal(req); err == nil {
+			t.Errorf("%s: degraded batch path accepted an invalid request", name)
+		}
+	}
+	// Candidate errors name the offending candidate.
+	req := ok
+	req.Candidates = []YieldCandidate{{RepeaterSize: 8, Repeaters: 10}, {RepeaterSize: -1, Repeaters: 10}}
+	if _, err := LinkYieldBatch(req); err == nil || !strings.Contains(err.Error(), "candidate 1") {
+		t.Errorf("bad second candidate: error %v does not name candidate 1", err)
+	}
+}
+
+// TestLinkYieldBatchNominalContract mirrors TestLinkYieldNominalContract
+// for the batch degradation path: every candidate gets the single
+// closed-form evaluation, the 0/1 yield step, and the vacuous bound.
+func TestLinkYieldBatchNominalContract(t *testing.T) {
+	req := YieldBatchRequest{
+		YieldRequest: YieldRequest{Tech: "90nm", LengthMM: 5},
+		Candidates:   []YieldCandidate{{RepeaterSize: 60, Repeaters: 2}, {RepeaterSize: 4, Repeaters: 1}},
+	}
+	res, err := LinkYieldBatchNominal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := LinkYieldBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, r := range res.Results {
+		if !r.Degraded || r.Samples != 1 || r.FailProbBound != 1 {
+			t.Fatalf("candidate %d degraded contract broken: %+v", c, r)
+		}
+		if r.Yield != 0 && r.Yield != 1 {
+			t.Fatalf("candidate %d: degraded yield %g is not a 0/1 step", c, r.Yield)
+		}
+		if r.NominalDelay != full.Results[c].NominalDelay {
+			t.Fatalf("candidate %d: degraded nominal delay %g != full-path %g", c, r.NominalDelay, full.Results[c].NominalDelay)
+		}
+	}
+	// The tiny single-repeater candidate misses the clock-period target
+	// outright; the designed-size one meets it — the step discriminates.
+	if res.Results[0].Yield != 1 || res.Results[1].Yield != 0 {
+		t.Fatalf("degraded step did not discriminate the candidates: %+v", res.Results)
+	}
+}
+
 // TestLinkYieldNominalContract pins the degraded-response contract the
 // serving layer documents: a 0/1 yield step around the target, a
 // single evaluation, and the vacuous rule-of-three bound.
