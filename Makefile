@@ -11,11 +11,14 @@ build:
 build-prod:
 	$(GO) build -tags prod ./...
 
+# -shuffle=on randomizes test order, catching hidden inter-test state
+# (the warm-surface cache is process-global; every test that enables it
+# must clean up after itself).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...

@@ -469,3 +469,41 @@ func BenchmarkLinkYieldSweep(b *testing.B) {
 		b.ReportMetric(total, "samples/op")
 	})
 }
+
+// BenchmarkLinkYieldSurfaceWarm measures the warm-start serving path:
+// the first query runs full Monte Carlo and memoizes its estimate, so
+// every benchmarked iteration is answered from the response surface —
+// one plan validation, one design memo probe, one curve lookup. The
+// per-op time is the warm-query latency the serving layer's <10 µs
+// budget gates in CI (scripts/bench_yield.sh's surface ceiling).
+func BenchmarkLinkYieldSurfaceWarm(b *testing.B) {
+	EnableSurface()
+	b.Cleanup(DisableSurface)
+	req := YieldRequest{
+		Tech: "90nm", LengthMM: 5,
+		Samples: Int(2048), Seed: 1,
+		TargetPS: Float(520),
+	}
+	if _, err := LinkYield(req); err != nil { // cold run: samples and records
+		b.Fatal(err)
+	}
+	warm, err := LinkYield(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm.Source != SourceSurface {
+		b.Fatalf("surface did not warm: %+v", warm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := LinkYield(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Source != SourceSurface {
+			b.Fatalf("warm query fell back to %q", res.Source)
+		}
+	}
+	b.ReportMetric(warm.Yield, "yield")
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pool"
+)
+
+// TestQueueFullShedRestoresDepthGauge pins the gauge fix on the
+// queue-full shed path: the request bumps queued (and the gauge) at
+// admission, is shed because the queue is full, and must leave the
+// gauge back at the true depth. It used to decrement only the atomic
+// counter, leaving predintd.queue_depth stuck one high after every
+// shed — a dashboard that never drains.
+func TestQueueFullShedRestoresDepthGauge(t *testing.T) {
+	// Queue depth 0: the very first request overflows the queue and is
+	// shed deterministically, no concurrent slot-holder needed.
+	_, ts := testServer(t, 1, 0, 1<<20, 10*time.Second)
+	before := metQueueDepth.Value()
+	code, _, body := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("zero-depth queue admission: status %d, want 503 (body %s)", code, body)
+	}
+	if got := metQueueDepth.Value(); got != before {
+		t.Fatalf("queue_depth gauge %d after shed, want %d (gauge leaked on the shed path)", got, before)
+	}
+}
+
+// TestStatusForClassifiesWorkerPanics pins the status-mapping fix: a
+// recovered worker panic (*pool.PanicError) is a server fault and maps
+// to 500, not the catch-all 400 that blamed the client for an engine
+// crash.
+func TestStatusForClassifiesWorkerPanics(t *testing.T) {
+	pe := &pool.PanicError{Index: 3, Value: "boom"}
+	if got := statusFor(pe); got != http.StatusInternalServerError {
+		t.Errorf("bare PanicError: status %d, want 500", got)
+	}
+	if got := statusFor(fmt.Errorf("variation: sweep failed: %w", pe)); got != http.StatusInternalServerError {
+		t.Errorf("wrapped PanicError: status %d, want 500", got)
+	}
+	// The catch-all stays: ordinary engine errors are still request
+	// validation.
+	if got := statusFor(errors.New("bad tech")); got != http.StatusBadRequest {
+		t.Errorf("plain error: status %d, want 400", got)
+	}
+}
+
+// TestWorkerPanicMapsTo500EndToEnd drives the same classification
+// through the full serving path: a panic injected into a Monte Carlo
+// worker item surfaces from the engine as a *PanicError and the
+// response is a 500, with the server intact afterwards.
+func TestWorkerPanicMapsTo500EndToEnd(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+		"pool.item": {Kind: faultinject.Panic, Times: 1},
+	}})()
+	code, _, body := postJSON(t, ts.URL+"/v1/yield", `{"tech": "90nm", "length_mm": 5, "samples": 256, "workers": 2}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("worker panic: status %d, want 500 (body %s)", code, body)
+	}
+	if code, _, _ := postJSON(t, ts.URL+"/v1/yield", `{"tech": "90nm", "length_mm": 5, "samples": 256, "workers": 2}`); code != http.StatusOK {
+		t.Errorf("request after worker panic: status %d, want 200", code)
+	}
+}

@@ -16,11 +16,18 @@
 // SIGTERM drains gracefully, finishing in-flight requests (bounded by
 // -drain-timeout) while rejecting new ones.
 //
+// The yield endpoints serve a three-tier ladder, best answer first:
+// the warm-start response surface (on unless -no-surface; answers
+// repeated queries by interpolation with a conservative band, marked
+// "source": "surface"), then the full Monte Carlo pipeline, then —
+// past the cost ceiling or under queue pressure — the closed-form
+// nominal estimate ("source": "nominal").
+//
 // Usage:
 //
 //	predintd [-addr localhost:8080] [-inflight 8] [-queue 64]
 //	         [-request-timeout 30s] [-drain-timeout 30s]
-//	         [-max-yield-cost 65536] [-retry-after 1s]
+//	         [-max-yield-cost 65536] [-retry-after 1s] [-no-surface]
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"os"
 	"time"
 
+	predint "repro"
 	"repro/internal/cliutil"
 )
 
@@ -47,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	drainTimeoutFlag := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	maxYieldCostFlag := fs.Int("max-yield-cost", 65536, "largest Monte Carlo sample budget served in full; costlier /v1/yield requests degrade to the nominal estimate")
 	retryAfterFlag := fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	noSurfaceFlag := fs.Bool("no-surface", false, "disable the yield-response-surface cache; every /v1/yield query runs the full pipeline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +71,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, cancel := cliutil.Context(0)
 	defer cancel()
+
+	// The warm-start surface is on by default in the daemon — it is
+	// exactly the repeated-traffic shape the cache exists for — and a
+	// strict acceleration: cold or out-of-band queries run the
+	// unchanged full pipeline.
+	if !*noSurfaceFlag {
+		predint.EnableSurface()
+		defer predint.DisableSurface()
+	}
 
 	s := newServer(*inflightFlag, *queueFlag, *maxYieldCostFlag, *reqTimeoutFlag, *retryAfterFlag)
 	ln, err := net.Listen("tcp", *addrFlag)

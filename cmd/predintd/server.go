@@ -13,6 +13,7 @@ import (
 	predint "repro"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/pool"
 )
 
 // Serving-layer metrics. queue_depth and inflight are levels; shed and
@@ -25,6 +26,11 @@ var (
 	metQueueDepth = obs.NewGauge("predintd.queue_depth")
 	metInflight   = obs.NewGauge("predintd.inflight")
 	metLatency    = obs.NewHistogram("predintd.latency")
+	// Warm-surface tier outcomes on the yield endpoints; the hit ratio
+	// hits/(hits+misses) is the cache's effectiveness on live traffic.
+	// Neither moves while the surface is disabled.
+	metSurfaceHits   = obs.NewCounter("predintd.yield_surface_hits")
+	metSurfaceMisses = obs.NewCounter("predintd.yield_surface_misses")
 )
 
 // server is the hardened HTTP facade over the predint engines. Every
@@ -105,6 +111,7 @@ func (s *server) admit(fn apiFunc) http.HandlerFunc {
 		metQueueDepth.Set(waiting)
 		if waiting > s.queueDepth {
 			s.queued.Add(-1)
+			metQueueDepth.Set(s.queued.Load())
 			s.shed(w, "queue full")
 			return
 		}
@@ -174,12 +181,17 @@ func (s *server) shed(w http.ResponseWriter, reason string) {
 }
 
 func statusFor(err error) int {
+	var pe *pool.PanicError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, faultinject.ErrInjected):
+		return http.StatusInternalServerError
+	case errors.As(err, &pe):
+		// A recovered worker panic is a server fault, not a bad
+		// request: surface it as a 500 like any other engine failure.
 		return http.StatusInternalServerError
 	default:
 		// Everything else out of the engines is request validation.
@@ -299,6 +311,7 @@ type yieldRequestDTO struct {
 	ImportanceSampling bool     `json:"importance_sampling,omitempty"`
 	SigmaScale         *float64 `json:"sigma_scale,omitempty"`
 	YieldTarget        *float64 `json:"yield_target,omitempty"`
+	NoSurface          bool     `json:"no_surface,omitempty"`
 }
 
 type yieldResultDTO struct {
@@ -316,6 +329,7 @@ type yieldResultDTO struct {
 	Resized           bool    `json:"resized,omitempty"`
 	Degraded          bool    `json:"degraded,omitempty"`
 	FailProbBound     float64 `json:"fail_prob_bound,omitempty"`
+	Source            string  `json:"source"`
 }
 
 // yieldRequest maps the wire DTO onto the facade request.
@@ -335,6 +349,7 @@ func (dto yieldRequestDTO) yieldRequest() predint.YieldRequest {
 		ImportanceSampling: dto.ImportanceSampling,
 		SigmaScale:         dto.SigmaScale,
 		YieldTarget:        dto.YieldTarget,
+		NoSurface:          dto.NoSurface,
 	}
 }
 
@@ -364,6 +379,7 @@ func yieldResultDTOFrom(res predint.YieldResult) yieldResultDTO {
 		Resized:           res.Resized,
 		Degraded:          res.Degraded,
 		FailProbBound:     res.FailProbBound,
+		Source:            res.Source,
 	}
 }
 
@@ -377,11 +393,29 @@ func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) 
 	}
 	req := dto.yieldRequest()
 
-	// Graceful degradation: a Monte Carlo budget beyond the cost
-	// ceiling, or admission-time queue pressure, buys the closed-form
-	// nominal estimate instead of an error or an unbounded wait. The
-	// response is marked degraded and carries the vacuous rule-of-three
-	// bound so callers can't mistake it for a sampled estimate.
+	// Tier 1 — warm surface: consulted before any cost or pressure
+	// decision, because a warm answer is cheaper than even the nominal
+	// closed form. Under pressure a warm query is thus still served a
+	// real (banded) estimate instead of the vacuous nominal step.
+	if predint.SurfaceEnabled() && !req.NoSurface {
+		res, ok, err := predint.LinkYieldSurfaceCtx(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			metSurfaceHits.Inc()
+			return yieldResultDTOFrom(res), nil
+		}
+		metSurfaceMisses.Inc()
+	}
+
+	// Tier 2/3 — graceful degradation: a Monte Carlo budget beyond the
+	// cost ceiling, or admission-time queue pressure, buys the
+	// closed-form nominal estimate instead of an error or an unbounded
+	// wait. The response is marked degraded and carries the vacuous
+	// rule-of-three bound so callers can't mistake it for a sampled
+	// estimate. Otherwise the full Monte Carlo path runs (and warms
+	// the surface for the next query).
 	var res predint.YieldResult
 	var err error
 	if s.degradeYield(ctx, dto.Samples) {
@@ -433,6 +467,25 @@ func (s *server) handleYieldBatch(ctx context.Context, r *http.Request) (any, er
 	}
 	for i, c := range dto.Candidates {
 		req.Candidates[i] = predint.YieldCandidate{RepeaterSize: c.RepeaterSize, Repeaters: c.Repeaters}
+	}
+
+	// The same three-tier ladder as /v1/yield, with the batch probe's
+	// all-or-nothing rule: the surface answers only when every
+	// candidate is warm.
+	if predint.SurfaceEnabled() && !req.NoSurface {
+		res, ok, err := predint.LinkYieldBatchSurfaceCtx(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			metSurfaceHits.Inc()
+			out := yieldBatchResultDTO{TargetS: res.Target, Results: make([]yieldResultDTO, len(res.Results))}
+			for i, r := range res.Results {
+				out.Results[i] = yieldResultDTOFrom(r)
+			}
+			return out, nil
+		}
+		metSurfaceMisses.Inc()
 	}
 
 	var res predint.YieldBatchResult

@@ -8,7 +8,7 @@
 //	yield -tech 65nm -length 5 [-n 4096] [-seed 1] [-j 0]
 //	      [-target 444] [-is] [-relerr 0.05] [-abserr 0.001] [-yield 0.99]
 //	      [-candidates 8:10,12:8,16:6] [-style swss|shielded|staggered]
-//	      [-weight 0.5] [-sigma 1]
+//	      [-weight 0.5] [-sigma 1] [-no-surface]
 //	      [-timeout 30s] [-metrics] [-debug-addr localhost:6060]
 //
 // With -candidates, the listed size:count buffering solutions are
@@ -74,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	candFlag := fs.String("candidates", "", "score these size:count buffering solutions on shared samples, e.g. 8:10,12:8")
 	weightFlag := fs.Float64("weight", predint.DefaultPowerWeight, "power weight of the buffering objective")
 	sigmaFlag := fs.Float64("sigma", 1, "scale on the default variation sigmas")
+	noSurfaceFlag := fs.Bool("no-surface", false, "bypass the yield-response-surface cache: always run the full Monte Carlo pipeline")
 	timeoutFlag := fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline; SIGINT/SIGTERM always cancel)")
 	metricsFlag := fs.Bool("metrics", false, "dump the observability counters as JSON to stderr after the run")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address for the run's duration")
@@ -100,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Workers:            *jobsFlag,
 		ImportanceSampling: *isFlag,
 		SigmaScale:         predint.Float(*sigmaFlag),
+		NoSurface:          *noSurfaceFlag,
 	}
 	if *targetFlag > 0 {
 		req.TargetPS = predint.Float(*targetFlag)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package surface
+
+// raceEnabled reports whether the race detector is compiled in. The
+// warm-lookup latency guard skips under -race: the detector's
+// instrumentation multiplies per-op cost and would flake the bound.
+const raceEnabled = false

@@ -177,7 +177,13 @@ func (e Estimate) CI95() float64 { return 1.96 * e.StdErr }
 // samples bounds the failure probability below 3/n at 95% confidence,
 // and once that bound reaches the requested tolerance the remaining
 // budget cannot improve the answer — the estimate is 0 either way.
-func stopRule(o Options, n int, mean, m2 float64) bool {
+//
+// The rule-of-three bound assumes plain-MC Bernoulli indicators, so
+// the escape is gated on shifted=false: an importance-sampled run's
+// per-sample contributions are likelihood-ratio weights that can
+// exceed 1, for which "no failures in n samples" certifies nothing —
+// a shifted zero-failure run must keep drawing to its budget.
+func stopRule(o Options, shifted bool, n int, mean, m2 float64) bool {
 	if n < o.MinSamples || n < 2 || (o.RelErr <= 0 && o.AbsErr <= 0) {
 		return false
 	}
@@ -191,6 +197,9 @@ func stopRule(o Options, n int, mean, m2 float64) bool {
 			metStopAbsErr.Inc()
 			return true
 		}
+		return false
+	}
+	if shifted {
 		return false
 	}
 	bound := 3 / float64(n)
@@ -325,7 +334,7 @@ func RunBatchCtx(ctx context.Context, o Options, trial BatchTrial) (Estimate, er
 		}
 		done += batch
 		metSamples.Add(int64(batch))
-		if stop := stopRule(o, n, mean, m2); stop {
+		if stop := stopRule(o, shifted, n, mean, m2); stop {
 			break
 		}
 	}

@@ -346,7 +346,7 @@ func EstimateYieldsSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOpti
 		done += batch
 		metSamples.Add(int64(batch) * int64(left))
 		for c := 0; c < K; c++ {
-			if active[c] && stopRule(ro, accs[c].n, accs[c].mean, accs[c].m2) {
+			if active[c] && stopRule(ro, shiftedC[c], accs[c].n, accs[c].mean, accs[c].m2) {
 				active[c] = false
 				left--
 			}

@@ -159,7 +159,11 @@ func SizeForYieldCtx(ctx context.Context, base *tech.Technology, seg wire.Segmen
 	if overBudget {
 		return SizedDesign{}, fmt.Errorf("%w (budget of %d candidates exhausted)", ErrYieldUnreachable, o.MaxCandidates)
 	}
-	return SizedDesign{}, fmt.Errorf("%w (searched %d candidates)", buffering.ErrNoFeasibleDesign, len(cands))
+	// Every feasible candidate was evaluated and none reached the
+	// target: the geometry is fine, the yield target is what cannot be
+	// met — report ErrYieldUnreachable, not a feasibility failure.
+	return SizedDesign{}, fmt.Errorf("%w (none of %d feasible candidates reaches yield %g)",
+		ErrYieldUnreachable, len(feasible), o.YieldTarget)
 }
 
 // lineSpec assembles the model spec for one buffering design on a

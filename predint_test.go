@@ -8,9 +8,27 @@ import (
 )
 
 func TestTechnologies(t *testing.T) {
-	names := Technologies()
-	if len(names) != 6 || names[0] != "90nm" || names[5] != "16nm" {
-		t.Fatalf("Technologies() = %v", names)
+	// Custom registrations from other tests (zz_register_test.go) can
+	// run first under -shuffle=on, so assert on the built-in
+	// subsequence rather than the exact list.
+	builtin := []string{"90nm", "65nm", "45nm", "32nm", "22nm", "16nm"}
+	isBuiltin := make(map[string]bool, len(builtin))
+	for _, n := range builtin {
+		isBuiltin[n] = true
+	}
+	var names []string
+	for _, n := range Technologies() {
+		if isBuiltin[n] {
+			names = append(names, n)
+		}
+	}
+	if len(names) != len(builtin) {
+		t.Fatalf("Technologies() = %v, missing built-ins (want %v)", Technologies(), builtin)
+	}
+	for i, n := range builtin {
+		if names[i] != n {
+			t.Fatalf("Technologies() built-ins out of order: %v, want %v", names, builtin)
+		}
 	}
 	info, err := Tech("45nm")
 	if err != nil {

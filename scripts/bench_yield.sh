@@ -9,12 +9,19 @@
 # allocates more heap objects per sample than the ceiling — the CI
 # regression gate for the zero-allocation sampling kernel.
 #
-# Usage: scripts/bench_yield.sh [benchtime] [alloc ceiling]   (default 5x, no gate)
+# With a third argument (or SURFACE_NS_CEILING in the environment), the
+# script also fails when the warm-surface benchmark
+# (BenchmarkLinkYieldSurfaceWarm) exceeds that many ns/op — the CI gate
+# on the serving layer's warm-query latency budget.
+#
+# Usage: scripts/bench_yield.sh [benchtime] [alloc ceiling] [surface ns ceiling]
+#        (default 5x, no gates)
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-5x}"
 ceiling="${2:-${ALLOC_CEILING_PER_SAMPLE:-}}"
+surface_ceiling="${3:-${SURFACE_NS_CEILING:-}}"
 out="BENCH_yield.json"
 
 go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem . |
@@ -25,6 +32,7 @@ go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem 
 		sub(/-[0-9]+$/, "", bench) # -GOMAXPROCS suffix, when present
 		sub(/^BenchmarkLinkYieldSweep\//, "sweep-", bench)
 		sub(/^BenchmarkLinkYield\//, "", bench)
+		sub(/^BenchmarkLinkYield/, "", bench) # slash-less top-level benches, e.g. SurfaceWarm
 		split("", m)
 		m["iterations"] = $2
 		for (i = 3; i < NF; i += 2) {
@@ -63,4 +71,23 @@ if [ -n "$ceiling" ]; then
 		}
 		END { exit bad }' "$out"
 	echo "allocs/sample within ceiling $ceiling" >&2
+fi
+
+if [ -n "$surface_ceiling" ]; then
+	awk -v ceiling="$surface_ceiling" '
+		/"bench":"SurfaceWarm"/ {
+			seen = 1
+			if (match($0, /"ns_op":[0-9.e+]+/)) {
+				ns = substr($0, RSTART + 8, RLENGTH - 8)
+				if (ns + 0 > ceiling + 0) {
+					bad = 1
+					print "warm-surface query " ns " ns/op exceeds ceiling " ceiling > "/dev/stderr"
+				}
+			}
+		}
+		END {
+			if (!seen) { print "no SurfaceWarm benchmark in output" > "/dev/stderr"; exit 1 }
+			exit bad
+		}' "$out"
+	echo "warm-surface ns/op within ceiling $surface_ceiling" >&2
 fi

@@ -84,6 +84,10 @@ type YieldRequest struct {
 	// cheapest design (under the nominal weighted objective) whose
 	// estimated yield reaches the target. Must lie in (0,1).
 	YieldTarget *float64
+	// NoSurface bypasses the yield-response-surface cache entirely —
+	// neither consulted nor refreshed — forcing the full Monte Carlo
+	// path even while EnableSurface is in effect.
+	NoSurface bool
 }
 
 // YieldResult reports a timing-yield estimation.
@@ -126,6 +130,10 @@ type YieldResult struct {
 	// evaluation it is 1 — deliberately vacuous, telling the caller
 	// exactly how much statistical weight the degraded answer carries.
 	FailProbBound float64
+	// Source names the tier that produced the answer: SourceMC (full
+	// Monte Carlo), SourceNominal (degraded closed form), or
+	// SourceSurface (warm cache interpolation).
+	Source string
 }
 
 // yieldPlan is a validated, derived YieldRequest: every optional
@@ -280,6 +288,19 @@ func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 		return YieldResult{}, err
 	}
 
+	// Warm-surface consult: answered entirely from memoized estimates
+	// when the cache is enabled, the request hasn't opted out, and the
+	// conservative band meets the request's tolerance. Sizing requests
+	// (YieldTarget) always sample — the chosen design depends on the
+	// target, which a memoized curve cannot re-decide.
+	cache := surfaceCache.Load()
+	consult := cache != nil && !req.NoSurface
+	if consult && p.yt == nil {
+		if res, ok := p.surfaceAnswer(cache); ok {
+			return res, nil
+		}
+	}
+
 	var des buffering.Design
 	var est variation.Estimate
 	resized := false
@@ -306,6 +327,14 @@ func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 		}
 	}
 
+	// Refresh the surface from the completed run. Only the plain
+	// estimation path memoizes the design: it evaluated the nominal
+	// weighted-objective solution, which is what a later warm query
+	// asks about.
+	if consult {
+		p.surfaceRecord(cache, des, est, p.yt == nil)
+	}
+
 	return YieldResult{
 		Repeaters:         des.N,
 		RepeaterSize:      des.Size,
@@ -319,6 +348,7 @@ func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 		ImportanceSampled: est.Shifted,
 		VarianceReduction: est.VarianceReduction,
 		Resized:           resized,
+		Source:            SourceMC,
 	}, nil
 }
 
@@ -372,6 +402,7 @@ func LinkYieldNominalCtx(ctx context.Context, req YieldRequest) (YieldResult, er
 		Samples:       1,
 		Degraded:      true,
 		FailProbBound: 1, // min(1, 3/n) at n = 1
+		Source:        SourceNominal,
 	}, nil
 }
 
@@ -472,6 +503,18 @@ func LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchRe
 	if err != nil {
 		return YieldBatchResult{}, err
 	}
+
+	// Warm-surface consult, all-or-nothing: a batch is answered from
+	// the cache only when every candidate is warm, so cached and
+	// freshly sampled estimates never mix in one response.
+	cache := surfaceCache.Load()
+	consult := cache != nil && !req.NoSurface
+	if consult {
+		if out, ok := p.surfaceBatchAnswer(cache, req.Candidates, noms); ok {
+			return out, nil
+		}
+	}
+
 	ests, err := variation.EstimateYieldsSharedCtx(ctx, &variation.MultiScenario{
 		Base:   p.tc,
 		Coeffs: p.coeffs,
@@ -484,6 +527,12 @@ func LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchRe
 	}
 	out := YieldBatchResult{Target: p.target, Results: make([]YieldResult, len(ests))}
 	for c, e := range ests {
+		if consult {
+			p.surfaceRecord(cache, buffering.Design{
+				Size: req.Candidates[c].RepeaterSize,
+				N:    req.Candidates[c].Repeaters,
+			}, e, false)
+		}
 		out.Results[c] = YieldResult{
 			Repeaters:         req.Candidates[c].Repeaters,
 			RepeaterSize:      req.Candidates[c].RepeaterSize,
@@ -496,6 +545,7 @@ func LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchRe
 			Samples:           e.Samples,
 			ImportanceSampled: e.Shifted,
 			VarianceReduction: e.VarianceReduction,
+			Source:            SourceMC,
 		}
 	}
 	return out, nil
@@ -554,6 +604,7 @@ func LinkYieldBatchNominalCtx(ctx context.Context, req YieldBatchRequest) (Yield
 			Samples:       1,
 			Degraded:      true,
 			FailProbBound: 1, // min(1, 3/n) at n = 1
+			Source:        SourceNominal,
 		}
 	}
 	return out, nil

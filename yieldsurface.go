@@ -1,0 +1,227 @@
+package predint
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/buffering"
+	"repro/internal/surface"
+	"repro/internal/variation"
+)
+
+// This file wires the yield-response-surface cache (internal/surface)
+// into the facade: completed Monte Carlo estimations are memoized per
+// link class, and later queries on the same class at nearby targets are
+// answered by interpolation with a conservative confidence band instead
+// of burning a fresh sample budget. The cache is strictly opt-in
+// (EnableSurface) and strictly an acceleration: a query the surface
+// cannot answer within tolerance runs the full Monte Carlo kernel and
+// is bit-identical to what it would have been with the surface off.
+
+// YieldResult.Source values, naming the tier that produced the answer.
+const (
+	// SourceMC marks a full Monte Carlo estimation.
+	SourceMC = "mc"
+	// SourceNominal marks the degraded closed-form nominal evaluation.
+	SourceNominal = "nominal"
+	// SourceSurface marks a warm answer interpolated from the
+	// yield-response-surface cache.
+	SourceSurface = "surface"
+)
+
+// surfaceCache is the process-wide surface, nil while disabled. The
+// pointer is swapped atomically so enable/disable is safe against
+// concurrent queries (in-flight requests finish against the cache they
+// loaded).
+var surfaceCache atomic.Pointer[surface.Cache]
+
+// EnableSurface installs a fresh yield-response-surface cache with the
+// default sizing and tolerances, replacing any previous one, and
+// returns it (for stats, invalidation, or warm-up). The surface starts
+// disabled: long-lived servers opt in, one-shot estimations and
+// determinism-sensitive tests keep the exact historical behavior.
+func EnableSurface() *surface.Cache {
+	c := surface.New(surface.Options{})
+	surfaceCache.Store(c)
+	return c
+}
+
+// DisableSurface removes the installed cache; subsequent queries run
+// the full kernel unconditionally.
+func DisableSurface() { surfaceCache.Store(nil) }
+
+// SurfaceEnabled reports whether a surface cache is installed.
+func SurfaceEnabled() bool { return surfaceCache.Load() != nil }
+
+// ActiveSurface returns the installed cache, or nil while disabled.
+func ActiveSurface() *surface.Cache { return surfaceCache.Load() }
+
+// surfaceKey derives the link-class key of a validated plan: everything
+// that changes the estimated quantity is in it — the technology (by
+// descriptor hash), the routed geometry and style, the slew and power
+// weight shaping the buffering, and the scaled variation space.
+func (p *yieldPlan) surfaceKey() surface.Key {
+	return surface.Key{
+		TechHash:    surface.TechHash(p.tc),
+		Geom:        surface.GeometryOf(p.seg),
+		InputSlew:   p.slew,
+		PowerWeight: p.bufOpts.PowerWeight,
+		Space:       p.space,
+	}
+}
+
+// surfaceTol maps the request's stopping tolerances onto the warm-answer
+// acceptance band: a caller who would have stopped sampling at this
+// error accepts a warm answer within the same error. Zero tolerances
+// fall back to the cache's conservative defaults.
+func (p *yieldPlan) surfaceTol() surface.Tolerance {
+	// MinSamples carries the request's sample budget: an exact-target
+	// recall that already spent it is served verbatim even when its
+	// band is wider than the (default) tolerance — a fresh run could
+	// only reproduce it.
+	return surface.Tolerance{
+		RelErr:     p.mc.RelErr,
+		AbsErr:     p.mc.AbsErr,
+		MinSamples: p.mc.Samples,
+	}
+}
+
+// surfaceAnswer tries to answer the plan's query entirely from the warm
+// surface: the memoized nominal design skips the candidate sweep and
+// the design's curve supplies the estimate. Misses when either memo is
+// cold or the conservative band exceeds the tolerance.
+func (p *yieldPlan) surfaceAnswer(c *surface.Cache) (YieldResult, bool) {
+	k := p.surfaceKey()
+	d, ok := c.DesignFor(k)
+	if !ok {
+		return YieldResult{}, false
+	}
+	est, ok := c.Lookup(k, surface.DesignKey{Size: d.Size, N: d.N}, p.target, p.surfaceTol())
+	if !ok {
+		return YieldResult{}, false
+	}
+	return YieldResult{
+		Repeaters:         d.N,
+		RepeaterSize:      d.Size,
+		NominalDelay:      d.Delay,
+		Target:            p.target,
+		Yield:             1 - est.FailProb,
+		FailProb:          est.FailProb,
+		StdErr:            est.StdErr,
+		CI95:              est.CI95(),
+		Samples:           est.Samples,
+		ImportanceSampled: est.Shifted,
+		Source:            SourceSurface,
+	}, true
+}
+
+// surfaceRecord refreshes the surface from a completed Monte Carlo
+// estimation. memoDesign is set only when des is the nominal
+// weighted-objective design (the one a later warm query would be asking
+// about); yield-target-sized designs contribute their curve point but
+// never the design memo.
+func (p *yieldPlan) surfaceRecord(c *surface.Cache, des buffering.Design, est variation.Estimate, memoDesign bool) {
+	k := p.surfaceKey()
+	if memoDesign {
+		c.RecordDesign(k, surface.Design{Size: des.Size, N: des.N, Delay: des.Delay})
+	}
+	c.Record(k, surface.DesignKey{Size: des.Size, N: des.N}, surface.Sample{
+		Target:   p.target,
+		FailProb: est.FailProb,
+		StdErr:   est.StdErr,
+		Samples:  est.Samples,
+		Shifted:  est.Shifted,
+	})
+}
+
+// LinkYieldSurface probes the warm surface alone: ok reports whether
+// the request could be answered from the cache within tolerance, with
+// no sampling fallback. The serving layer uses it as the first tier of
+// its degradation ladder — a warm answer is cheaper than even the
+// closed-form nominal evaluation, so it is consulted before any
+// cost-ceiling or queue-pressure decision. Requests with a YieldTarget
+// (sizing) always miss; so does everything while the surface is
+// disabled or the request opts out.
+func LinkYieldSurface(req YieldRequest) (YieldResult, bool, error) {
+	return LinkYieldSurfaceCtx(context.Background(), req)
+}
+
+// LinkYieldSurfaceCtx is LinkYieldSurface under a context; only an
+// up-front check applies, as a probe never samples.
+func LinkYieldSurfaceCtx(ctx context.Context, req YieldRequest) (YieldResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return YieldResult{}, false, err
+	}
+	c := surfaceCache.Load()
+	if c == nil || req.NoSurface || req.YieldTarget != nil {
+		return YieldResult{}, false, nil
+	}
+	p, err := req.plan()
+	if err != nil {
+		return YieldResult{}, false, err
+	}
+	res, ok := p.surfaceAnswer(c)
+	return res, ok, nil
+}
+
+// LinkYieldBatchSurface is the batch probe, all-or-nothing: it answers
+// only when every candidate's curve is warm at the target within
+// tolerance, so a batch response never silently mixes cached and
+// freshly sampled estimates (whose common-random-numbers comparability
+// would differ).
+func LinkYieldBatchSurface(req YieldBatchRequest) (YieldBatchResult, bool, error) {
+	return LinkYieldBatchSurfaceCtx(context.Background(), req)
+}
+
+// LinkYieldBatchSurfaceCtx is LinkYieldBatchSurface under a context.
+func LinkYieldBatchSurfaceCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return YieldBatchResult{}, false, err
+	}
+	cache := surfaceCache.Load()
+	if cache == nil || req.NoSurface {
+		return YieldBatchResult{}, false, nil
+	}
+	if err := req.validateBatch(); err != nil {
+		return YieldBatchResult{}, false, err
+	}
+	p, err := req.YieldRequest.plan()
+	if err != nil {
+		return YieldBatchResult{}, false, err
+	}
+	_, noms, err := p.batchSpecs(req.Candidates)
+	if err != nil {
+		return YieldBatchResult{}, false, err
+	}
+	out, ok := p.surfaceBatchAnswer(cache, req.Candidates, noms)
+	return out, ok, nil
+}
+
+// surfaceBatchAnswer answers a batch from the warm surface,
+// all-or-nothing: ok only when every candidate's curve covers the
+// target within tolerance.
+func (p *yieldPlan) surfaceBatchAnswer(cache *surface.Cache, cands []YieldCandidate, noms []float64) (YieldBatchResult, bool) {
+	k := p.surfaceKey()
+	tol := p.surfaceTol()
+	out := YieldBatchResult{Target: p.target, Results: make([]YieldResult, len(cands))}
+	for c, cand := range cands {
+		est, ok := cache.Lookup(k, surface.DesignKey{Size: cand.RepeaterSize, N: cand.Repeaters}, p.target, tol)
+		if !ok {
+			return YieldBatchResult{}, false
+		}
+		out.Results[c] = YieldResult{
+			Repeaters:         cand.Repeaters,
+			RepeaterSize:      cand.RepeaterSize,
+			NominalDelay:      noms[c],
+			Target:            p.target,
+			Yield:             1 - est.FailProb,
+			FailProb:          est.FailProb,
+			StdErr:            est.StdErr,
+			CI95:              est.CI95(),
+			Samples:           est.Samples,
+			ImportanceSampled: est.Shifted,
+			Source:            SourceSurface,
+		}
+	}
+	return out, true
+}

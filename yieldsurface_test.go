@@ -1,0 +1,156 @@
+package predint
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSurfaceOffVsMissBitIdentical pins the cache's strict-acceleration
+// contract: a cold (miss) query with the surface enabled, and a
+// NoSurface query, are both bit-identical — every field — to the same
+// request with the surface disabled. Only repeated warm queries change
+// behavior, and those are exact-target hits returning the memoized
+// estimate unchanged.
+func TestSurfaceOffVsMissBitIdentical(t *testing.T) {
+	req := YieldRequest{Tech: "65nm", LengthMM: 3, Samples: Int(256), Seed: 11}
+	base, err := LinkYield(req) // surface disabled: the historical path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Source != SourceMC {
+		t.Fatalf("MC result labeled %q, want %q", base.Source, SourceMC)
+	}
+
+	EnableSurface()
+	t.Cleanup(DisableSurface)
+
+	miss, err := LinkYield(req) // cold cache: consult misses, full MC runs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss != base {
+		t.Fatalf("surface-miss result differs from surface-off:\n  off:  %+v\n  miss: %+v", base, miss)
+	}
+
+	warm, err := LinkYield(req) // exact-target warm hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Source != SourceSurface {
+		t.Fatalf("repeated query not served from the surface: %+v", warm)
+	}
+	if warm.FailProb != base.FailProb || warm.StdErr != base.StdErr || warm.Samples != base.Samples ||
+		warm.Repeaters != base.Repeaters || warm.RepeaterSize != base.RepeaterSize ||
+		warm.NominalDelay != base.NominalDelay || warm.Yield != 1-base.FailProb {
+		t.Fatalf("exact-target warm hit mangled the memoized estimate:\n  mc:   %+v\n  warm: %+v", base, warm)
+	}
+
+	nos := req
+	nos.NoSurface = true
+	off, err := LinkYield(nos) // escape hatch: bypasses the warm cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != base {
+		t.Fatalf("NoSurface result differs from surface-off:\n  off:       %+v\n  NoSurface: %+v", base, off)
+	}
+}
+
+// TestSurfaceSizingNeverConsults: a YieldTarget (sizing) request always
+// samples — the chosen design depends on the target, which a memoized
+// curve cannot re-decide — even when the plain estimate of the same
+// link is warm.
+func TestSurfaceSizingNeverConsults(t *testing.T) {
+	EnableSurface()
+	t.Cleanup(DisableSurface)
+	req := YieldRequest{Tech: "65nm", LengthMM: 3, Samples: Int(256), Seed: 11}
+	if _, err := LinkYield(req); err != nil { // warm the plain curve
+		t.Fatal(err)
+	}
+	req.YieldTarget = Float(0.5)
+	sized, err := LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.Source != SourceMC {
+		t.Fatalf("sizing request served from the surface: %+v", sized)
+	}
+}
+
+// TestSurfaceBatchAllOrNothing: a batch is answered from the surface
+// only when every candidate is warm; a fresh candidate sends the whole
+// batch back to the shared-sample kernel.
+func TestSurfaceBatchAllOrNothing(t *testing.T) {
+	EnableSurface()
+	t.Cleanup(DisableSurface)
+	breq := YieldBatchRequest{
+		YieldRequest: YieldRequest{Tech: "90nm", LengthMM: 5, Samples: Int(256), Seed: 3, TargetPS: Float(520)},
+		Candidates:   []YieldCandidate{{RepeaterSize: 8, Repeaters: 10}, {RepeaterSize: 12, Repeaters: 8}},
+	}
+	first, err := LinkYieldBatch(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, r := range first.Results {
+		if r.Source != SourceMC {
+			t.Fatalf("cold batch candidate %d labeled %q", c, r.Source)
+		}
+	}
+	warm, err := LinkYieldBatch(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, r := range warm.Results {
+		if r.Source != SourceSurface {
+			t.Fatalf("warm batch candidate %d not served from the surface: %+v", c, r)
+		}
+		if r.FailProb != first.Results[c].FailProb || r.StdErr != first.Results[c].StdErr ||
+			r.Samples != first.Results[c].Samples {
+			t.Fatalf("warm batch candidate %d mangled: %+v vs %+v", c, r, first.Results[c])
+		}
+	}
+	breq.Candidates = append(breq.Candidates, YieldCandidate{RepeaterSize: 16, Repeaters: 6})
+	mixed, err := LinkYieldBatch(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, r := range mixed.Results {
+		if r.Source != SourceMC {
+			t.Fatalf("batch with one cold candidate served candidate %d from the surface", c)
+		}
+	}
+}
+
+// TestSurfaceInterpolationBandCoversMC is the acceptance check on the
+// conservative band: a between-points warm answer's 95% band, combined
+// with the fresh run's own, must cover a full Monte Carlo estimate at
+// the interpolated target.
+func TestSurfaceInterpolationBandCoversMC(t *testing.T) {
+	EnableSurface()
+	t.Cleanup(DisableSurface)
+	mk := func(targetPS float64, noSurface bool) YieldResult {
+		t.Helper()
+		res, err := LinkYield(YieldRequest{
+			Tech: "90nm", LengthMM: 5, Samples: Int(2048), Seed: 5,
+			TargetPS: Float(targetPS), NoSurface: noSurface,
+			// A loose acceptance band so the interpolated answer is
+			// served even across a wide bracketing gap.
+			RelErr: Float(3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mk(430, false) // bracket low
+	mk(450, false) // bracket high
+	warm := mk(440, false)
+	if warm.Source != SourceSurface {
+		t.Fatalf("bracketed query not interpolated from the surface: %+v", warm)
+	}
+	mc := mk(440, true) // fresh full MC at the same target
+	if diff := math.Abs(warm.FailProb - mc.FailProb); diff > warm.CI95+mc.CI95 {
+		t.Fatalf("interpolated fail prob %g ± %g inconsistent with MC %g ± %g (diff %g)",
+			warm.FailProb, warm.CI95, mc.FailProb, mc.CI95, diff)
+	}
+}
