@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/buffering"
+	"repro/internal/estimator"
 	"repro/internal/experiments"
 	"repro/internal/liberty"
 	"repro/internal/model"
@@ -468,6 +469,130 @@ func BenchmarkLinkYieldSweep(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/total, "ns/sample")
 		b.ReportMetric(total, "samples/op")
 	})
+}
+
+// BenchmarkLinkYieldAIS measures the adaptive-importance-sampling rung
+// end-to-end: cross-entropy adaptation stages plus the self-normalized
+// estimation stage. ns/sample counts every model evaluation (adaptation
+// included), so it is directly comparable to the MC kernel's rate —
+// the rung's overhead is proposal fitting, not slower evaluations.
+// scripts/bench_yield.sh gates the rate in CI.
+func BenchmarkLinkYieldAIS(b *testing.B) {
+	b.ReportAllocs()
+	req := YieldRequest{
+		Tech: "90nm", LengthMM: 5,
+		Samples: Int(4096), Seed: 1,
+		TargetPS:  Float(520),
+		Estimator: "ais",
+		NoSurface: true,
+	}
+	var res YieldResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = LinkYield(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.FailProb, "fail-prob")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(res.Samples), "ns/sample")
+	b.ReportMetric(float64(res.Samples), "samples/op")
+}
+
+// BenchmarkLinkYieldQMC measures the scrambled-Sobol rung: the shared
+// kernel's batching with low-discrepancy points through the inverse
+// normal CDF in place of PRNG draws.
+func BenchmarkLinkYieldQMC(b *testing.B) {
+	b.ReportAllocs()
+	req := YieldRequest{
+		Tech: "90nm", LengthMM: 5,
+		Samples: Int(2048), Seed: 1,
+		TargetPS:  Float(520),
+		Estimator: "qmc",
+		NoSurface: true,
+	}
+	var res YieldResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = LinkYield(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Yield, "yield")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(res.Samples), "ns/sample")
+	b.ReportMetric(float64(res.Samples), "samples/op")
+}
+
+// wcdBenchScenario builds the WCD benchmark scenario: the 90nm 5mm
+// link under its optimized buffering (so the nominal design passes the
+// 520 ps target and the bound search actually has a distance to find).
+func wcdBenchScenario(b *testing.B) *variation.LinkScenario {
+	b.Helper()
+	tc := tech.MustLookup("90nm")
+	coeffs := model.MustDefault("90nm")
+	seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+	des, err := buffering.Optimize(seg, buffering.Options{
+		Coeffs:    coeffs,
+		InputSlew: 300e-12,
+		Power:     model.PowerParams{Activity: 0.15, Freq: tc.Clock},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &variation.LinkScenario{
+		Base: tc, Coeffs: coeffs, Space: variation.DefaultSpace(),
+		Spec: model.LineSpec{
+			Kind: des.Kind, Size: des.Size, N: des.N,
+			Segment: seg, InputSlew: 300e-12,
+		},
+		Target: 520e-12,
+	}
+}
+
+// BenchmarkLinkYieldWCDSearch measures the full worst-case-distance
+// bound search — gradient march, bisection, and projection refinements
+// through the closed-form delay model. Informational: this is the
+// pre-filter's one-time per-candidate cost, ~a hundred model
+// evaluations against the thousands a sampling rung spends.
+func BenchmarkLinkYieldWCDSearch(b *testing.B) {
+	sc := wcdBenchScenario(b)
+	var bound estimator.Bound
+	var err error
+	for i := 0; i < b.N; i++ {
+		bound, err = variation.WCDForScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bound.Beta, "beta")
+	b.ReportMetric(float64(bound.Evals), "model-evals")
+}
+
+// BenchmarkLinkYieldWCDPrefilter measures the certificate decision a
+// deep-sigma query pays per candidate once the bound is in hand:
+// Certify (does β clear the demanded sigma by the margin?) plus the
+// conservative band. Pure closed-form normal math — this is what makes
+// the cascade's "answer analytically, skip sampling" path effectively
+// free, and scripts/bench_yield.sh gates it under 1 µs in CI.
+func BenchmarkLinkYieldWCDPrefilter(b *testing.B) {
+	sc := wcdBenchScenario(b)
+	bound, err := variation.WCDForScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var band float64
+	var verdicts int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bound.Certify(6, estimator.DefaultWCDMargin) != estimator.Inconclusive {
+			verdicts++
+		}
+		band = bound.Band(estimator.DefaultWCDMargin)
+	}
+	b.ReportMetric(bound.Beta, "beta")
+	b.ReportMetric(band, "band")
+	b.ReportMetric(float64(verdicts)/float64(b.N), "conclusive-frac")
 }
 
 // BenchmarkLinkYieldSurfaceWarm measures the warm-start serving path:

@@ -33,6 +33,25 @@ var (
 	metSurfaceMisses = obs.NewCounter("predintd.yield_surface_misses")
 )
 
+// Per-estimator serve counts on the yield endpoints: which rung of the
+// high-sigma ladder actually answered live traffic (one increment per
+// result, so a batch moves its counter once per candidate). Degraded
+// nominal results carry no estimator and land in yield_by_nominal.
+var metYieldByEstimator = map[string]*obs.Counter{
+	"mc":   obs.NewCounter("predintd.yield_by_mc"),
+	"qmc":  obs.NewCounter("predintd.yield_by_qmc"),
+	"isle": obs.NewCounter("predintd.yield_by_isle"),
+	"ais":  obs.NewCounter("predintd.yield_by_ais"),
+	"wcd":  obs.NewCounter("predintd.yield_by_wcd"),
+	"":     obs.NewCounter("predintd.yield_by_nominal"),
+}
+
+func countYieldEstimator(kind string) {
+	if c, ok := metYieldByEstimator[kind]; ok {
+		c.Inc()
+	}
+}
+
 // server is the hardened HTTP facade over the predint engines. Every
 // v1 request passes admission control (bounded queue + in-flight cap,
 // shedding beyond), runs under a per-request deadline, and /v1/yield
@@ -309,6 +328,8 @@ type yieldRequestDTO struct {
 	Seed               uint64   `json:"seed,omitempty"`
 	Workers            int      `json:"workers,omitempty"`
 	ImportanceSampling bool     `json:"importance_sampling,omitempty"`
+	Estimator          string   `json:"estimator,omitempty"`
+	TargetSigma        *float64 `json:"target_sigma,omitempty"`
 	SigmaScale         *float64 `json:"sigma_scale,omitempty"`
 	YieldTarget        *float64 `json:"yield_target,omitempty"`
 	NoSurface          bool     `json:"no_surface,omitempty"`
@@ -325,6 +346,7 @@ type yieldResultDTO struct {
 	CI95              float64 `json:"ci95"`
 	Samples           int     `json:"samples"`
 	ImportanceSampled bool    `json:"importance_sampled,omitempty"`
+	Estimator         string  `json:"estimator,omitempty"`
 	VarianceReduction float64 `json:"variance_reduction,omitempty"`
 	Resized           bool    `json:"resized,omitempty"`
 	Degraded          bool    `json:"degraded,omitempty"`
@@ -347,6 +369,8 @@ func (dto yieldRequestDTO) yieldRequest() predint.YieldRequest {
 		Seed:               dto.Seed,
 		Workers:            dto.Workers,
 		ImportanceSampling: dto.ImportanceSampling,
+		Estimator:          dto.Estimator,
+		TargetSigma:        dto.TargetSigma,
 		SigmaScale:         dto.SigmaScale,
 		YieldTarget:        dto.YieldTarget,
 		NoSurface:          dto.NoSurface,
@@ -364,6 +388,7 @@ func (s *server) degradeYield(ctx context.Context, samplesField *int) bool {
 }
 
 func yieldResultDTOFrom(res predint.YieldResult) yieldResultDTO {
+	countYieldEstimator(res.Estimator)
 	return yieldResultDTO{
 		Repeaters:         res.Repeaters,
 		RepeaterSize:      res.RepeaterSize,
@@ -375,6 +400,7 @@ func yieldResultDTOFrom(res predint.YieldResult) yieldResultDTO {
 		CI95:              res.CI95,
 		Samples:           res.Samples,
 		ImportanceSampled: res.ImportanceSampled,
+		Estimator:         res.Estimator,
 		VarianceReduction: res.VarianceReduction,
 		Resized:           res.Resized,
 		Degraded:          res.Degraded,

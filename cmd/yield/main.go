@@ -6,14 +6,20 @@
 // Usage:
 //
 //	yield -tech 65nm -length 5 [-n 4096] [-seed 1] [-j 0]
-//	      [-target 444] [-is] [-relerr 0.05] [-abserr 0.001] [-yield 0.99]
+//	      [-target 444] [-estimator auto|mc|qmc|isle|ais|wcd] [-sigma 6]
+//	      [-is] [-relerr 0.05] [-abserr 0.001] [-yield 0.99]
 //	      [-candidates 8:10,12:8,16:6] [-style swss|shielded|staggered]
-//	      [-weight 0.5] [-sigma 1] [-no-surface]
+//	      [-weight 0.5] [-sigma-scale 1] [-no-surface]
 //	      [-timeout 30s] [-metrics] [-debug-addr localhost:6060]
 //
 // With -candidates, the listed size:count buffering solutions are
 // scored together on common random numbers (one shared sample stream)
 // instead of designing a single link.
+//
+// -sigma declares the sigma level the query must resolve: the engine
+// routes the cheapest estimator whose regime covers it (a 6σ query
+// lands on adaptive importance sampling behind the worst-case-distance
+// pre-filter), while -estimator pins a specific rung.
 package main
 
 import (
@@ -26,7 +32,20 @@ import (
 
 	predint "repro"
 	"repro/internal/cliutil"
+	"repro/internal/estimator"
 )
+
+// estimatorName renders a result's estimator label for humans,
+// falling back to the raw rung name for anything unregistered.
+func estimatorName(kind string) string {
+	if info, ok := estimator.Lookup(estimator.Kind(kind)); ok {
+		return fmt.Sprintf("%s: %s", kind, info.Description)
+	}
+	if kind == "" {
+		return "plain Monte Carlo"
+	}
+	return kind
+}
 
 // parseCandidates parses the -candidates syntax: comma-separated
 // size:count pairs, e.g. "8:10,12:8".
@@ -67,13 +86,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seedFlag := fs.Uint64("seed", 1, "base PRNG seed (results are bit-identical per seed for any -j)")
 	jobsFlag := fs.Int("j", 0, "parallel sampling workers (0 = all cores, 1 = serial)")
 	targetFlag := fs.Float64("target", 0, "delay target in ps (0 = the node's clock period)")
+	estFlag := fs.String("estimator", "auto", "estimator rung: auto, mc, qmc, isle, ais, wcd")
+	sigmaLevelFlag := fs.Float64("sigma", 0, "target sigma level the query must resolve, e.g. 6 (0 = none; routes the estimator)")
 	isFlag := fs.Bool("is", false, "importance-sampling estimator (for small failure probabilities)")
 	relErrFlag := fs.Float64("relerr", 0, "stop early at this relative standard error (0 = run all samples)")
 	absErrFlag := fs.Float64("abserr", 0, "stop early at this absolute standard error (0 = disabled)")
 	yieldFlag := fs.Float64("yield", 0, "yield target in (0,1): resize the buffering to meet it (0 = estimate only)")
 	candFlag := fs.String("candidates", "", "score these size:count buffering solutions on shared samples, e.g. 8:10,12:8")
 	weightFlag := fs.Float64("weight", predint.DefaultPowerWeight, "power weight of the buffering objective")
-	sigmaFlag := fs.Float64("sigma", 1, "scale on the default variation sigmas")
+	sigmaFlag := fs.Float64("sigma-scale", 1, "scale on the default variation sigmas")
 	noSurfaceFlag := fs.Bool("no-surface", false, "bypass the yield-response-surface cache: always run the full Monte Carlo pipeline")
 	timeoutFlag := fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline; SIGINT/SIGTERM always cancel)")
 	metricsFlag := fs.Bool("metrics", false, "dump the observability counters as JSON to stderr after the run")
@@ -100,8 +121,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Seed:               *seedFlag,
 		Workers:            *jobsFlag,
 		ImportanceSampling: *isFlag,
+		Estimator:          *estFlag,
 		SigmaScale:         predint.Float(*sigmaFlag),
 		NoSurface:          *noSurfaceFlag,
+	}
+	if *sigmaLevelFlag != 0 {
+		// Explicit values — including invalid ones — reach the facade
+		// so its validation (ErrInvalidSigma) is the single authority.
+		req.TargetSigma = predint.Float(*sigmaLevelFlag)
 	}
 	if *targetFlag > 0 {
 		req.TargetPS = predint.Float(*targetFlag)
@@ -131,8 +158,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "%g mm link at %s (%s), target %.1f ps, %d candidates on shared samples\n",
 			*lengthFlag, *techFlag, *styleFlag, batch.Target*1e12, len(batch.Results))
 		for _, r := range batch.Results {
-			fmt.Fprintf(stdout, "  %3d × INVD%-4g  nominal %.1f ps  yield %.6f (fail %.3g ± %.2g at 95%%, %d samples)\n",
-				r.Repeaters, r.RepeaterSize, r.NominalDelay*1e12, r.Yield, r.FailProb, r.CI95, r.Samples)
+			fmt.Fprintf(stdout, "  %3d × INVD%-4g  nominal %.1f ps  yield %.6f (fail %.3g ± %.2g at 95%%, %d samples, %s)\n",
+				r.Repeaters, r.RepeaterSize, r.NominalDelay*1e12, r.Yield, r.FailProb, r.CI95, r.Samples, estimatorName(r.Estimator))
 		}
 		return nil
 	}
@@ -142,10 +169,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	estimator := "plain Monte Carlo"
-	if res.ImportanceSampled {
-		estimator = "importance sampling"
-	}
 	fmt.Fprintf(stdout, "%g mm link at %s (%s), target %.1f ps\n",
 		*lengthFlag, *techFlag, *styleFlag, res.Target*1e12)
 	fmt.Fprintf(stdout, "  buffering:       %d × INVD%g (nominal delay %.1f ps)\n",
@@ -155,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "  yield:           %.6f (fail prob %.3g ± %.2g at 95%%)\n",
 		res.Yield, res.FailProb, res.CI95)
-	fmt.Fprintf(stdout, "  estimator:       %s, %d samples\n", estimator, res.Samples)
+	fmt.Fprintf(stdout, "  estimator:       %s, %d samples\n", estimatorName(res.Estimator), res.Samples)
 	if res.ImportanceSampled {
 		fmt.Fprintf(stdout, "  variance gain:   %.1f× over plain MC at equal samples\n", res.VarianceReduction)
 	}

@@ -1,0 +1,190 @@
+// Package estimator is the high-sigma estimator ladder behind the
+// yield engine: a registry of tail-probability estimators with
+// automatic routing by the failure-probability regime a query targets.
+//
+// The problem it solves is the collapse of the two historical code
+// paths at production sign-off sigmas. Plain Monte Carlo needs ~100/p
+// samples to resolve a failure probability p, which at 6σ
+// (p ≈ 1e-9) is ~1e11 samples — effectively never. The ISLE-style
+// mean-shift estimator stretches that to ~4σ, but a single shifted
+// Gaussian cannot track the curved, possibly multi-lobed failure
+// regions deeper in the tail, and its likelihood ratios degenerate.
+// The ladder the high-sigma literature converged on (and the OpenYield
+// exemplars enumerate: MC / MNIS / AIS / ACS / HSCS) fills the gap
+// with three ingredients this package supplies the math for:
+//
+//   - adaptive importance sampling (AIS): iterate draw → rank by the
+//     constraint metric → refit a Gaussian-mixture proposal on the
+//     elite set (the cross-entropy method), then estimate with
+//     self-normalized likelihood-ratio weights and an effective-
+//     sample-size guard;
+//   - a worst-case-distance (WCD) analytic bound: the minimum-norm
+//     point of the failure region in the standardized space, found by
+//     projected line search, whose first-order failure probability
+//     Φ(−β) certifies "yield reached" or "yield unreachable" before
+//     any sampling (the pyopus WCD→MC cascade);
+//   - quasi-Monte Carlo (QMC): scrambled Sobol points through the
+//     inverse normal CDF for faster-than-1/√n convergence at moderate
+//     sigma.
+//
+// The concrete estimators run in internal/variation (they need the
+// scenario evaluators); this package owns the estimator identities,
+// the routing policy, and the numerics that are independent of what
+// is being estimated. Routing is by the caller's target sigma: the
+// regime the query must resolve, not the answer itself — a 6σ query
+// routes to AIS with a WCD pre-filter, a 2σ query stays on plain MC.
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Kind names one estimator in the registry. The zero value is Auto:
+// let the router pick from the target regime.
+type Kind string
+
+const (
+	// Auto routes by target sigma (see Route); with no target hint it
+	// preserves the historical default (MC, or ISLE when importance
+	// sampling was requested).
+	Auto Kind = ""
+	// MC is plain Monte Carlo: unbiased, assumption-free, and the
+	// right tool whenever failures are common enough to observe.
+	MC Kind = "mc"
+	// ISLE is the mean-shift importance-sampling estimator: a single
+	// Gaussian centered on the most probable failure point, with
+	// likelihood-ratio weights.
+	ISLE Kind = "isle"
+	// AIS is adaptive importance sampling with cross-entropy updates
+	// of a Gaussian-mixture proposal — the deep-tail (≳4σ) workhorse.
+	AIS Kind = "ais"
+	// QMC is the scrambled-Sobol quasi-Monte Carlo variant of the
+	// plain estimator: same indicator, low-discrepancy points.
+	QMC Kind = "qmc"
+	// WCD is the worst-case-distance analytic bound alone: no
+	// sampling, first-order failure probability Φ(−β) at the
+	// minimum-norm failure point.
+	WCD Kind = "wcd"
+)
+
+// Routing observability: how often each rung of the ladder is picked
+// by the automatic router (explicit estimator requests don't count).
+var (
+	metRouteMC   = obs.NewCounter("estimator.routed_mc")
+	metRouteISLE = obs.NewCounter("estimator.routed_isle")
+	metRouteQMC  = obs.NewCounter("estimator.routed_qmc")
+	metRouteAIS  = obs.NewCounter("estimator.routed_ais")
+)
+
+// Info describes one registered estimator: its routing band and what
+// it costs. MinFailProb/MaxFailProb bound the failure-probability
+// regime the estimator is routed for (inclusive lower, exclusive
+// upper); the bands of all registered sampling estimators tile (0, 1).
+type Info struct {
+	Kind        Kind
+	Description string
+	// MinFailProb and MaxFailProb delimit the routed regime.
+	MinFailProb, MaxFailProb float64
+	// Samples reports whether the estimator draws Monte Carlo samples
+	// at all (false for the analytic WCD bound).
+	Samples bool
+}
+
+// The registry is assembled once at package init and read-only after:
+// Register would normally be driven by init funcs of implementing
+// packages, but the ladder is closed-world today, so the table is
+// static and Kinds/Lookup are safe for concurrent use without locks.
+var registry = []Info{
+	{Kind: MC, Description: "plain Monte Carlo over the standardized space", MinFailProb: 2e-2, MaxFailProb: 1, Samples: true},
+	{Kind: QMC, Description: "scrambled-Sobol quasi-Monte Carlo (inverse-CDF normals)", MinFailProb: 1e-3, MaxFailProb: 2e-2, Samples: true},
+	{Kind: ISLE, Description: "mean-shift importance sampling at the most probable failure point", MinFailProb: 1e-5, MaxFailProb: 1e-3, Samples: true},
+	{Kind: AIS, Description: "adaptive importance sampling, cross-entropy mixture proposal", MinFailProb: 0, MaxFailProb: 1e-5, Samples: true},
+	{Kind: WCD, Description: "worst-case-distance analytic bound (no sampling)", Samples: false},
+}
+
+// Lookup returns the registry entry of a kind.
+func Lookup(k Kind) (Info, bool) {
+	for _, info := range registry {
+		if info.Kind == k {
+			return info, true
+		}
+	}
+	return Info{}, false
+}
+
+// Kinds lists the registered estimators in routing order (most common
+// failures first).
+func Kinds() []Kind {
+	out := make([]Kind, len(registry))
+	for i, info := range registry {
+		out[i] = info.Kind
+	}
+	return out
+}
+
+// Parse normalizes a user-facing estimator name ("auto", "mc", "ais",
+// …) to its Kind, rejecting unknown names.
+func Parse(name string) (Kind, error) {
+	switch Kind(name) {
+	case Auto, Kind("auto"):
+		return Auto, nil
+	case MC, ISLE, AIS, QMC, WCD:
+		return Kind(name), nil
+	}
+	known := Kinds()
+	names := make([]string, len(known))
+	for i, k := range known {
+		names[i] = string(k)
+	}
+	sort.Strings(names)
+	return Auto, fmt.Errorf("estimator: unknown estimator %q (known: auto %v)", name, names)
+}
+
+// Route picks the sampling estimator for a query that must resolve
+// failure probabilities around targetFailProb — the regime the caller
+// cares about (derived from a sigma level: Φ(−σ)), not the unknown
+// answer. The bands come from the registry: common failures stay on
+// plain MC (anything cleverer only adds variance-model risk), the
+// 2–3σ band takes QMC's convergence advantage, the 3–4σ band is where
+// a single mean shift still tracks the failure region, and everything
+// deeper routes to AIS. A non-positive or NaN targetFailProb returns
+// Auto — the caller falls back to its historical default.
+func Route(targetFailProb float64) Kind {
+	if !(targetFailProb > 0) || targetFailProb > 1 {
+		return Auto
+	}
+	for _, info := range registry {
+		if !info.Samples {
+			continue
+		}
+		if targetFailProb >= info.MinFailProb && targetFailProb < info.MaxFailProb || info.MaxFailProb == 1 && targetFailProb == 1 {
+			switch info.Kind {
+			case MC:
+				metRouteMC.Inc()
+			case QMC:
+				metRouteQMC.Inc()
+			case ISLE:
+				metRouteISLE.Inc()
+			case AIS:
+				metRouteAIS.Inc()
+			}
+			return info.Kind
+		}
+	}
+	// Unreachable while the bands tile (0,1]; fail safe to AIS, the
+	// deep-tail rung.
+	return AIS
+}
+
+// RouteSigma is Route for a target expressed as a sigma level:
+// RouteSigma(6) routes the estimator that can resolve Φ(−6) ≈ 1e-9.
+func RouteSigma(sigma float64) Kind {
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return Auto
+	}
+	return Route(Phi(-sigma))
+}

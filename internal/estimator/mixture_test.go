@@ -1,0 +1,168 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStandardProposalIsPhi(t *testing.T) {
+	m := StandardProposal()
+	if m.Adapted() {
+		t.Fatal("StandardProposal reports adapted components")
+	}
+	z := []float64{0.5, -1.5, 2}
+	var sq float64
+	for _, v := range z {
+		sq += v * v
+	}
+	if got, want := m.LogDensity(z), logPhiDensity(len(z), sq); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("standard proposal density %g, want φ's %g", got, want)
+	}
+	if got := m.Weight01(z); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("standard proposal weight %g, want 1", got)
+	}
+}
+
+func TestSampleIntoDeterministicTransform(t *testing.T) {
+	m := Mixture{
+		Defense: DefensiveWeight,
+		Weight:  []float64{0.5, 0.4},
+		Mean:    [][]float64{{2, 0}, {-1, 3}},
+		Sigma:   [][]float64{{1, 0.5}, {0.25, 1}},
+	}
+	eps := []float64{0.7, -0.3}
+	za := make([]float64, 2)
+	zb := make([]float64, 2)
+	for _, u := range []float64{0.01, 0.05, 0.3, 0.7, 0.99} {
+		m.SampleInto(u, eps, za)
+		m.SampleInto(u, eps, zb)
+		if za[0] != zb[0] || za[1] != zb[1] {
+			t.Fatalf("SampleInto(%g) not deterministic", u)
+		}
+	}
+	// u inside the defensive slice returns eps unchanged.
+	m.SampleInto(0.05, eps, za)
+	if za[0] != eps[0] || za[1] != eps[1] {
+		t.Fatal("defensive draw must pass eps through")
+	}
+	// u past the defensive slice lands in a component: μ + σ∘eps.
+	m.SampleInto(0.2, eps, za)
+	if za[0] != 2+0.7 || za[1] != 0+0.5*-0.3 {
+		t.Fatalf("component draw = %v, want [2.7 -0.15]", za)
+	}
+}
+
+func TestWeightBoundedByDefense(t *testing.T) {
+	// However badly a component is placed, the defensive part bounds
+	// the importance weight φ/q by 1/Defense.
+	m := Mixture{
+		Defense: DefensiveWeight,
+		Weight:  []float64{0.9},
+		Mean:    [][]float64{{6, 6, 6}},
+		Sigma:   [][]float64{{0.25, 0.25, 0.25}},
+	}
+	limit := 1/DefensiveWeight + 1e-9
+	for _, z := range [][]float64{{0, 0, 0}, {-3, 2, 1}, {6, 6, 6}, {8, -8, 0}} {
+		if w := m.Weight01(z); w > limit || w < 0 || math.IsNaN(w) {
+			t.Fatalf("weight at %v = %g outside [0, %g]", z, w, limit)
+		}
+	}
+}
+
+func TestFitMixtureRecoverseparatedClusters(t *testing.T) {
+	// Two well-separated clusters of equal weight: the fit should put
+	// one component near each center.
+	var pts [][]float64
+	var w []float64
+	centers := [][]float64{{4, 0}, {-4, 0}}
+	for _, c := range centers {
+		for i := 0; i < 40; i++ {
+			off := 0.1 * float64(i%5-2)
+			pts = append(pts, []float64{c[0] + off, c[1] - off})
+			w = append(w, 1)
+		}
+	}
+	m := FitMixture(2, pts, w, FitOptions{})
+	if len(m.Weight) != 2 {
+		t.Fatalf("fit produced %d components, want 2", len(m.Weight))
+	}
+	if m.Defense != DefensiveWeight {
+		t.Fatalf("fitted Defense = %g, want %g", m.Defense, DefensiveWeight)
+	}
+	var wsum float64
+	for _, wk := range m.Weight {
+		wsum += wk
+	}
+	if math.Abs(wsum-(1-DefensiveWeight)) > 1e-9 {
+		t.Fatalf("component weights sum to %g, want %g", wsum, 1-DefensiveWeight)
+	}
+	// Each center should be within 0.5 of some component mean.
+	for _, c := range centers {
+		found := false
+		for _, mu := range m.Mean {
+			if math.Hypot(mu[0]-c[0], mu[1]-c[1]) < 0.5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no component near center %v: means %v", c, m.Mean)
+		}
+	}
+	for _, sg := range m.Sigma {
+		for _, s := range sg {
+			if s < 0.25-1e-12 {
+				t.Fatalf("sigma %g below the floor", s)
+			}
+		}
+	}
+}
+
+func TestFitMixtureDeterministic(t *testing.T) {
+	pts := make([][]float64, 50)
+	w := make([]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{float64(i%7) - 3, float64(i%11)*0.3 - 1.5}
+		w[i] = 1 + float64(i%3)
+	}
+	a := FitMixture(3, pts, w, FitOptions{})
+	b := FitMixture(3, pts, w, FitOptions{})
+	for k := range a.Weight {
+		if a.Weight[k] != b.Weight[k] {
+			t.Fatal("FitMixture weights not deterministic")
+		}
+		for d := range a.Mean[k] {
+			if a.Mean[k][d] != b.Mean[k][d] || a.Sigma[k][d] != b.Sigma[k][d] {
+				t.Fatal("FitMixture params not deterministic")
+			}
+		}
+	}
+}
+
+func TestFitMixtureMeanNormCap(t *testing.T) {
+	pts := [][]float64{{20, 0}, {21, 0}, {20.5, 0.5}}
+	m := FitMixture(1, pts, []float64{1, 1, 1}, FitOptions{})
+	if n := math.Hypot(m.Mean[0][0], m.Mean[0][1]); n > 8+1e-9 {
+		t.Fatalf("component mean norm %g exceeds the cap", n)
+	}
+}
+
+func TestFitMixtureZeroWeightsFallBack(t *testing.T) {
+	pts := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	m := FitMixture(1, pts, []float64{0, 0, 0}, FitOptions{})
+	if math.Abs(m.Mean[0][0]-2) > 1e-9 {
+		t.Fatalf("zero weights should fall back to uniform: mean %v", m.Mean[0])
+	}
+}
+
+func TestESS(t *testing.T) {
+	// n equal weights → ESS n; one dominant weight → ESS ≈ 1.
+	if got := ESS(10, 10); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("equal-weight ESS = %g, want 10", got)
+	}
+	if got := ESS(1.009, 1.0+9*1e-6); got > 1.1 {
+		t.Fatalf("degenerate ESS = %g, want ≈1", got)
+	}
+	if got := ESS(0, 0); got != 0 {
+		t.Fatalf("ESS(0,0) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,81 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhiKnownValues(t *testing.T) {
+	for _, tc := range []struct {
+		x, want, tol float64
+	}{
+		{0, 0.5, 1e-16},
+		{-1, 0.15865525393145705, 1e-15},
+		{-2, 0.022750131948179195, 1e-16},
+		{-3, 1.3498980316300946e-3, 5e-18},
+		{-4, 3.1671241833119924e-5, 1e-19},
+		{-6, 9.865876450376946e-10, 1e-23},
+		{2, 0.9772498680518208, 1e-15},
+	} {
+		if got := Phi(tc.x); math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("Phi(%g) = %.17g, want %.17g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestPhiInvRoundTrip(t *testing.T) {
+	// PhiInv(Phi(x)) = x across the working range, including the deep
+	// lower tail the high-sigma estimators live in. In the upper tail
+	// p sits next to 1, so the achievable accuracy is limited by the
+	// absolute spacing of float64 there (≈1e-16) divided by the
+	// density — the density-aware term below, not a solver defect.
+	for x := -8.0; x <= 8.0; x += 0.0625 {
+		got := PhiInv(Phi(x))
+		dens := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+		tol := 1e-9*math.Max(1, math.Abs(x)) + 2e-16/dens
+		if math.Abs(got-x) > tol {
+			t.Fatalf("PhiInv(Phi(%g)) = %.12g (err %.3g)", x, got, got-x)
+		}
+	}
+}
+
+func TestPhiInvEdges(t *testing.T) {
+	if got := PhiInv(0.5); got != 0 {
+		t.Fatalf("PhiInv(0.5) = %g, want exactly 0", got)
+	}
+	if !math.IsInf(PhiInv(0), -1) || !math.IsInf(PhiInv(1), 1) {
+		t.Fatal("PhiInv endpoints must be infinite")
+	}
+	if !math.IsNaN(PhiInv(math.NaN())) {
+		t.Fatal("PhiInv(NaN) must be NaN")
+	}
+	// Monotone through the region splits of the rational approximation.
+	for _, p := range []float64{invPLow - 1e-6, invPLow, invPLow + 1e-6} {
+		lo, hi := PhiInv(p-1e-9), PhiInv(p+1e-9)
+		if lo >= hi {
+			t.Fatalf("PhiInv not increasing near region split %g: %g >= %g", p, lo, hi)
+		}
+	}
+}
+
+func TestSigmaOf(t *testing.T) {
+	for _, sigma := range []float64{1, 2, 3, 4.5, 6} {
+		if got := SigmaOf(Phi(-sigma)); math.Abs(got-sigma) > 1e-9 {
+			t.Fatalf("SigmaOf(Phi(-%g)) = %g", sigma, got)
+		}
+	}
+}
+
+func TestLogPhiDensity(t *testing.T) {
+	// Against the direct product of 1-D densities.
+	z := []float64{0.3, -1.2, 2.1}
+	var sq float64
+	want := 0.0
+	for _, v := range z {
+		sq += v * v
+		want += math.Log(math.Exp(-v*v/2) / math.Sqrt(2*math.Pi))
+	}
+	if got := logPhiDensity(len(z), sq); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logPhiDensity = %g, want %g", got, want)
+	}
+}

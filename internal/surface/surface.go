@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/estimator"
 	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/variation"
@@ -47,6 +48,11 @@ var (
 	metMisses      = obs.NewCounter("surface.misses")
 	metRecords     = obs.NewCounter("surface.records")
 	metInvalidated = obs.NewCounter("surface.invalidated_entries")
+	// metCrossEstimator counts interpolations refused because the
+	// bracketing points came from different estimators — numbers two
+	// rungs of the ladder produced are not one smooth curve, and
+	// blending them would hide an estimator-disagreement signal.
+	metCrossEstimator = obs.NewCounter("surface.cross_estimator_refusals")
 )
 
 // Geometry is the comparable geometric identity of a routed segment:
@@ -135,6 +141,11 @@ type Sample struct {
 	Samples int
 	// Shifted records whether the estimate was importance sampled.
 	Shifted bool
+	// Estimator names the ladder rung that produced the point.
+	// Record normalizes an empty value from Shifted (pre-ladder
+	// callers), so stored points always carry a concrete rung and
+	// Lookup can refuse to interpolate across rungs.
+	Estimator estimator.Kind
 }
 
 // Design memoizes the nominal weighted-objective buffering solution of
@@ -163,6 +174,10 @@ type Tolerance struct {
 	// are never admitted this way — their band must meet the
 	// tolerance on its own.
 	MinSamples int
+	// Estimator, when not Auto, restricts the answer to points that
+	// rung produced: a query that pinned an estimator must not be
+	// served numbers from a different one.
+	Estimator estimator.Kind
 }
 
 // Estimate is a warm answer: an interpolated fail probability with a
@@ -186,6 +201,9 @@ type Estimate struct {
 	// Interpolated distinguishes a between-points answer from an
 	// exact-target hit.
 	Interpolated bool
+	// Estimator is the rung behind the answer (both bracketing points'
+	// rung when interpolated — cross-rung interpolation is refused).
+	Estimator estimator.Kind
 }
 
 // CI95 returns the half-width of the conservative 95% band.
@@ -347,6 +365,14 @@ func (c *Cache) Record(k Key, dk DesignKey, s Sample) {
 		math.IsNaN(s.FailProb) || math.IsNaN(s.StdErr) || math.IsInf(s.StdErr, 0) || s.Samples <= 0 {
 		return
 	}
+	if s.Estimator == estimator.Auto {
+		// Pre-ladder callers only distinguished shifted from plain.
+		if s.Shifted {
+			s.Estimator = estimator.ISLE
+		} else {
+			s.Estimator = estimator.MC
+		}
+	}
 	e := c.ensureEntry(k)
 	if e == nil {
 		return
@@ -417,11 +443,14 @@ func (c *Cache) Lookup(k Key, dk DesignKey, target float64, tol Tolerance) (Esti
 	i := sort.Search(len(curve), func(i int) bool { return curve[i].Target >= target })
 	if i < len(curve) && curve[i].Target == target {
 		s := curve[i]
+		if tol.Estimator != estimator.Auto && s.Estimator != tol.Estimator {
+			return c.miss()
+		}
 		budgetSpent := tol.MinSamples > 0 && s.Samples >= tol.MinSamples
 		if !budgetSpent && !c.accepted(tol, s.FailProb, s.StdErr) {
 			return c.miss()
 		}
-		return c.hit(Estimate{FailProb: s.FailProb, StdErr: s.StdErr, Samples: s.Samples, Shifted: s.Shifted})
+		return c.hit(Estimate{FailProb: s.FailProb, StdErr: s.StdErr, Samples: s.Samples, Shifted: s.Shifted, Estimator: s.Estimator})
 	}
 	if i == 0 || i == len(curve) {
 		// Outside the evaluated range: extrapolation has no error
@@ -429,6 +458,13 @@ func (c *Cache) Lookup(k Key, dk DesignKey, target float64, tol Tolerance) (Esti
 		return c.miss()
 	}
 	s0, s1 := curve[i-1], curve[i]
+	if s0.Estimator != s1.Estimator {
+		metCrossEstimator.Inc()
+		return c.miss()
+	}
+	if tol.Estimator != estimator.Auto && s0.Estimator != tol.Estimator {
+		return c.miss()
+	}
 	u := (target - s0.Target) / (s1.Target - s0.Target)
 	p := s0.FailProb + u*(s1.FailProb-s0.FailProb)
 	se := math.Max(s0.StdErr, s1.StdErr) + math.Abs(s1.FailProb-s0.FailProb)
@@ -439,7 +475,7 @@ func (c *Cache) Lookup(k Key, dk DesignKey, target float64, tol Tolerance) (Esti
 	if s1.Samples < n {
 		n = s1.Samples
 	}
-	return c.hit(Estimate{FailProb: p, StdErr: se, Samples: n, Interpolated: true})
+	return c.hit(Estimate{FailProb: p, StdErr: se, Samples: n, Interpolated: true, Estimator: s0.Estimator})
 }
 
 func (c *Cache) hit(e Estimate) (Estimate, bool) {

@@ -1,0 +1,295 @@
+package variation
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/estimator"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// Adaptive importance sampling: the deep-tail (≳4σ) rung of the
+// estimator ladder. A single ISLE mean shift stops tracking the
+// failure region past ~4σ — the region is curved and can split into
+// lobes a lone shifted Gaussian cannot cover, and its likelihood
+// ratios degenerate. AIS instead *learns* the proposal by the
+// cross-entropy method: draw a stage from the current proposal, rank
+// the draws by how deep into the failure direction they reach (the
+// delay metric itself — informative even when no draw fails yet),
+// refit a defensive Gaussian mixture on the elite set, repeat. The
+// final stage draws from the adapted mixture and estimates with
+// self-normalized likelihood-ratio weights, with the effective sample
+// size guarding against a proposal that secretly missed the region.
+//
+// Determinism contract: stage budgets are fixed up front (never
+// data-dependent), sample i of a run draws from the stream keyed
+// (Seed, stage offset + i), every per-sample result lands in an
+// index-addressed slot, and ranking, refitting, and the final fold all
+// walk those slots in deterministic order — so the returned Estimate
+// is bit-identical for every Workers value, like every other rung.
+
+const (
+	// aisMaxStages caps the cross-entropy adaptation stages before the
+	// final estimation stage; adaptation exits early once the proposal
+	// lands in the failure region.
+	aisMaxStages = 6
+	// aisEliteDivisor: the top 1/10 of a stage's draws (by delay depth)
+	// seed the refit, extended to include every failing draw.
+	aisEliteDivisor = 10
+	// aisMinElites floors the elite set so tiny stages still fit a
+	// meaningful mixture.
+	aisMinElites = 32
+	// aisComponents is the mixture size: two lobes cover the
+	// symmetric NMOS/PMOS failure directions of the delay models.
+	aisComponents = 2
+	// aisMinESSFrac: when the final stage's effective sample size
+	// falls below this fraction of its draws, the standard error is
+	// widened by the shortfall — a degenerate weight set must not
+	// masquerade as a converged estimate.
+	aisMinESSFrac = 0.1
+	// aisExploreSigmaFloor keeps the proposal wide during adaptation:
+	// elite sets are tight, and fitting their true spread would let
+	// the classic cross-entropy failure mode bite — the proposal's
+	// variance collapses faster than its mean travels, and the
+	// iteration stalls short of a deep failure region. Unit-wide
+	// components keep each stage reaching ~3σ past its mean; only the
+	// final refit (which feeds the estimation stage, where a tight
+	// proposal is the point) fits at the default floor.
+	aisExploreSigmaFloor = 1.0
+)
+
+var metRunsAIS = obs.NewCounter("variation.runs_ais")
+
+// runAISAllCtx runs per-candidate AIS. Unlike the MC/QMC kernels there
+// is no cross-candidate sample sharing: each candidate adapts its own
+// proposal, so draws are candidate-specific by construction. Each
+// candidate's estimate matches a standalone single-candidate run
+// bit-for-bit.
+func runAISAllCtx(ctx context.Context, ms *MultiScenario, ro Options) ([]Estimate, error) {
+	ests := make([]Estimate, len(ms.Specs))
+	for c := range ms.Specs {
+		e, err := runAISCtx(ctx, ms.scenario(c), ro)
+		if err != nil {
+			return nil, err
+		}
+		ests[c] = e
+	}
+	return ests, nil
+}
+
+// aisBudget sizes one adaptation stage: a twelfth of the budget,
+// capped at 1024, so even aisMaxStages exploration rounds leave at
+// least half the budget for estimation. Budgets too small to adapt
+// (stage under 64 draws) skip straight to estimation from the
+// standard proposal.
+func aisBudget(total int) (adapt int) {
+	adapt = total / 12
+	if adapt > 1024 {
+		adapt = 1024
+	}
+	if adapt < 64 {
+		return 0
+	}
+	return adapt
+}
+
+func runAISCtx(ctx context.Context, sc *LinkScenario, ro Options) (Estimate, error) {
+	maxW := pool.Workers(ro.Workers, ro.Batch)
+	scratch := make([]Scratch, maxW)
+	return runAISMetricCtx(ctx, ro, sc.Target, func(worker int, z []float64) (float64, error) {
+		return sc.DelayScratch(&scratch[worker], z)
+	})
+}
+
+// runAISMetricCtx is the scenario-independent AIS core: estimate
+// P[metric(z) > target] over the standardized space. metric receives
+// the worker id for per-worker scratch, like BatchTrial.
+func runAISMetricCtx(ctx context.Context, ro Options, target float64, metric func(worker int, z []float64) (float64, error)) (Estimate, error) {
+	metRunsAIS.Inc()
+	adapt := aisBudget(ro.Samples)
+
+	// Index-addressed per-sample results of the current stage: the
+	// draw (kept for refitting), its delay, its importance weight.
+	// Sized for the worst case (no adaptation: the whole budget is one
+	// estimation stage).
+	zs := make([]float64, ro.Samples*Dims)
+	delays := make([]float64, ro.Samples)
+	weights := make([]float64, ro.Samples)
+
+	// Adaptation: draw a stage, refit, repeat until the proposal lands
+	// in the failure region (enough draws actually fail) or the stage
+	// cap is hit. Exploration refits are unweighted and wide (see
+	// aisExploreSigmaFloor); the last refit before estimation is
+	// likelihood-weighted and tight — that one approximates the
+	// conditional failure distribution the estimator wants to draw
+	// from. The stage count depends only on the (deterministic) draws,
+	// never on scheduling, so the contract holds.
+	prop := estimator.StandardProposal()
+	offset := 0
+	if adapt > 0 {
+		for stage := 1; ; stage++ {
+			if err := aisStage(ctx, ro, &prop, offset, adapt, zs, delays, weights, metric); err != nil {
+				return Estimate{}, err
+			}
+			offset += adapt
+			nFail := 0
+			for i := 0; i < adapt; i++ {
+				if delays[i] > target {
+					nFail++
+				}
+			}
+			if nFail >= aisMinElites || stage == aisMaxStages {
+				prop = aisRefit(zs, delays, weights, adapt, target, true, estimator.FitOptions{})
+				break
+			}
+			prop = aisRefit(zs, delays, weights, adapt, target, false, estimator.FitOptions{SigmaFloor: aisExploreSigmaFloor})
+		}
+	}
+	final := ro.Samples - offset
+	if err := aisStage(ctx, ro, &prop, offset, final, zs, delays, weights, metric); err != nil {
+		return Estimate{}, err
+	}
+	evals := offset + final
+
+	// Self-normalized ratio estimate over the final stage, folded in
+	// index order: p̂ = Σ wᵢ·1[failᵢ] / Σ wᵢ.
+	var sumW, sumW2, sumWI float64
+	for i := 0; i < final; i++ {
+		w := weights[i]
+		sumW += w
+		sumW2 += w * w
+		if delays[i] > target {
+			sumWI += w
+		}
+	}
+	est := Estimate{Yield: 1, Samples: evals, Shifted: true, VarianceReduction: 1, Estimator: estimator.AIS}
+	if sumW <= 0 {
+		return est, nil
+	}
+	p := sumWI / sumW
+	// Delta-method standard error of the self-normalized ratio:
+	// se² = Σ (wᵢ(1[failᵢ] − p̂))² / (Σ wᵢ)².
+	var ss float64
+	for i := 0; i < final; i++ {
+		ind := 0.0
+		if delays[i] > target {
+			ind = 1
+		}
+		d := weights[i] * (ind - p)
+		ss += d * d
+	}
+	se := math.Sqrt(ss) / sumW
+	// ESS guard: n draws whose weights concentrate on a few samples
+	// carry far less information than n; widen the error bar by the
+	// shortfall instead of reporting phantom precision.
+	if ess := estimator.ESS(sumW, sumW2); ess > 0 {
+		if floor := aisMinESSFrac * float64(final); ess < floor {
+			se *= math.Sqrt(floor / ess)
+		}
+	}
+	est.FailProb = p
+	est.Yield = 1 - p
+	est.StdErr = se
+	if p > 0 && p < 1 && se > 0 && final > 0 {
+		est.VarianceReduction = p * (1 - p) / float64(final) / (se * se)
+	}
+	return est, nil
+}
+
+// aisStage evaluates n proposal draws with global sample indices
+// [offset, offset+n), filling the index-addressed zs/delays/weights
+// slots. Sample i's draw is a pure function of (Seed, offset+i) and
+// the (stage-constant) proposal, so worker scheduling cannot influence
+// any result.
+func aisStage(ctx context.Context, ro Options, prop *estimator.Mixture, offset, n int, zs, delays, weights []float64, metric func(worker int, z []float64) (float64, error)) error {
+	if n == 0 {
+		return nil
+	}
+	maxW := pool.Workers(ro.Workers, ro.Batch)
+	streams := make([]Stream, maxW)
+	epsBuf := make([]float64, maxW*Dims)
+	for done := 0; done < n; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit("variation.batch"); err != nil {
+			return err
+		}
+		batch := ro.Batch
+		if rem := n - done; rem < batch {
+			batch = rem
+		}
+		start := done
+		err := pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
+			i := start + k
+			st := &streams[worker]
+			st.Reset(ro.Seed, uint64(offset+i))
+			u := st.Float64() // component selector, drawn before the normals
+			eps := epsBuf[worker*Dims : (worker+1)*Dims]
+			st.NormsInto(eps)
+			z := zs[i*Dims : (i+1)*Dims]
+			prop.SampleInto(u, eps, z)
+			d, err := metric(worker, z)
+			if err != nil {
+				return err
+			}
+			delays[i] = d
+			weights[i] = prop.Weight01(z)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		done += batch
+		metSamples.Add(int64(batch))
+	}
+	return nil
+}
+
+// aisRefit selects the elite set of a stage — the deepest tenth by
+// delay, extended to cover every failing draw — and fits the next
+// proposal on it. With weighted set, each elite carries its
+// likelihood ratio (the cross-entropy weighting that makes the fitted
+// mixture approximate the conditional failure distribution rather
+// than the current proposal's bias) — right for the final refit, but
+// during exploration the bounded ratios of the defensive mixture make
+// the shallowest elites dominate and the proposal creep, so the
+// exploration refits fit unweighted. Ties break by sample index,
+// keeping the ranking deterministic.
+func aisRefit(zs, delays, weights []float64, n int, target float64, weighted bool, fit estimator.FitOptions) estimator.Mixture {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if delays[idx[a]] != delays[idx[b]] {
+			return delays[idx[a]] > delays[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	elite := n / aisEliteDivisor
+	if elite < aisMinElites {
+		elite = aisMinElites
+	}
+	if elite > n {
+		elite = n
+	}
+	for elite < n && delays[idx[elite]] > target {
+		elite++
+	}
+	pts := make([][]float64, elite)
+	var w []float64
+	if weighted {
+		w = make([]float64, elite)
+	}
+	for j, id := range idx[:elite] {
+		pts[j] = zs[id*Dims : (id+1)*Dims]
+		if weighted {
+			w[j] = weights[id]
+		}
+	}
+	return estimator.FitMixture(aisComponents, pts, w, fit)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/estimator"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -157,6 +158,9 @@ type Estimate struct {
 	Samples int
 	// Shifted reports whether importance sampling was in effect.
 	Shifted bool
+	// Estimator names the ladder rung that produced the estimate
+	// (estimator.MC, ISLE, QMC, AIS, or WCD).
+	Estimator estimator.Kind
 	// VarianceReduction compares a hypothetical plain-MC estimator at
 	// the same sample count against this run's measured per-sample
 	// variance: p(1−p)/s². It is ≈1 for plain MC (by construction)
@@ -339,7 +343,11 @@ func RunBatchCtx(ctx context.Context, o Options, trial BatchTrial) (Estimate, er
 		}
 	}
 
-	est := Estimate{FailProb: mean, Yield: 1 - mean, Samples: n, Shifted: shifted, VarianceReduction: 1}
+	kind := estimator.MC
+	if shifted {
+		kind = estimator.ISLE
+	}
+	est := Estimate{FailProb: mean, Yield: 1 - mean, Samples: n, Shifted: shifted, VarianceReduction: 1, Estimator: kind}
 	if n > 1 {
 		sampleVar := m2 / float64(n-1)
 		est.StdErr = math.Sqrt(sampleVar / float64(n))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/estimator"
 	"repro/internal/faultinject"
 	"repro/internal/model"
 	"repro/internal/pool"
@@ -226,6 +227,13 @@ func EstimateYieldsShared(ms *MultiScenario, o YieldOptions) ([]Estimate, error)
 // Workers value. The steady sampling path performs no heap allocation:
 // all per-sample state lives in per-worker scratch sized once up
 // front.
+//
+// This is also the estimator dispatch point: the options' Estimator /
+// TargetSigma hints resolve to one rung of the ladder (see
+// internal/estimator), and a ≥3σ auto-routed query first runs the
+// worst-case-distance pre-filter — candidates the analytic bound
+// certifies either way are answered without sampling, and only the
+// inconclusive remainder pays for draws.
 func EstimateYieldsSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOptions) ([]Estimate, error) {
 	if err := ms.Validate(); err != nil {
 		return nil, err
@@ -234,10 +242,39 @@ func EstimateYieldsSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOpti
 	if err := ro.validate(); err != nil {
 		return nil, err
 	}
+	kind, err := o.resolveKind()
+	if err != nil {
+		return nil, err
+	}
+	if kind == estimator.WCD {
+		return wcdEstimatesCtx(ctx, ms, o.TargetSigma)
+	}
+	if o.Estimator == estimator.Auto && o.TargetSigma >= wcdPrefilterSigma {
+		return cascadeCtx(ctx, ms, o, ro, kind)
+	}
+	return sampleEstimatesCtx(ctx, ms, o, ro, kind)
+}
+
+// sampleEstimatesCtx runs the resolved sampling rung over all
+// candidates.
+func sampleEstimatesCtx(ctx context.Context, ms *MultiScenario, o YieldOptions, ro Options, kind estimator.Kind) ([]Estimate, error) {
+	switch kind {
+	case estimator.QMC:
+		return runQMCSharedCtx(ctx, ms, ro)
+	case estimator.AIS:
+		return runAISAllCtx(ctx, ms, ro)
+	}
+	return runMCSharedCtx(ctx, ms, o, ro, kind)
+}
+
+// runMCSharedCtx is the historical shared-sample kernel: plain Monte
+// Carlo or ISLE mean-shift importance sampling on common random
+// numbers.
+func runMCSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOptions, ro Options, kind estimator.Kind) ([]Estimate, error) {
 	K := len(ms.Specs)
 
 	shifts := ms.Shifts
-	if shifts == nil && o.ImportanceSampling {
+	if shifts == nil && kind == estimator.ISLE {
 		var err error
 		if shifts, err = ms.FindShiftsCtx(ctx); err != nil {
 			return nil, err
@@ -356,7 +393,11 @@ func EstimateYieldsSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOpti
 	ests := make([]Estimate, K)
 	for c := range ests {
 		a := accs[c]
-		e := Estimate{FailProb: a.mean, Yield: 1 - a.mean, Samples: a.n, Shifted: shiftedC[c], VarianceReduction: 1}
+		ck := estimator.MC
+		if shiftedC[c] {
+			ck = estimator.ISLE
+		}
+		e := Estimate{FailProb: a.mean, Yield: 1 - a.mean, Samples: a.n, Shifted: shiftedC[c], VarianceReduction: 1, Estimator: ck}
 		if a.n > 1 {
 			sampleVar := a.m2 / float64(a.n-1)
 			e.StdErr = math.Sqrt(sampleVar / float64(a.n))

@@ -3,7 +3,9 @@ package variation
 import (
 	"context"
 	"fmt"
+	"math"
 
+	"repro/internal/estimator"
 	"repro/internal/model"
 	"repro/internal/tech"
 	"repro/internal/wire"
@@ -111,8 +113,45 @@ type YieldOptions struct {
 	// ImportanceSampling selects the ISLE-style estimator: the
 	// sampling distribution is shifted to the most probable failure
 	// point and samples carry likelihood-ratio weights. Recommended
-	// for failure probabilities below ~1e-2.
+	// for failure probabilities below ~1e-2. Superseded by Estimator
+	// and TargetSigma: the flag is kept as the historical hint and
+	// maps to the ISLE rung when neither newer field is set.
 	ImportanceSampling bool
+	// Estimator pins a specific rung of the estimator ladder (mc,
+	// qmc, isle, ais, wcd). Empty (estimator.Auto) routes by
+	// TargetSigma when set and falls back to the historical default
+	// otherwise (plain MC, or ISLE when ImportanceSampling is set).
+	Estimator estimator.Kind
+	// TargetSigma is the sigma level the query must resolve (a 6σ
+	// query cares about failure probabilities near Φ(−6) ≈ 1e-9).
+	// When positive and Estimator is Auto it drives the router, and
+	// at ≥3σ it arms the worst-case-distance pre-filter: the analytic
+	// bound answers certified-either-way queries without sampling.
+	TargetSigma float64
+}
+
+// resolveKind maps the options' estimator hints to the concrete rung
+// that will run: an explicit Estimator wins, then TargetSigma routing,
+// then the historical default.
+func (o YieldOptions) resolveKind() (estimator.Kind, error) {
+	if o.TargetSigma < 0 || math.IsNaN(o.TargetSigma) || math.IsInf(o.TargetSigma, 0) {
+		return estimator.Auto, fmt.Errorf("variation: invalid target sigma %g", o.TargetSigma)
+	}
+	if o.Estimator != estimator.Auto {
+		if _, ok := estimator.Lookup(o.Estimator); !ok {
+			return estimator.Auto, fmt.Errorf("variation: unknown estimator %q", o.Estimator)
+		}
+		return o.Estimator, nil
+	}
+	if o.TargetSigma > 0 {
+		if k := estimator.RouteSigma(o.TargetSigma); k != estimator.Auto {
+			return k, nil
+		}
+	}
+	if o.ImportanceSampling {
+		return estimator.ISLE, nil
+	}
+	return estimator.MC, nil
 }
 
 func (o YieldOptions) runOptions() Options {
@@ -148,20 +187,15 @@ func EstimateLinkYieldCtx(ctx context.Context, sc *LinkScenario, o YieldOptions)
 	// Single-candidate view of the shared kernel: same draws, same
 	// fold order, same stopping rule — bit-identical to the historical
 	// per-sample implementation (RunCtx over sc.Delay), but with the
-	// per-worker scratch keeping the steady path allocation-free.
+	// per-worker scratch keeping the steady path allocation-free. The
+	// shared kernel owns estimator dispatch (including the shift
+	// search when the ISLE rung runs).
 	ms := &MultiScenario{
 		Base:   sc.Base,
 		Coeffs: sc.Coeffs,
 		Space:  sc.Space,
 		Specs:  []model.LineSpec{sc.Spec},
 		Target: sc.Target,
-	}
-	if o.ImportanceSampling {
-		shifts, err := ms.FindShiftsCtx(ctx)
-		if err != nil {
-			return Estimate{}, err
-		}
-		ms.Shifts = shifts
 	}
 	ests, err := EstimateYieldsSharedCtx(ctx, ms, o)
 	if err != nil {

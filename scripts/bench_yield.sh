@@ -14,7 +14,20 @@
 # (BenchmarkLinkYieldSurfaceWarm) exceeds that many ns/op — the CI gate
 # on the serving layer's warm-query latency budget.
 #
-# Usage: scripts/bench_yield.sh [benchtime] [alloc ceiling] [surface ns ceiling]
+# With a fourth argument (or AIS_NS_PER_SAMPLE_CEILING), the script
+# fails when the adaptive-importance-sampling benchmark
+# (BenchmarkLinkYieldAIS) exceeds that many ns per sample — the gate
+# that keeps the deep-tail rung's per-draw overhead (mixture sampling,
+# log-density, importance weight) bounded relative to plain MC.
+#
+# With a fifth argument (or WCD_PREFILTER_NS_CEILING), the script fails
+# when the worst-case-distance pre-filter benchmark
+# (BenchmarkLinkYieldWCDPrefilter) exceeds that many ns/op: the
+# certify-or-fall-through decision rides the per-candidate hot path of
+# sizing sweeps, so it must stay sub-microsecond.
+#
+# Usage: scripts/bench_yield.sh [benchtime] [alloc ceiling] [surface ns ceiling] \
+#                               [ais ns/sample ceiling] [wcd prefilter ns ceiling]
 #        (default 5x, no gates)
 set -eu
 
@@ -22,6 +35,8 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-5x}"
 ceiling="${2:-${ALLOC_CEILING_PER_SAMPLE:-}}"
 surface_ceiling="${3:-${SURFACE_NS_CEILING:-}}"
+ais_ceiling="${4:-${AIS_NS_PER_SAMPLE_CEILING:-}}"
+wcd_ceiling="${5:-${WCD_PREFILTER_NS_CEILING:-}}"
 out="BENCH_yield.json"
 
 go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem . |
@@ -47,7 +62,7 @@ go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem 
 			m["bytes_per_sample"] = m["B_op"] / m["samples_op"]
 		}
 		printf "%s{\"bench\":\"%s\",\"commit\":\"%s\"", (n++ ? ",\n" : "[\n"), bench, commit
-		nk = split("iterations ns_op ns_sample samples_op yield var_reduction_x B_op allocs_op bytes_per_sample allocs_per_sample", keys, " ")
+		nk = split("iterations ns_op ns_sample samples_op yield fail_prob var_reduction_x beta band conclusive_frac model_evals B_op allocs_op bytes_per_sample allocs_per_sample", keys, " ")
 		for (i = 1; i <= nk; i++)
 			if (keys[i] in m) printf ",\"%s\":%s", keys[i], m[keys[i]] + 0
 		printf "}"
@@ -90,4 +105,42 @@ if [ -n "$surface_ceiling" ]; then
 			exit bad
 		}' "$out"
 	echo "warm-surface ns/op within ceiling $surface_ceiling" >&2
+fi
+
+if [ -n "$ais_ceiling" ]; then
+	awk -v ceiling="$ais_ceiling" '
+		/"bench":"AIS"/ {
+			seen = 1
+			if (match($0, /"ns_sample":[0-9.e+]+/)) {
+				ns = substr($0, RSTART + 12, RLENGTH - 12)
+				if (ns + 0 > ceiling + 0) {
+					bad = 1
+					print "AIS " ns " ns/sample exceeds ceiling " ceiling > "/dev/stderr"
+				}
+			}
+		}
+		END {
+			if (!seen) { print "no AIS benchmark in output" > "/dev/stderr"; exit 1 }
+			exit bad
+		}' "$out"
+	echo "AIS ns/sample within ceiling $ais_ceiling" >&2
+fi
+
+if [ -n "$wcd_ceiling" ]; then
+	awk -v ceiling="$wcd_ceiling" '
+		/"bench":"WCDPrefilter"/ {
+			seen = 1
+			if (match($0, /"ns_op":[0-9.e+]+/)) {
+				ns = substr($0, RSTART + 8, RLENGTH - 8)
+				if (ns + 0 > ceiling + 0) {
+					bad = 1
+					print "WCD pre-filter " ns " ns/op exceeds ceiling " ceiling > "/dev/stderr"
+				}
+			}
+		}
+		END {
+			if (!seen) { print "no WCDPrefilter benchmark in output" > "/dev/stderr"; exit 1 }
+			exit bad
+		}' "$out"
+	echo "WCD pre-filter ns/op within ceiling $wcd_ceiling" >&2
 fi

@@ -2,10 +2,12 @@ package predint
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/buffering"
+	"repro/internal/estimator"
 	"repro/internal/liberty"
 	"repro/internal/model"
 	"repro/internal/tech"
@@ -26,6 +28,23 @@ import (
 const (
 	// DefaultYieldSamples is the Monte Carlo sample budget.
 	DefaultYieldSamples = 4096
+)
+
+// Sentinel validation errors of the yield facade. Every rejection of a
+// malformed delay/yield target, sigma level, or estimator name wraps
+// the matching sentinel, so callers (and the serving layer) can
+// classify failures with errors.Is instead of matching message text.
+var (
+	// ErrInvalidTarget rejects a delay target (TargetPS) or yield
+	// target (YieldTarget) that is NaN, infinite, or outside its
+	// documented range.
+	ErrInvalidTarget = errors.New("predint: invalid target")
+	// ErrInvalidSigma rejects a TargetSigma (or -sigma flag) that is
+	// negative, NaN, or infinite.
+	ErrInvalidSigma = errors.New("predint: invalid sigma")
+	// ErrUnknownEstimator rejects an Estimator name outside the
+	// registered ladder (see internal/estimator).
+	ErrUnknownEstimator = errors.New("predint: unknown estimator")
 )
 
 // YieldRequest describes a timing-yield estimation for a buffered
@@ -73,7 +92,25 @@ type YieldRequest struct {
 	// the expected failure probability is small (≲ 1e-2); for common
 	// failures plain Monte Carlo is already efficient and the engine
 	// falls back to it automatically when shifting cannot help.
+	//
+	// Estimator and TargetSigma below subsume this switch; it remains
+	// for compatibility and is equivalent to Estimator "isle".
 	ImportanceSampling bool
+	// Estimator pins a rung of the high-sigma estimator ladder by
+	// name: "mc", "qmc", "isle", "ais", or "wcd" (the analytic
+	// worst-case-distance bound — no sampling). Empty or "auto" lets
+	// the engine route from TargetSigma (or fall back to the
+	// historical default). Unknown names are rejected with
+	// ErrUnknownEstimator.
+	Estimator string
+	// TargetSigma declares the sigma level the query must resolve
+	// (e.g. 6 for a 6σ sign-off): the router picks the cheapest
+	// estimator whose regime covers Φ(−TargetSigma), and auto-routed
+	// deep-sigma queries (≥3σ) run the worst-case-distance pre-filter,
+	// answering analytically when its certificate is conclusive.
+	// nil means no declared level; explicit negative, NaN, or infinite
+	// values are rejected with ErrInvalidSigma.
+	TargetSigma *float64
 	// SigmaScale multiplies every sigma of the default variation
 	// space; nil means 1. An explicit Float(0) is honored: it
 	// disables variation, collapsing yield to a 0/1 step around the
@@ -112,6 +149,11 @@ type YieldResult struct {
 	// effect (false when ImportanceSampling was requested but the
 	// engine fell back to plain Monte Carlo).
 	ImportanceSampled bool
+	// Estimator names the ladder rung that produced the estimate
+	// ("mc", "qmc", "isle", "ais", "wcd") — the routed choice for
+	// auto requests, so a 6σ query can confirm it was actually served
+	// by the deep-tail machinery. Empty on degraded (nominal) results.
+	Estimator string
 	// VarianceReduction is the estimated variance advantage over a
 	// plain Monte Carlo estimator at the same sample count (≈1 for
 	// plain Monte Carlo, >1 when importance sampling pays off).
@@ -182,8 +224,10 @@ func (req YieldRequest) plan() (*yieldPlan, error) {
 	}
 	target := 1 / tc.Clock
 	if req.TargetPS != nil {
-		if math.IsNaN(*req.TargetPS) || *req.TargetPS <= 0 {
-			return nil, fmt.Errorf("predint: non-positive delay target %g ps", *req.TargetPS)
+		// IsInf matters: +Inf passes a bare <= 0 check and would turn
+		// the estimation into a vacuous always-passes query.
+		if math.IsNaN(*req.TargetPS) || math.IsInf(*req.TargetPS, 0) || *req.TargetPS <= 0 {
+			return nil, fmt.Errorf("%w: delay target %g ps is not a positive finite value", ErrInvalidTarget, *req.TargetPS)
 		}
 		target = *req.TargetPS * 1e-12
 	}
@@ -211,14 +255,25 @@ func (req YieldRequest) plan() (*yieldPlan, error) {
 	sigma := 1.0
 	if req.SigmaScale != nil {
 		sigma = *req.SigmaScale
-		if math.IsNaN(sigma) || sigma < 0 {
-			return nil, fmt.Errorf("predint: negative sigma scale %g", sigma)
+		if math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0 {
+			return nil, fmt.Errorf("%w: sigma scale %g is not a non-negative finite value", ErrInvalidSigma, sigma)
 		}
 	}
 	if req.YieldTarget != nil {
 		yt := *req.YieldTarget
 		if math.IsNaN(yt) || yt <= 0 || yt >= 1 {
-			return nil, fmt.Errorf("predint: yield target %g outside (0,1)", yt)
+			return nil, fmt.Errorf("%w: yield target %g outside (0,1)", ErrInvalidTarget, yt)
+		}
+	}
+	kind, err := estimator.Parse(req.Estimator)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (known: auto, mc, qmc, isle, ais, wcd)", ErrUnknownEstimator, req.Estimator)
+	}
+	targetSigma := 0.0
+	if req.TargetSigma != nil {
+		targetSigma = *req.TargetSigma
+		if math.IsNaN(targetSigma) || math.IsInf(targetSigma, 0) || targetSigma < 0 {
+			return nil, fmt.Errorf("%w: target sigma %g is not a non-negative finite value", ErrInvalidSigma, targetSigma)
 		}
 	}
 
@@ -245,6 +300,8 @@ func (req YieldRequest) plan() (*yieldPlan, error) {
 			Workers:            req.Workers,
 			Seed:               req.Seed,
 			ImportanceSampling: req.ImportanceSampling,
+			Estimator:          kind,
+			TargetSigma:        targetSigma,
 		},
 		target: target,
 		slew:   slew,
@@ -346,6 +403,7 @@ func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 		CI95:              est.CI95(),
 		Samples:           est.Samples,
 		ImportanceSampled: est.Shifted,
+		Estimator:         string(est.Estimator),
 		VarianceReduction: est.VarianceReduction,
 		Resized:           resized,
 		Source:            SourceMC,
@@ -544,6 +602,7 @@ func LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchRe
 			CI95:              e.CI95(),
 			Samples:           e.Samples,
 			ImportanceSampled: e.Shifted,
+			Estimator:         string(e.Estimator),
 			VarianceReduction: e.VarianceReduction,
 			Source:            SourceMC,
 		}

@@ -79,10 +79,15 @@ func (p *yieldPlan) surfaceTol() surface.Tolerance {
 	// recall that already spent it is served verbatim even when its
 	// band is wider than the (default) tolerance — a fresh run could
 	// only reproduce it.
+	// Estimator carries an explicitly pinned rung: such a query is
+	// never served a point a different rung produced. Auto (routed)
+	// queries accept any stored rung — the band gate already bounds
+	// the answer's error.
 	return surface.Tolerance{
 		RelErr:     p.mc.RelErr,
 		AbsErr:     p.mc.AbsErr,
 		MinSamples: p.mc.Samples,
+		Estimator:  p.mc.Estimator,
 	}
 }
 
@@ -111,6 +116,7 @@ func (p *yieldPlan) surfaceAnswer(c *surface.Cache) (YieldResult, bool) {
 		CI95:              est.CI95(),
 		Samples:           est.Samples,
 		ImportanceSampled: est.Shifted,
+		Estimator:         string(est.Estimator),
 		Source:            SourceSurface,
 	}, true
 }
@@ -126,11 +132,12 @@ func (p *yieldPlan) surfaceRecord(c *surface.Cache, des buffering.Design, est va
 		c.RecordDesign(k, surface.Design{Size: des.Size, N: des.N, Delay: des.Delay})
 	}
 	c.Record(k, surface.DesignKey{Size: des.Size, N: des.N}, surface.Sample{
-		Target:   p.target,
-		FailProb: est.FailProb,
-		StdErr:   est.StdErr,
-		Samples:  est.Samples,
-		Shifted:  est.Shifted,
+		Target:    p.target,
+		FailProb:  est.FailProb,
+		StdErr:    est.StdErr,
+		Samples:   est.Samples,
+		Shifted:   est.Shifted,
+		Estimator: est.Estimator,
 	})
 }
 
@@ -220,6 +227,7 @@ func (p *yieldPlan) surfaceBatchAnswer(cache *surface.Cache, cands []YieldCandid
 			CI95:              est.CI95(),
 			Samples:           est.Samples,
 			ImportanceSampled: est.Shifted,
+			Estimator:         string(est.Estimator),
 			Source:            SourceSurface,
 		}
 	}
