@@ -31,6 +31,43 @@ func TestQueueFullShedRestoresDepthGauge(t *testing.T) {
 	}
 }
 
+// TestQueuedDeadlineShedSemantics pins the shed-path unification: a
+// request whose deadline expires while waiting in the admission queue
+// is turned away by load exactly like a queue-full shed, so it must
+// return its 504 WITH a Retry-After hint and move the shed metric.
+// It used to write the 504 directly, bypassing shed(): load-based
+// clients backed off on queue-full 503s but hammered straight through
+// deadline sheds, and the shed metric under-counted overload.
+func TestQueuedDeadlineShedSemantics(t *testing.T) {
+	// One slot, room in the queue: the victim is admitted, then waits
+	// for the slot until its (tightened) deadline expires.
+	_, ts := testServer(t, 1, 8, 1<<20, 10*time.Second)
+	defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+		"predintd.handle": {Kind: faultinject.Delay, Delay: 500 * time.Millisecond, Times: 1},
+	}})()
+	slow := make(chan int, 1)
+	go func() {
+		code, _, _ := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
+		slow <- code
+	}()
+	time.Sleep(100 * time.Millisecond) // the slow request reaches the handler and holds the slot
+
+	shedBefore := metShed.Value()
+	code, hdr, body := postJSON(t, ts.URL+"/v1/link?timeout=100ms", `{"tech": "90nm", "length_mm": 5}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued past deadline: status %d, want 504 (body %s)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Errorf("queued-deadline shed carries no Retry-After header — clients cannot back off")
+	}
+	if got := metShed.Value() - shedBefore; got != 1 {
+		t.Errorf("shed metric moved by %d on a queued-deadline shed, want 1", got)
+	}
+	if got := <-slow; got != http.StatusOK {
+		t.Fatalf("slot-holding request: status %d", got)
+	}
+}
+
 // TestStatusForClassifiesWorkerPanics pins the status-mapping fix: a
 // recovered worker panic (*pool.PanicError) is a server fault and maps
 // to 500, not the catch-all 400 that blamed the client for an engine

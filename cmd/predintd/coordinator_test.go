@@ -1,0 +1,367 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	predint "repro"
+	"repro/internal/coordinator"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/surface"
+)
+
+// testCluster spins n loopback worker replicas, each a full predintd
+// server with its own admission control, optionally its own surface
+// cache, and a per-replica fault point ("predintd.shard.wN") so tests
+// can fail workers selectively.
+func testCluster(t *testing.T, n int, withSurface bool) ([]*server, []string) {
+	t.Helper()
+	servers := make([]*server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := newServer(8, 64, 1<<20, 30*time.Second, time.Second)
+		s.shardFault = fmt.Sprintf("predintd.shard.w%d", i)
+		if withSurface {
+			s.surf = surface.New(surface.Options{})
+		}
+		ts := httptest.NewServer(s.routes())
+		t.Cleanup(ts.Close)
+		servers[i] = s
+		urls[i] = ts.URL
+	}
+	return servers, urls
+}
+
+func testCoordinator(t *testing.T, urls []string, surf *surface.Cache, shardSamples int) *coordinator.Coordinator {
+	t.Helper()
+	c, err := coordinator.New(coordinator.Config{
+		Workers:      urls,
+		ShardSamples: shardSamples,
+		Surface:      surf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// coordReq is the canonical distributed request of these tests:
+// NoSurface keeps every cache out of the way so only the sharded
+// sampling plane is under test.
+func coordReq(estimator string, samples int) predint.YieldRequest {
+	s := samples
+	return predint.YieldRequest{
+		Tech:      "90nm",
+		LengthMM:  5,
+		Samples:   &s,
+		Seed:      7,
+		Estimator: estimator,
+		NoSurface: true,
+	}
+}
+
+// TestCoordinatorBitIdentity is the acceptance pin of the scale-out
+// plane: a yield estimate computed through the coordinator over three
+// loopback replicas is bit-identical to the single-process result, for
+// every shardable estimator rung and at several shard sizes (one
+// shard, batch-aligned, unaligned).
+func TestCoordinatorBitIdentity(t *testing.T) {
+	_, urls := testCluster(t, 3, false)
+	for _, est := range []string{"mc", "isle", "qmc"} {
+		t.Run(est, func(t *testing.T) {
+			req := coordReq(est, 4096)
+			want, err := predint.LinkYield(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shard := range []int{0, 256, 1000, 4096} {
+				coord := testCoordinator(t, urls, nil, shard)
+				got, err := coord.Estimate(context.Background(), req)
+				if err != nil {
+					t.Fatalf("shard=%d: %v", shard, err)
+				}
+				if got != want {
+					t.Fatalf("shard=%d: coordinator %+v != local %+v", shard, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCoordinatorGlobalStop pins the stopping rule staying global: with
+// RelErr set, the coordinator's merged fold stops at exactly the sample
+// the single-process kernel stops at — the result (including Samples)
+// is bit-identical — and outstanding shards past the stop are
+// cancelled, observable as the mid-wave-stop counter moving.
+func TestCoordinatorGlobalStop(t *testing.T) {
+	_, urls := testCluster(t, 3, false)
+	relErr := 0.2
+	req := coordReq("mc", 16384)
+	req.RelErr = &relErr
+	want, err := predint.LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Samples >= 16384 {
+		t.Fatalf("local run burned the whole budget (%d samples) — the test needs a mid-run stop", want.Samples)
+	}
+	stops0 := obs.Snapshot()["coordinator.stopped_mid_wave"]
+	for _, shard := range []int{256, 512, 1024} {
+		coord := testCoordinator(t, urls, nil, shard)
+		got, err := coord.Estimate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("shard=%d: %v", shard, err)
+		}
+		if got != want {
+			t.Fatalf("shard=%d: coordinator %+v != local %+v (stop not global)", shard, got, want)
+		}
+	}
+	if got := obs.Snapshot()["coordinator.stopped_mid_wave"] - stops0; got == 0 {
+		t.Errorf("stopping rule never fired mid-wave across shard sizes 256/512/1024 — outstanding shards were not cancelled")
+	}
+}
+
+// TestCoordinatorNotShardable pins the fallback contract for rungs the
+// index partition cannot serve: the coordinator refuses with
+// predint.ErrNotShardable, and the serving layer transparently runs the
+// local path instead.
+func TestCoordinatorNotShardable(t *testing.T) {
+	_, urls := testCluster(t, 2, false)
+	coord := testCoordinator(t, urls, nil, 0)
+	req := coordReq("ais", 2048)
+	if _, err := coord.Estimate(context.Background(), req); !errors.Is(err, predint.ErrNotShardable) {
+		t.Fatalf("AIS through the coordinator: err %v, want ErrNotShardable", err)
+	}
+	yt := 0.9
+	sizing := coordReq("", 2048)
+	sizing.YieldTarget = &yt
+	if _, err := coord.Estimate(context.Background(), sizing); !errors.Is(err, predint.ErrNotShardable) {
+		t.Fatalf("sizing through the coordinator: err %v, want ErrNotShardable", err)
+	}
+
+	// End to end: a coordinator-mode server serves the AIS request via
+	// its local fallback, transparently.
+	front := newServer(8, 64, 1<<20, 30*time.Second, time.Second)
+	front.coord = coord
+	ts := httptest.NewServer(front.routes())
+	t.Cleanup(ts.Close)
+	code, _, body := postJSON(t, ts.URL+"/v1/yield",
+		`{"tech": "90nm", "length_mm": 5, "samples": 2048, "seed": 7, "estimator": "ais", "no_surface": true}`)
+	if code != http.StatusOK {
+		t.Fatalf("AIS on a coordinator server: status %d, body %s", code, body)
+	}
+}
+
+// TestCoordinatorEndToEnd drives the whole serving path: a front
+// replica in coordinator mode fans /v1/yield out over three workers and
+// must return byte-for-byte the numbers the engine produces locally.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	_, urls := testCluster(t, 3, false)
+	front := newServer(8, 64, 1<<20, 30*time.Second, time.Second)
+	front.coord = testCoordinator(t, urls, nil, 512)
+	ts := httptest.NewServer(front.routes())
+	t.Cleanup(ts.Close)
+
+	req := coordReq("mc", 4096)
+	want, err := predint.LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := postYield(t, ts.URL, `{"tech": "90nm", "length_mm": 5, "samples": 4096, "seed": 7, "no_surface": true}`)
+	if res.FailProb != want.FailProb || res.StdErr != want.StdErr || res.Samples != want.Samples ||
+		res.Yield != want.Yield || res.Source != "mc" {
+		t.Fatalf("coordinated response %+v != local %+v", res, want)
+	}
+}
+
+// TestCoordinatorFaultMatrix exercises the RPC seam failure modes:
+// connection-level errors, torn responses, worker 503/timeout/panic, a
+// worker dying mid-run, and a fully dead worker set. In every case the
+// merged estimate must stay bit-identical to the single-process run —
+// retries re-fetch shards from other replicas and exhaustion degrades
+// to local execution, never to a different answer.
+func TestCoordinatorFaultMatrix(t *testing.T) {
+	req := coordReq("mc", 4096)
+	want, err := predint.LinkYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, coord *coordinator.Coordinator) {
+		t.Helper()
+		got, err := coord.Estimate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("under faults: coordinator %+v != local %+v", got, want)
+		}
+	}
+
+	t.Run("rpc-error-retries", func(t *testing.T) {
+		_, urls := testCluster(t, 3, false)
+		defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+			"coordinator.rpc": {Kind: faultinject.Error, Times: 2},
+		}})()
+		check(t, testCoordinator(t, urls, nil, 512))
+	})
+
+	t.Run("partial-response-retries", func(t *testing.T) {
+		_, urls := testCluster(t, 3, false)
+		defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+			"coordinator.response": {Kind: faultinject.Error, Times: 2},
+		}})()
+		check(t, testCoordinator(t, urls, nil, 512))
+	})
+
+	t.Run("worker-503-drains-to-peers", func(t *testing.T) {
+		servers, urls := testCluster(t, 3, false)
+		servers[1].draining.Store(true) // every shard sent to w1 is shed with 503
+		check(t, testCoordinator(t, urls, nil, 512))
+	})
+
+	t.Run("worker-panic", func(t *testing.T) {
+		_, urls := testCluster(t, 3, false)
+		defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+			"predintd.shard.w0": {Kind: faultinject.Panic, Times: 2},
+		}})()
+		check(t, testCoordinator(t, urls, nil, 512))
+	})
+
+	t.Run("worker-timeout", func(t *testing.T) {
+		_, urls := testCluster(t, 3, false)
+		defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+			"predintd.shard.w1": {Kind: faultinject.Delay, Delay: 2 * time.Second, Times: 2},
+		}})()
+		coord, err := coordinator.New(coordinator.Config{
+			Workers:      urls,
+			ShardSamples: 512,
+			Client:       &http.Client{Timeout: 300 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, coord)
+	})
+
+	t.Run("worker-killed-mid-run", func(t *testing.T) {
+		_, urls := testCluster(t, 3, false)
+		// w2 serves its first shard, then every later request to it
+		// fails — the mid-run death of a replica. Its remaining shards
+		// must be re-fetched from other replicas, bit-identically.
+		defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+			"predintd.shard.w2": {Kind: faultinject.Error, After: 1},
+		}})()
+		check(t, testCoordinator(t, urls, nil, 256))
+	})
+
+	t.Run("worker-set-exhausted-degrades-local", func(t *testing.T) {
+		_, urls := testCluster(t, 2, false)
+		defer faultinject.Activate(faultinject.Plan{Points: map[string]faultinject.Point{
+			"predintd.shard.w0": {Kind: faultinject.Error},
+			"predintd.shard.w1": {Kind: faultinject.Error},
+		}})()
+		fallbacks0 := obs.Snapshot()["coordinator.local_fallbacks"]
+		check(t, testCoordinator(t, urls, nil, 1024))
+		if got := obs.Snapshot()["coordinator.local_fallbacks"] - fallbacks0; got == 0 {
+			t.Errorf("dead worker set: local-fallback counter did not move")
+		}
+	})
+}
+
+// TestCoordinatorSurfaceOwnerRouting pins the warm-traffic routing: a
+// completed estimate is recorded at the replica that owns the link
+// class under rendezvous hashing, and the repeated request is answered
+// from that replica's surface without re-sampling.
+func TestCoordinatorSurfaceOwnerRouting(t *testing.T) {
+	servers, urls := testCluster(t, 3, true)
+	coord := testCoordinator(t, urls, nil, 512)
+	req := coordReq("mc", 2048)
+	req.NoSurface = false
+
+	first, err := coord.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != "mc" {
+		t.Fatalf("cold coordinated query: source %q, want mc", first.Source)
+	}
+	second, err := coord.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != "surface" {
+		t.Fatalf("repeated coordinated query: source %q, want surface (owner-routed probe)", second.Source)
+	}
+	if second.FailProb != first.FailProb || second.StdErr != first.StdErr || second.Samples != first.Samples {
+		t.Fatalf("owner-routed warm answer mangled the estimate:\n  first:  %+v\n  second: %+v", first, second)
+	}
+
+	// Exactly one replica — the owner — holds the recorded point.
+	owners := 0
+	for _, s := range servers {
+		if s.surf.Stats().Points > 0 {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Errorf("recorded class present on %d replicas, want exactly 1 (the rendezvous owner)", owners)
+	}
+}
+
+// TestCoordinatorSurfaceVersionRefusal is the satellite-3 regression:
+// surface versions are per-replica, so after this replica invalidates,
+// a probe routed to the owning replica — whose cache still holds points
+// recorded under the old version — must be refused, and the request
+// re-sampled, bit-identically. Without the version guard the second
+// query would be served the stale pre-invalidation interpolation.
+func TestCoordinatorSurfaceVersionRefusal(t *testing.T) {
+	_, urls := testCluster(t, 2, true)
+	local := surface.New(surface.Options{})
+	coord := testCoordinator(t, urls, local, 512)
+	req := coordReq("mc", 2048)
+	req.NoSurface = false
+
+	first, err := coord.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm control: versions agree, the owner answers.
+	warm, err := coord.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Source != "surface" {
+		t.Fatalf("version-consistent probe missed: source %q", warm.Source)
+	}
+
+	// This replica invalidates (stale tech descriptor, say); its
+	// version moves while the owner still holds old-version points.
+	if local.InvalidateAll() == 0 {
+		t.Fatal("local invalidation dropped nothing — the coordinator never recorded locally")
+	}
+	refusals0 := obs.Snapshot()["coordinator.version_refusals"]
+	after, err := coord.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Source != "surface" && after.Source != "mc" {
+		t.Fatalf("post-invalidation query: source %q", after.Source)
+	}
+	if after.Source == "surface" {
+		t.Fatalf("post-invalidation query served from a cross-version surface — the stale-answer bug")
+	}
+	if got := obs.Snapshot()["coordinator.version_refusals"] - refusals0; got == 0 {
+		t.Errorf("version-refusal counter did not move on a cross-version probe")
+	}
+	// Re-sampling the same request reproduces the same estimate.
+	if after.FailProb != first.FailProb || after.StdErr != first.StdErr || after.Samples != first.Samples {
+		t.Fatalf("re-sampled post-invalidation answer differs:\n  first: %+v\n  after: %+v", first, after)
+	}
+}

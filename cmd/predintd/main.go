@@ -23,11 +23,23 @@
 // past the cost ceiling or under queue pressure — the closed-form
 // nominal estimate ("source": "nominal").
 //
+// Coordinator mode (-workers host:port,host:port,...) fans each
+// /v1/yield sample range out over the listed worker replicas as
+// contiguous sample-index shards served at POST /v1/internal/shard,
+// merging the partial accumulators in index order — the answer is
+// bit-identical to a single-process run at any shard count. Failed
+// shards retry against the next replica (-shard-attempts) and degrade
+// to local execution when the worker set is exhausted; surface probes
+// and records route to the replica owning the request's link class
+// under rendezvous hashing, guarded by per-replica surface versions.
+//
 // Usage:
 //
 //	predintd [-addr localhost:8080] [-inflight 8] [-queue 64]
 //	         [-request-timeout 30s] [-drain-timeout 30s]
 //	         [-max-yield-cost 65536] [-retry-after 1s] [-no-surface]
+//	         [-workers host:port,...] [-shard-samples 0]
+//	         [-shard-timeout 10s] [-shard-attempts 0]
 package main
 
 import (
@@ -39,10 +51,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
-	predint "repro"
 	"repro/internal/cliutil"
+	"repro/internal/coordinator"
+	"repro/internal/surface"
 )
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -56,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxYieldCostFlag := fs.Int("max-yield-cost", 65536, "largest Monte Carlo sample budget served in full; costlier /v1/yield requests degrade to the nominal estimate")
 	retryAfterFlag := fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 	noSurfaceFlag := fs.Bool("no-surface", false, "disable the yield-response-surface cache; every /v1/yield query runs the full pipeline")
+	workersFlag := fs.String("workers", "", "comma-separated worker replica addresses; enables coordinator mode for /v1/yield")
+	shardSamplesFlag := fs.Int("shard-samples", 0, "samples per shard in coordinator mode; 0 sizes shards to span roughly two waves across the worker set")
+	shardTimeoutFlag := fs.Duration("shard-timeout", 10*time.Second, "per-shard RPC timeout in coordinator mode")
+	shardAttemptsFlag := fs.Int("shard-attempts", 0, "replicas a failing shard is retried against before local fallback; 0 means one attempt per worker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,16 +90,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx, cancel := cliutil.Context(0)
 	defer cancel()
 
+	s := newServer(*inflightFlag, *queueFlag, *maxYieldCostFlag, *reqTimeoutFlag, *retryAfterFlag)
+
 	// The warm-start surface is on by default in the daemon — it is
 	// exactly the repeated-traffic shape the cache exists for — and a
 	// strict acceleration: cold or out-of-band queries run the
-	// unchanged full pipeline.
+	// unchanged full pipeline. The cache is per-server state (each
+	// replica owns its own invalidation version), not process-global.
 	if !*noSurfaceFlag {
-		predint.EnableSurface()
-		defer predint.DisableSurface()
+		s.surf = surface.New(surface.Options{})
 	}
 
-	s := newServer(*inflightFlag, *queueFlag, *maxYieldCostFlag, *reqTimeoutFlag, *retryAfterFlag)
+	if *workersFlag != "" {
+		coord, err := coordinator.New(coordinator.Config{
+			Workers:      strings.Split(*workersFlag, ","),
+			Client:       &http.Client{Timeout: *shardTimeoutFlag},
+			ShardSamples: *shardSamplesFlag,
+			MaxAttempts:  *shardAttemptsFlag,
+			Surface:      s.surf,
+		})
+		if err != nil {
+			return err
+		}
+		s.coord = coord
+	}
+
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
 		return err

@@ -11,9 +11,11 @@ import (
 	"time"
 
 	predint "repro"
+	"repro/internal/coordinator"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/surface"
 )
 
 // Serving-layer metrics. queue_depth and inflight are levels; shed and
@@ -66,6 +68,19 @@ type server struct {
 	reqTimeout   time.Duration // server-side per-request deadline
 	retryAfter   time.Duration // Retry-After hint on shed responses
 	draining     atomic.Bool   // set on SIGTERM before the listener drains
+
+	// surf is this replica's own yield-surface cache (nil when running
+	// surface-less). It is per-server, not process-global, so loopback
+	// multi-replica tests — and real multi-replica deployments — get
+	// independent invalidation state per replica.
+	surf *surface.Cache
+	// coord, when set, fans /v1/yield sample ranges out over the
+	// configured worker replicas; nil serves everything locally.
+	coord *coordinator.Coordinator
+	// shardFault names the fault point guarding /v1/internal/shard;
+	// tests give each loopback replica its own name to fail workers
+	// selectively.
+	shardFault string
 }
 
 func newServer(inflight, queue, maxYieldCost int, reqTimeout, retryAfter time.Duration) *server {
@@ -75,6 +90,7 @@ func newServer(inflight, queue, maxYieldCost int, reqTimeout, retryAfter time.Du
 		maxYieldCost: maxYieldCost,
 		reqTimeout:   reqTimeout,
 		retryAfter:   retryAfter,
+		shardFault:   "predintd.shard",
 	}
 }
 
@@ -96,6 +112,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/yield", s.admit(s.handleYield))
 	mux.HandleFunc("POST /v1/yield/batch", s.admit(s.handleYieldBatch))
 	mux.HandleFunc("POST /v1/noc", s.admit(s.handleNoC))
+	mux.HandleFunc("POST /v1/internal/shard", s.admit(s.handleShard))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", obs.Handler())
 	return mux
@@ -147,7 +164,11 @@ func (s *server) admit(fn apiFunc) http.HandlerFunc {
 			case <-ctx.Done():
 				s.queued.Add(-1)
 				metQueueDepth.Set(s.queued.Load())
-				writeErr(w, http.StatusGatewayTimeout,
+				// This is a shed, same as queue-full: the request was
+				// turned away by load, not by its own fault, so it must
+				// carry the Retry-After hint and move the shed metric —
+				// load-based clients key their backoff on both.
+				s.shedWith(w, http.StatusGatewayTimeout,
 					fmt.Errorf("predintd: deadline expired while queued: %w", ctx.Err()))
 				return
 			}
@@ -194,9 +215,17 @@ func (s *server) deadline(r *http.Request) (time.Duration, error) {
 }
 
 func (s *server) shed(w http.ResponseWriter, reason string) {
+	s.shedWith(w, http.StatusServiceUnavailable, fmt.Errorf("predintd: overloaded (%s), retry later", reason))
+}
+
+// shedWith is the single exit for every load-based rejection,
+// whatever its status code: it increments the shed metric and sets the
+// Retry-After hint, so clients back off uniformly whether they were
+// turned away at the queue (503) or timed out waiting in it (504).
+func (s *server) shedWith(w http.ResponseWriter, status int, err error) {
 	metShed.Inc()
 	w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
-	writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("predintd: overloaded (%s), retry later", reason))
+	writeErr(w, status, err)
 }
 
 func statusFor(err error) int {
@@ -418,13 +447,14 @@ func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) 
 		return nil, err
 	}
 	req := dto.yieldRequest()
+	sf := predint.Surfaced{Cache: s.surf}
 
 	// Tier 1 — warm surface: consulted before any cost or pressure
 	// decision, because a warm answer is cheaper than even the nominal
 	// closed form. Under pressure a warm query is thus still served a
 	// real (banded) estimate instead of the vacuous nominal step.
-	if predint.SurfaceEnabled() && !req.NoSurface {
-		res, ok, err := predint.LinkYieldSurfaceCtx(ctx, req)
+	if s.surf != nil && !req.NoSurface {
+		res, ok, err := sf.LinkYieldSurfaceCtx(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -440,15 +470,22 @@ func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) 
 	// closed-form nominal estimate instead of an error or an unbounded
 	// wait. The response is marked degraded and carries the vacuous
 	// rule-of-three bound so callers can't mistake it for a sampled
-	// estimate. Otherwise the full Monte Carlo path runs (and warms
-	// the surface for the next query).
+	// estimate. Otherwise the full sampling path runs — fanned out
+	// over the worker set in coordinator mode, locally otherwise (and
+	// locally for requests the coordinator cannot shard).
 	var res predint.YieldResult
 	var err error
-	if s.degradeYield(ctx, dto.Samples) {
+	switch {
+	case s.degradeYield(ctx, dto.Samples):
 		metDegraded.Inc()
 		res, err = predint.LinkYieldNominalCtx(ctx, req)
-	} else {
-		res, err = predint.LinkYieldCtx(ctx, req)
+	case s.coord != nil:
+		res, err = s.coord.Estimate(ctx, req)
+		if errors.Is(err, predint.ErrNotShardable) {
+			res, err = sf.LinkYieldCtx(ctx, req)
+		}
+	default:
+		res, err = sf.LinkYieldCtx(ctx, req)
 	}
 	if err != nil {
 		return nil, err
@@ -497,9 +534,13 @@ func (s *server) handleYieldBatch(ctx context.Context, r *http.Request) (any, er
 
 	// The same three-tier ladder as /v1/yield, with the batch probe's
 	// all-or-nothing rule: the surface answers only when every
-	// candidate is warm.
-	if predint.SurfaceEnabled() && !req.NoSurface {
-		res, ok, err := predint.LinkYieldBatchSurfaceCtx(ctx, req)
+	// candidate is warm. Batches are not coordinated: common random
+	// numbers already amortize the sweep, and splitting K candidates ×
+	// N samples is a different partitioning problem than the yield
+	// endpoint's.
+	sf := predint.Surfaced{Cache: s.surf}
+	if s.surf != nil && !req.NoSurface {
+		res, ok, err := sf.LinkYieldBatchSurfaceCtx(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -520,7 +561,7 @@ func (s *server) handleYieldBatch(ctx context.Context, r *http.Request) (any, er
 		metDegraded.Inc()
 		res, err = predint.LinkYieldBatchNominalCtx(ctx, req)
 	} else {
-		res, err = predint.LinkYieldBatchCtx(ctx, req)
+		res, err = sf.LinkYieldBatchCtx(ctx, req)
 	}
 	if err != nil {
 		return nil, err
@@ -530,6 +571,24 @@ func (s *server) handleYieldBatch(ctx context.Context, r *http.Request) (any, er
 		out.Results[i] = yieldResultDTOFrom(r)
 	}
 	return out, nil
+}
+
+// ---- /v1/internal/shard ----
+
+// handleShard serves the coordinator protocol: sample-range
+// collection, surface probes, and surface records against this
+// replica's own cache. It runs behind the same admission control as
+// every v1 endpoint, so an overloaded worker sheds shard traffic with
+// a 503 and the coordinator retries against the next replica.
+func (s *server) handleShard(ctx context.Context, r *http.Request) (any, error) {
+	if err := faultinject.Hit(s.shardFault); err != nil {
+		return nil, err
+	}
+	var sr coordinator.ShardRequest
+	if err := decodeBody(nil, r, &sr); err != nil {
+		return nil, err
+	}
+	return coordinator.ExecuteShard(ctx, s.surf, sr)
 }
 
 // ---- /v1/noc ----

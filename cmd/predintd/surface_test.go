@@ -6,9 +6,9 @@ import (
 	"testing"
 	"time"
 
-	predint "repro"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/surface"
 )
 
 // postYield posts a /v1/yield body and decodes the result.
@@ -35,9 +35,8 @@ func postYield(t *testing.T, url, body string) yieldResultDTO {
 // nominal tier ("source": "nominal"). The no_surface escape hatch
 // forces the full pipeline throughout.
 func TestYieldSurfaceLadderEndToEnd(t *testing.T) {
-	predint.EnableSurface()
-	t.Cleanup(predint.DisableSurface)
-	_, ts := testServer(t, 1, 8, 1<<20, 10*time.Second)
+	s, ts := testServer(t, 1, 8, 1<<20, 10*time.Second)
+	s.surf = surface.New(surface.Options{})
 	hits0 := obs.Snapshot()["predintd.yield_surface_hits"]
 	misses0 := obs.Snapshot()["predintd.yield_surface_misses"]
 
@@ -109,9 +108,8 @@ func TestYieldSurfaceLadderEndToEnd(t *testing.T) {
 // path over HTTP: a repeated batch is served entirely from the cache,
 // per-candidate estimates unchanged.
 func TestYieldBatchSurfaceEndToEnd(t *testing.T) {
-	predint.EnableSurface()
-	t.Cleanup(predint.DisableSurface)
-	_, ts := testServer(t, 4, 16, 1<<20, 30*time.Second)
+	s, ts := testServer(t, 4, 16, 1<<20, 30*time.Second)
+	s.surf = surface.New(surface.Options{})
 	body := `{"tech": "90nm", "length_mm": 5, "samples": 256, "seed": 2, "target_ps": 520,
 	  "candidates": [{"repeater_size": 8, "repeaters": 10}, {"repeater_size": 12, "repeaters": 8}]}`
 	post := func() yieldBatchResultDTO {

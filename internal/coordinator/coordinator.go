@@ -1,0 +1,445 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	predint "repro"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/surface"
+	"repro/internal/variation"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers lists the replica base addresses ("host:port" or full
+	// URLs). Required, non-empty. Order matters only for metric
+	// naming; ownership is rendezvous-hashed, so it is stable under
+	// reordering.
+	Workers []string
+	// Client is the HTTP client for shard RPCs; nil gets a 10 s
+	// timeout default.
+	Client *http.Client
+	// ShardSamples is the per-shard sample count; 0 sizes shards so
+	// the budget spans roughly two waves across the worker set
+	// (rounded up to a batch multiple, so the merged fold's stopping
+	// checks line up with shard boundaries).
+	ShardSamples int
+	// MaxAttempts bounds how many replicas a failing shard is retried
+	// against before degrading to local execution; 0 means one attempt
+	// per worker.
+	MaxAttempts int
+	// Surface is this replica's own surface cache (nil when running
+	// surface-less). Completed estimates are recorded here as well as
+	// at the owning replica, and its version guards cache exchanges.
+	Surface *surface.Cache
+}
+
+// Coordinator fans yield requests out over a static worker set. Safe
+// for concurrent use.
+type Coordinator struct {
+	workers      []string
+	client       *http.Client
+	shardSamples int
+	maxAttempts  int
+	surf         *surface.Cache
+}
+
+// New validates the config and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("coordinator: need at least one worker")
+	}
+	workers := make([]string, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			return nil, fmt.Errorf("coordinator: empty worker address at index %d", i)
+		}
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		workers[i] = strings.TrimRight(w, "/")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = len(workers)
+	}
+	return &Coordinator{
+		workers:      workers,
+		client:       client,
+		shardSamples: cfg.ShardSamples,
+		maxAttempts:  attempts,
+		surf:         cfg.Surface,
+	}, nil
+}
+
+// Workers returns the normalized worker URLs.
+func (c *Coordinator) Workers() []string { return append([]string(nil), c.workers...) }
+
+// ownerIndex rendezvous-hashes a link class onto a worker: each worker
+// scores mix64(classHash ^ fnv(workerURL)) and the highest score owns
+// the class. Every replica computes the same owner for the same class
+// and worker set, with minimal reshuffling when the set changes.
+func (c *Coordinator) ownerIndex(classHash uint64) int {
+	best, bestScore := 0, uint64(0)
+	for i, w := range c.workers {
+		h := fnv.New64a()
+		io.WriteString(h, w)
+		score := mix64(classHash ^ h.Sum64())
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Estimate serves a yield request through the worker set: plan, probe
+// the class owner's warm surface, fan the sample range out in waves,
+// merge in index order, and feed the completed estimate back to the
+// owner. Returns an error wrapping predint.ErrNotShardable when the
+// request's rung cannot be index-partitioned — the caller then runs
+// the local path.
+func (c *Coordinator) Estimate(ctx context.Context, req predint.YieldRequest) (predint.YieldResult, error) {
+	plan, err := predint.YieldShardPlanFor(req)
+	if err != nil {
+		if errorsIsNotShardable(err) {
+			metNotShardable.Inc()
+		}
+		return predint.YieldResult{}, err
+	}
+	metRequestsServed.Inc()
+	owner := c.ownerIndex(plan.ClassHash())
+
+	if !req.NoSurface {
+		if res, ok := c.probeOwner(ctx, owner, req); ok {
+			metProbeHits.Inc()
+			return res, nil
+		}
+	}
+
+	est, err := c.sample(ctx, plan, req)
+	if err != nil {
+		return predint.YieldResult{}, err
+	}
+	res := plan.Result(est)
+
+	if !req.NoSurface {
+		c.recordOwner(ctx, owner, req, res)
+		if c.surf != nil {
+			// Also warm this replica's own cache: the owner serves
+			// repeated traffic for the class, but a local hit is
+			// cheaper still.
+			_ = predint.Surfaced{Cache: c.surf}.RecordYield(req, res)
+		}
+	}
+	return res, nil
+}
+
+func errorsIsNotShardable(err error) bool {
+	return errors.Is(err, predint.ErrNotShardable)
+}
+
+// probeOwner asks the owning replica's warm surface; any transport
+// error is a miss (the sampling path is always available).
+func (c *Coordinator) probeOwner(ctx context.Context, owner int, req predint.YieldRequest) (predint.YieldResult, bool) {
+	resp, err := c.call(ctx, owner, ShardRequest{
+		Op:             OpProbe,
+		Req:            req,
+		SurfaceVersion: predint.Surfaced{Cache: c.surf}.Version(),
+	})
+	if err != nil || !resp.ProbeHit || resp.Result == nil {
+		metOwnerProbeMisses.Inc()
+		return predint.YieldResult{}, false
+	}
+	return *resp.Result, true
+}
+
+// recordOwner feeds a completed estimate to the owning replica's
+// surface. Best-effort: a failed record only costs a future probe hit.
+func (c *Coordinator) recordOwner(ctx context.Context, owner int, req predint.YieldRequest, res predint.YieldResult) {
+	_, _ = c.call(ctx, owner, ShardRequest{
+		Op:             OpRecord,
+		Req:            req,
+		SurfaceVersion: predint.Surfaced{Cache: c.surf}.Version(),
+		Result:         &res,
+	})
+}
+
+// shardRange is one contiguous piece of the sample-index range.
+type shardRange struct {
+	idx          int
+	start, count int
+}
+
+type shardResult struct {
+	idx     int
+	part    variation.Partial
+	shifted bool
+	err     error
+}
+
+// sample fans the plan's [0, Samples) range out in waves of
+// len(workers) shards. After every completed shard the contiguous
+// merged prefix is re-folded; when the global stopping rule fires
+// inside it, outstanding shards are cancelled — the stopping decision
+// stays global and index-ordered even though evaluation is not.
+func (c *Coordinator) sample(ctx context.Context, plan *predint.YieldShardPlan, req predint.YieldRequest) (variation.Estimate, error) {
+	total := plan.Samples()
+	batch := plan.Batch()
+	w := len(c.workers)
+	size := c.shardSamples
+	if size <= 0 {
+		size = (total + 2*w - 1) / (2 * w)
+	}
+	if size <= 0 {
+		size = batch
+	}
+	if rem := size % batch; rem != 0 {
+		size += batch - rem
+	}
+	var shards []shardRange
+	for start := 0; start < total; start += size {
+		count := size
+		if rem := total - start; rem < count {
+			count = rem
+		}
+		shards = append(shards, shardRange{idx: len(shards), start: start, count: count})
+	}
+
+	parts := make([]*variation.Partial, len(shards))
+	shiftedSet := false
+	shifted := false
+	merged := 0 // shards [0, merged) form the folded contiguous prefix
+	var prefix []variation.Partial
+
+	for waveStart := 0; waveStart < len(shards); waveStart += w {
+		waveEnd := waveStart + w
+		if waveEnd > len(shards) {
+			waveEnd = len(shards)
+		}
+		wave := shards[waveStart:waveEnd]
+		wctx, cancel := context.WithCancel(ctx)
+		results := make(chan shardResult, len(wave))
+		for _, s := range wave {
+			go func(s shardRange) {
+				part, sh, err := c.fetchShard(wctx, plan, req, s)
+				results <- shardResult{idx: s.idx, part: part, shifted: sh, err: err}
+			}(s)
+		}
+
+		var firstErr error
+		done := false
+		var final variation.Estimate
+		for range wave {
+			r := <-results
+			if done || firstErr != nil {
+				continue // draining after cancel
+			}
+			if r.err != nil {
+				firstErr = r.err
+				cancel()
+				continue
+			}
+			if !shiftedSet {
+				shiftedSet, shifted = true, r.shifted
+			} else if r.shifted != shifted {
+				firstErr = fmt.Errorf("coordinator: shard %d reports shifted=%v, previous shards said %v", r.idx, r.shifted, shifted)
+				cancel()
+				continue
+			}
+			part := r.part
+			parts[r.idx] = &part
+			grew := false
+			for merged < len(parts) && parts[merged] != nil {
+				prefix = append(prefix, *parts[merged])
+				merged++
+				grew = true
+			}
+			if !grew {
+				continue
+			}
+			est, stop, err := plan.Merge(prefix, shifted)
+			if err != nil {
+				firstErr = err
+				cancel()
+				continue
+			}
+			if stop {
+				final, done = est, true
+				if merged < len(shards) {
+					metStoppedMidWave.Inc()
+				}
+				cancel()
+			}
+		}
+		cancel()
+		if done {
+			return final, nil
+		}
+		if firstErr != nil {
+			return variation.Estimate{}, firstErr
+		}
+	}
+
+	est, stop, err := plan.Merge(prefix, shifted)
+	if err != nil {
+		return variation.Estimate{}, err
+	}
+	if !stop {
+		return variation.Estimate{}, fmt.Errorf("coordinator: merged %d shards without covering the budget", len(prefix))
+	}
+	return est, nil
+}
+
+// fetchShard obtains one shard: bounded retry across the worker set
+// starting at a shard-dependent replica (spreading load), then — when
+// every attempt failed — degradation to local execution, so a dead
+// worker set degrades the coordinator to a slower single replica
+// rather than an outage.
+func (c *Coordinator) fetchShard(ctx context.Context, plan *predint.YieldShardPlan, req predint.YieldRequest, s shardRange) (variation.Partial, bool, error) {
+	for a := 0; a < c.maxAttempts; a++ {
+		if ctx.Err() != nil {
+			return variation.Partial{}, false, ctx.Err()
+		}
+		wi := (s.idx + a) % len(c.workers)
+		resp, err := c.call(ctx, wi, ShardRequest{
+			Op:    OpSample,
+			Req:   req,
+			Start: s.start,
+			Count: s.count,
+		})
+		if err != nil {
+			metricsFor(wi).errors.Inc()
+			continue
+		}
+		if resp.Part == nil || resp.Part.Start != s.start || resp.Part.Count != s.count {
+			metricsFor(wi).errors.Inc()
+			continue
+		}
+		return *resp.Part, resp.Shifted, nil
+	}
+	if ctx.Err() != nil {
+		return variation.Partial{}, false, ctx.Err()
+	}
+	// Worker set exhausted for this shard: compute it locally. The
+	// result is bit-identical — the shard is a pure function of
+	// (request, range) — so degradation costs latency, never accuracy.
+	metLocalFallbacks.Inc()
+	return plan.CollectCtx(ctx, s.start, s.count)
+}
+
+// call performs one shard RPC. The two fault points model the seam:
+// "coordinator.rpc" fires before the request leaves (connection-level
+// failure), "coordinator.response" truncates the response body (torn
+// read / partial response).
+func (c *Coordinator) call(ctx context.Context, wi int, sr ShardRequest) (ShardResponse, error) {
+	if err := faultinject.Hit("coordinator.rpc"); err != nil {
+		return ShardResponse{}, err
+	}
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.workers[wi]+"/v1/internal/shard", bytes.NewReader(body))
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	httpResp, err := c.client.Do(httpReq)
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	data, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	if ferr := faultinject.Hit("coordinator.response"); ferr != nil {
+		data = data[:len(data)/2]
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: status %d: %s", c.workers[wi], httpResp.StatusCode, truncate(data, 200))
+	}
+	var out ShardResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: bad response: %w", c.workers[wi], err)
+	}
+	m := metricsFor(wi)
+	m.shards.Inc()
+	m.latency.Observe(time.Since(start))
+	return out, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// Per-worker shard metrics, registered lazily by worker index (the obs
+// registry panics on duplicate names, and worker sets are only known
+// at runtime). Indexing by slot rather than URL keeps the metric
+// namespace bounded across reconfigurations.
+type workerMetrics struct {
+	shards  *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
+}
+
+var (
+	workerMetricsMu sync.Mutex
+	workerMetricsBy = map[int]*workerMetrics{}
+)
+
+func metricsFor(wi int) *workerMetrics {
+	workerMetricsMu.Lock()
+	defer workerMetricsMu.Unlock()
+	m, ok := workerMetricsBy[wi]
+	if !ok {
+		m = &workerMetrics{
+			shards:  obs.NewCounter(fmt.Sprintf("coordinator.worker%d.shards", wi)),
+			errors:  obs.NewCounter(fmt.Sprintf("coordinator.worker%d.errors", wi)),
+			latency: obs.NewHistogram(fmt.Sprintf("coordinator.worker%d.latency", wi)),
+		}
+		workerMetricsBy[wi] = m
+	}
+	return m
+}
+
+// decodeJSON / writeJSON are the minimal codec for Handler.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

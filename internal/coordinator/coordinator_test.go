@@ -1,0 +1,72 @@
+package coordinator
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no workers succeeded, want error")
+	}
+	if _, err := New(Config{Workers: []string{"a:1", " "}}); err == nil {
+		t.Error("New with a blank worker succeeded, want error")
+	}
+	c, err := New(Config{Workers: []string{"host:8080", "http://other:9090/", " padded:1 "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://host:8080", "http://other:9090", "http://padded:1"}
+	got := c.Workers()
+	if len(got) != len(want) {
+		t.Fatalf("Workers() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("worker %d normalized to %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRendezvousOwnership pins the consistent-hash routing: ownership
+// is a pure function of (class, worker URL) — stable across coordinator
+// instances and across reorderings of the worker list — and classes
+// spread over the whole set rather than piling on one replica.
+func TestRendezvousOwnership(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	c1, err := New(Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed list: the owning URL (not the index) must be unchanged.
+	rev := make([]string, len(workers))
+	for i, w := range workers {
+		rev[len(workers)-1-i] = w
+	}
+	c2, err := New(Config{Workers: rev})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]int{}
+	for class := uint64(0); class < 256; class++ {
+		h := class * 0x9e3779b97f4a7c15 // spread the toy class ids
+		u1 := c1.workers[c1.ownerIndex(h)]
+		u2 := c2.workers[c2.ownerIndex(h)]
+		if u1 != u2 {
+			t.Fatalf("class %d owned by %s in one ordering, %s in another", class, u1, u2)
+		}
+		seen[u1]++
+	}
+	if len(seen) != len(workers) {
+		t.Errorf("256 classes landed on %d of %d workers: %v", len(seen), len(workers), seen)
+	}
+	for u, n := range seen {
+		if n > 256/2 {
+			t.Errorf("worker %s owns %d of 256 classes — rendezvous badly skewed", u, n)
+		}
+	}
+	if !strings.HasPrefix(c1.workers[0], "http://") {
+		t.Fatalf("unnormalized worker %q", c1.workers[0])
+	}
+}

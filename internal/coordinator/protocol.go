@@ -1,0 +1,183 @@
+// Package coordinator implements the scale-out seam of the yield
+// serving plane: a coordinator replica splits a yield request's
+// [0, N) sample-index range into contiguous shards, fans them out over
+// HTTP to a static set of worker replicas, and merges the partial
+// accumulators in fixed index order, so the served Estimate is
+// bit-identical to a single-process run at any shard count. The same
+// protocol carries surface-cache traffic: probes and records are
+// routed to the replica that owns the request's link class under
+// rendezvous hashing, and every cache exchange is guarded by the
+// owning replica's surface version so an invalidation on one replica
+// can never leak a stale answer through another.
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	predint "repro"
+	"repro/internal/obs"
+	"repro/internal/surface"
+	"repro/internal/variation"
+)
+
+// Shard protocol operations.
+const (
+	// OpSample evaluates the contiguous sample range [Start,
+	// Start+Count) and returns its sparse partial accumulator.
+	OpSample = "sample"
+	// OpProbe asks the owning replica's warm surface for the request;
+	// refused unless the caller's surface version matches the owner's.
+	OpProbe = "probe"
+	// OpRecord feeds a completed estimate into the owning replica's
+	// surface; dropped (Recorded=false) on a version mismatch.
+	OpRecord = "record"
+)
+
+// ShardRequest is the body of POST /v1/internal/shard — the one RPC of
+// the scale-out plane.
+type ShardRequest struct {
+	// Op selects the operation: OpSample, OpProbe, or OpRecord.
+	Op string `json:"op"`
+	// Req is the yield request being served. Workers replan it
+	// locally — the plan is a pure function of the request, so every
+	// replica derives the identical scenario and PRNG keying.
+	Req predint.YieldRequest `json:"req"`
+	// Start and Count give the sample range of an OpSample.
+	Start int `json:"start,omitempty"`
+	Count int `json:"count,omitempty"`
+	// SurfaceVersion is the calling replica's surface version. OpProbe
+	// and OpRecord are refused when it does not match the serving
+	// replica's own version — the cross-version coherence guard.
+	SurfaceVersion uint64 `json:"surface_version"`
+	// Result carries the completed estimate of an OpRecord.
+	Result *predint.YieldResult `json:"result,omitempty"`
+}
+
+// ShardResponse answers a ShardRequest.
+type ShardResponse struct {
+	// Kind and Shifted report the estimator rung and shift decision of
+	// an OpSample; every replica reports the same values for the same
+	// request, which the coordinator asserts while merging.
+	Kind    string `json:"kind,omitempty"`
+	Shifted bool   `json:"shifted,omitempty"`
+	// Part is the sparse partial accumulator of an OpSample.
+	Part *variation.Partial `json:"part,omitempty"`
+	// Failures, WeightSum, and WeightSqSum summarize Part (failure
+	// count, Σw, Σw²) for logging and per-worker accounting; the merge
+	// itself replays Part exactly and never trusts the summary.
+	Failures    int     `json:"failures"`
+	WeightSum   float64 `json:"weight_sum"`
+	WeightSqSum float64 `json:"weight_sq_sum"`
+	// SurfaceVersion is the serving replica's surface version at the
+	// time of the answer.
+	SurfaceVersion uint64 `json:"surface_version"`
+	// ProbeHit and Result report an OpProbe: Result is set only on a
+	// warm, version-consistent hit.
+	ProbeHit bool                 `json:"probe_hit,omitempty"`
+	Result   *predint.YieldResult `json:"result,omitempty"`
+	// Recorded acknowledges an OpRecord that passed the version guard.
+	Recorded bool `json:"recorded,omitempty"`
+}
+
+var (
+	metShardsServed     = obs.NewCounter("coordinator.shards_served")
+	metProbesServed     = obs.NewCounter("coordinator.probes_served")
+	metRecordsServed    = obs.NewCounter("coordinator.records_served")
+	metVersionRefusals  = obs.NewCounter("coordinator.version_refusals")
+	metProbeHits        = obs.NewCounter("coordinator.probe_hits")
+	metLocalFallbacks   = obs.NewCounter("coordinator.local_fallbacks")
+	metStoppedMidWave   = obs.NewCounter("coordinator.stopped_mid_wave")
+	metRequestsServed   = obs.NewCounter("coordinator.requests")
+	metNotShardable     = obs.NewCounter("coordinator.not_shardable")
+	metOwnerProbeMisses = obs.NewCounter("coordinator.owner_probe_misses")
+)
+
+// ExecuteShard serves one ShardRequest against this replica's surface
+// cache (nil when the replica runs surface-less). It is the worker
+// side of the protocol; cmd/predintd exposes it at /v1/internal/shard
+// behind its normal admission control.
+func ExecuteShard(ctx context.Context, surf *surface.Cache, sr ShardRequest) (ShardResponse, error) {
+	sf := predint.Surfaced{Cache: surf}
+	switch sr.Op {
+	case OpSample:
+		plan, err := predint.YieldShardPlanFor(sr.Req)
+		if err != nil {
+			return ShardResponse{}, err
+		}
+		part, shifted, err := plan.CollectCtx(ctx, sr.Start, sr.Count)
+		if err != nil {
+			return ShardResponse{}, err
+		}
+		fails, sumW, sumW2 := part.Sums()
+		metShardsServed.Inc()
+		return ShardResponse{
+			Kind:           plan.Kind(),
+			Shifted:        shifted,
+			Part:           &part,
+			Failures:       fails,
+			WeightSum:      sumW,
+			WeightSqSum:    sumW2,
+			SurfaceVersion: sf.Version(),
+		}, nil
+	case OpProbe:
+		metProbesServed.Inc()
+		out := ShardResponse{SurfaceVersion: sf.Version()}
+		if surf == nil || sr.SurfaceVersion != out.SurfaceVersion {
+			// Cross-version probe: the caller invalidated (or never
+			// had) the surface state this replica's points were
+			// recorded under. Refuse rather than serve a possibly
+			// stale interpolation.
+			if surf != nil {
+				metVersionRefusals.Inc()
+			}
+			return out, nil
+		}
+		res, ok, err := sf.LinkYieldSurfaceCtx(ctx, sr.Req)
+		if err != nil {
+			return ShardResponse{}, err
+		}
+		if ok {
+			out.ProbeHit = true
+			out.Result = &res
+		}
+		return out, nil
+	case OpRecord:
+		metRecordsServed.Inc()
+		out := ShardResponse{SurfaceVersion: sf.Version()}
+		if surf == nil || sr.Result == nil {
+			return out, nil
+		}
+		if sr.SurfaceVersion != out.SurfaceVersion {
+			metVersionRefusals.Inc()
+			return out, nil
+		}
+		if err := sf.RecordYield(sr.Req, *sr.Result); err != nil {
+			return ShardResponse{}, err
+		}
+		out.Recorded = true
+		return out, nil
+	default:
+		return ShardResponse{}, fmt.Errorf("coordinator: unknown shard op %q", sr.Op)
+	}
+}
+
+// Handler adapts ExecuteShard to a bare http.Handler for tests and
+// benchmarks. cmd/predintd wires its own route instead, so shard
+// traffic shares the server's admission control and fault points.
+func Handler(surf *surface.Cache) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var sr ShardRequest
+		if err := decodeJSON(r, &sr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := ExecuteShard(r.Context(), surf, sr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	})
+}

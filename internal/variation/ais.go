@@ -148,9 +148,29 @@ func runAISMetricCtx(ctx context.Context, ro Options, target float64, metric fun
 			prop = aisRefit(zs, delays, weights, adapt, target, false, estimator.FitOptions{SigmaFloor: aisExploreSigmaFloor})
 		}
 	}
-	final := ro.Samples - offset
-	if err := aisStage(ctx, ro, &prop, offset, final, zs, delays, weights, metric); err != nil {
-		return Estimate{}, err
+	// Estimation: the final stage draws from the adapted proposal in
+	// stopping-rule batches, re-deriving the self-normalized estimate
+	// over the prefix between batches and stopping once RelErr/AbsErr
+	// is met (with the ESS guard widening the error bar first, so a
+	// degenerate weight set cannot stop early). It used to ignore the
+	// stopping rule entirely and burn the full budget even once the
+	// estimate was resolved. Every quantity the rule reads is a pure
+	// function of the index-addressed prefix, so the early stop
+	// preserves the any-worker-count bit-identity contract.
+	budget := ro.Samples - offset
+	final := 0
+	for final < budget {
+		chunk := ro.Batch
+		if rem := budget - final; rem < chunk {
+			chunk = rem
+		}
+		if err := aisStage(ctx, ro, &prop, offset+final, chunk, zs[final*Dims:], delays[final:], weights[final:], metric); err != nil {
+			return Estimate{}, err
+		}
+		final += chunk
+		if aisStop(ro, final, delays[:final], weights[:final], target) {
+			break
+		}
 	}
 	evals := offset + final
 
@@ -197,6 +217,60 @@ func runAISMetricCtx(ctx context.Context, ro Options, target float64, metric fun
 		est.VarianceReduction = p * (1 - p) / float64(final) / (se * se)
 	}
 	return est, nil
+}
+
+// aisStop is the stopping rule of the AIS estimation stage, evaluated
+// over the stage's prefix [0, n): the self-normalized estimate, its
+// delta-method standard error, and the ESS widening — exactly the
+// quantities the final Estimate reports — checked against RelErr /
+// AbsErr. There is no rule-of-three escape: the bound assumes Bernoulli
+// indicators, and AIS contributions are likelihood-ratio weights. The
+// floor is MinSamples of *estimation* draws (adaptation stages inform
+// the proposal, not the estimate).
+func aisStop(ro Options, n int, delays, weights []float64, target float64) bool {
+	if ro.RelErr <= 0 && ro.AbsErr <= 0 {
+		return false
+	}
+	if n < ro.MinSamples || n < 2 {
+		return false
+	}
+	var sumW, sumW2, sumWI float64
+	for i := 0; i < n; i++ {
+		w := weights[i]
+		sumW += w
+		sumW2 += w * w
+		if delays[i] > target {
+			sumWI += w
+		}
+	}
+	if sumW <= 0 || sumWI <= 0 {
+		return false
+	}
+	p := sumWI / sumW
+	var ss float64
+	for i := 0; i < n; i++ {
+		ind := 0.0
+		if delays[i] > target {
+			ind = 1
+		}
+		d := weights[i] * (ind - p)
+		ss += d * d
+	}
+	se := math.Sqrt(ss) / sumW
+	if ess := estimator.ESS(sumW, sumW2); ess > 0 {
+		if floor := aisMinESSFrac * float64(n); ess < floor {
+			se *= math.Sqrt(floor / ess)
+		}
+	}
+	if ro.RelErr > 0 && se/p <= ro.RelErr {
+		metStopRelErr.Inc()
+		return true
+	}
+	if ro.AbsErr > 0 && se <= ro.AbsErr {
+		metStopAbsErr.Inc()
+		return true
+	}
+	return false
 }
 
 // aisStage evaluates n proposal draws with global sample indices

@@ -1,0 +1,389 @@
+package variation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/estimator"
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// This file is the distributed half of the sampling kernel: a yield
+// estimation's sample-index range [0, Samples) can be split into
+// contiguous shards, each shard evaluated anywhere (the draws are keyed
+// by (Seed, index), never by worker or host), and the shards merged
+// back into the exact Estimate a single-process run produces.
+//
+// Welford accumulators do not merge associatively in floating point, so
+// a shard does not return a folded accumulator. It returns the sparse
+// raw contributions instead — the global indices that failed and, under
+// importance sampling, their likelihood-ratio weights — and the merge
+// replays the canonical serial fold over the contiguous prefix, zeros
+// implied for every index between failures. Five flops per sample makes
+// the replay ~1000× cheaper than the evaluation it summarizes, and the
+// result is bit-identical to the single-process kernel because it IS
+// the single-process fold, fed the same numbers in the same order.
+//
+// The global stopping rule lives in the merge, not the shards: a shard
+// always evaluates its full range, and MergePartials re-applies
+// stopRule at exactly the batch boundaries the local kernel would have
+// checked, truncating the fold at the same sample the local run would
+// have stopped at.
+
+// ErrNotShardable marks an estimation whose rung cannot be partitioned
+// by sample index: AIS (the adapted proposal depends on all prior
+// stages), WCD (no sampling at all), and the auto-routed ≥3σ cascade
+// (the worst-case-distance pre-filter may answer without drawing a
+// single sample). Callers run these locally through the normal ladder.
+var ErrNotShardable = errors.New("variation: estimator rung cannot be sharded by sample index")
+
+var metShardsCollected = obs.NewCounter("variation.shards_collected")
+
+// Partial is one contiguous shard's contribution to an estimation:
+// the sparse nonzero sample contributions over global sample indices
+// [Start, Start+Count). It is the unit of the coordinator's shard
+// protocol and is designed to survive a JSON round trip bit-exactly
+// (Go's float64 encoding is shortest-representation, which decodes to
+// the identical bit pattern).
+type Partial struct {
+	// Start is the shard's first global sample index; Count the number
+	// of samples it evaluated.
+	Start int `json:"start"`
+	Count int `json:"count"`
+	// FailIdx lists the global indices of failing samples, ascending.
+	// Indices absent from the list contributed exactly 0 to the fold.
+	FailIdx []int `json:"fail_idx,omitempty"`
+	// Weights, when non-nil, holds the likelihood-ratio weight of each
+	// failing sample (same order as FailIdx) — the importance-sampled
+	// contribution. Nil means every failure contributed 1 (plain
+	// MC/QMC indicators).
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// Sums reduces the shard to its summary statistics — failure count,
+// weighted contribution sum, and sum of squares. The merge does not
+// use these (it replays the raw contributions); they ride along in the
+// shard protocol for observability and cross-checking.
+func (p Partial) Sums() (failures int, sumW, sumW2 float64) {
+	failures = len(p.FailIdx)
+	if p.Weights == nil {
+		return failures, float64(failures), float64(failures)
+	}
+	for _, w := range p.Weights {
+		sumW += w
+		sumW2 += w * w
+	}
+	return failures, sumW, sumW2
+}
+
+// validate checks internal consistency against a total sample budget.
+func (p Partial) validate(samples int) error {
+	if p.Start < 0 || p.Count < 0 || p.Start+p.Count > samples {
+		return fmt.Errorf("variation: partial range [%d,%d) outside sample budget %d", p.Start, p.Start+p.Count, samples)
+	}
+	if p.Weights != nil && len(p.Weights) != len(p.FailIdx) {
+		return fmt.Errorf("variation: partial carries %d weights for %d failures", len(p.Weights), len(p.FailIdx))
+	}
+	prev := p.Start - 1
+	for _, i := range p.FailIdx {
+		if i <= prev || i >= p.Start+p.Count {
+			return fmt.Errorf("variation: partial failure index %d outside ascending range [%d,%d)", i, p.Start, p.Start+p.Count)
+		}
+		prev = i
+	}
+	return nil
+}
+
+// ShardableKind resolves the options to the concrete estimator rung and
+// reports whether that rung distributes by sample index. MC, ISLE, and
+// QMC do — every draw is a pure function of (Seed, index), and ISLE's
+// shift search and QMC's Sobol scrambles are deterministic in (scenario,
+// Seed), so independent replicas compute identical shard inputs. AIS,
+// WCD, and the auto-routed ≥3σ cascade do not (see ErrNotShardable).
+func (o YieldOptions) ShardableKind() (estimator.Kind, bool, error) {
+	kind, err := o.resolveKind()
+	if err != nil {
+		return kind, false, err
+	}
+	if kind == estimator.AIS || kind == estimator.WCD {
+		return kind, false, nil
+	}
+	if o.Estimator == estimator.Auto && o.TargetSigma >= wcdPrefilterSigma {
+		// The pre-filter may certify the candidate analytically and
+		// answer with zero samples; distributing would skip it.
+		return kind, false, nil
+	}
+	return kind, true, nil
+}
+
+// ResolvedSampling reports the (samples, batch) the options resolve to
+// after defaulting — the numbers a shard planner needs to split the
+// index range and align shard boundaries with stopping-rule checks.
+func (o YieldOptions) ResolvedSampling() (samples, batch int) {
+	ro := o.runOptions().withDefaults()
+	return ro.Samples, ro.Batch
+}
+
+// CollectPartialCtx evaluates the scenario over global sample indices
+// [start, start+count) and returns the shard's sparse contributions,
+// the resolved estimator rung, and whether importance sampling was in
+// effect. The evaluation is the shared kernel's own per-sample path
+// (same draws, same eval, same shift search), so a set of shards
+// covering [0, Samples) reproduces a local run's contributions exactly.
+// The shard never applies the stopping rule — that is global and
+// belongs to MergePartials.
+func CollectPartialCtx(ctx context.Context, sc *LinkScenario, o YieldOptions, start, count int) (Partial, estimator.Kind, bool, error) {
+	if err := sc.Validate(); err != nil {
+		return Partial{}, estimator.Auto, false, err
+	}
+	ro := o.runOptions().withDefaults()
+	if err := ro.validate(); err != nil {
+		return Partial{}, estimator.Auto, false, err
+	}
+	kind, ok, err := o.ShardableKind()
+	if err != nil {
+		return Partial{}, kind, false, err
+	}
+	if !ok {
+		return Partial{}, kind, false, fmt.Errorf("%w: %s", ErrNotShardable, kind)
+	}
+	if start < 0 || count < 0 || start+count > ro.Samples {
+		return Partial{}, kind, false, fmt.Errorf("variation: shard range [%d,%d) outside sample budget %d", start, start+count, ro.Samples)
+	}
+
+	ms := &MultiScenario{
+		Base:   sc.Base,
+		Coeffs: sc.Coeffs,
+		Space:  sc.Space,
+		Specs:  []model.LineSpec{sc.Spec},
+		Target: sc.Target,
+	}
+
+	// ISLE: the deterministic shift search runs on every shard —
+	// redundant work, but it is what makes replicas interchangeable
+	// (any replica computes the identical shift from the scenario).
+	var shifts [][]float64
+	shifted := false
+	var shiftSq []float64
+	var shiftedC []bool
+	if kind == estimator.ISLE {
+		if shifts, err = ms.FindShiftsCtx(ctx); err != nil {
+			return Partial{}, kind, false, err
+		}
+	}
+	if shifts == nil {
+		shifts = make([][]float64, 1)
+	}
+	shiftedC = make([]bool, 1)
+	shiftSq = make([]float64, 1)
+	for _, t := range shifts[0] {
+		if t != 0 {
+			shiftedC[0] = true
+		}
+		shiftSq[0] += t * t
+	}
+	shifted = shiftedC[0]
+
+	var qshifts [][]uint64
+	if kind == estimator.QMC {
+		qshifts = make([][]uint64, qmcReplicates)
+		for r := range qshifts {
+			qshifts[r] = estimator.SobolShift(ro.Seed, uint64(r), Dims)
+		}
+	}
+
+	maxW := pool.Workers(ro.Workers, ro.Batch)
+	scratch := make([]multiScratch, maxW)
+	draws := make([]float64, 2*maxW*Dims)
+	for w := range scratch {
+		scratch[w].eps = draws[2*w*Dims : (2*w+1)*Dims]
+		scratch[w].z = draws[(2*w+1)*Dims : (2*w+2)*Dims]
+	}
+	active := []bool{true}
+
+	var failIdx []int
+	var wts []float64
+	contrib := make([]float64, ro.Batch)
+	for done := 0; done < count; {
+		if err := ctx.Err(); err != nil {
+			return Partial{}, kind, shifted, err
+		}
+		if err := faultinject.Hit("variation.batch"); err != nil {
+			return Partial{}, kind, shifted, err
+		}
+		batch := ro.Batch
+		if rem := count - done; rem < batch {
+			batch = rem
+		}
+		base := start + done
+		err := pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
+			s := &scratch[worker]
+			i := base + k
+			if kind == estimator.QMC {
+				estimator.SobolNormal(uint64(i/qmcReplicates), qshifts[i%qmcReplicates], s.eps)
+				return ms.evalShared(s, contrib[k:k+1], active, true)
+			}
+			s.stream.Reset(ro.Seed, uint64(i))
+			s.stream.NormsInto(s.eps)
+			if !shifted {
+				return ms.evalShared(s, contrib[k:k+1], active, true)
+			}
+			return ms.evalShifted(s, contrib[k:k+1], active, shifts, shiftedC, shiftSq)
+		})
+		if err != nil {
+			return Partial{}, kind, shifted, err
+		}
+		for k := 0; k < batch; k++ {
+			if x := contrib[k]; x != 0 {
+				failIdx = append(failIdx, base+k)
+				if shifted {
+					wts = append(wts, x)
+				}
+			}
+		}
+		done += batch
+		metSamples.Add(int64(batch))
+	}
+	metShardsCollected.Inc()
+	return Partial{Start: start, Count: count, FailIdx: failIdx, Weights: wts}, kind, shifted, nil
+}
+
+// MergePartials folds a set of shards back into the single-process
+// Estimate. The shards must cover a contiguous prefix [0, avail) of the
+// sample range (any order, no gaps, no overlap); done reports whether
+// the fold is final — either the global stopping rule fired inside the
+// prefix, or the prefix covers the whole budget. While done is false
+// the returned Estimate summarizes the prefix and the caller must keep
+// extending it.
+//
+// The fold is the kernel's own: Welford in index order (per-replicate
+// index-ordered sums for QMC), with the stopping rule evaluated at
+// exactly the batch boundaries the local run checks, so the final
+// Estimate — including Samples, StdErr, and VarianceReduction — is
+// bit-identical to EstimateLinkYield at any shard count.
+func MergePartials(o YieldOptions, kind estimator.Kind, shifted bool, parts []Partial) (Estimate, bool, error) {
+	ro := o.runOptions().withDefaults()
+	if err := ro.validate(); err != nil {
+		return Estimate{}, false, err
+	}
+	if len(parts) == 0 {
+		return Estimate{}, false, errors.New("variation: no partials to merge")
+	}
+	sorted := make([]Partial, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Start < sorted[b].Start })
+	if sorted[0].Start != 0 {
+		return Estimate{}, false, fmt.Errorf("variation: partials start at %d, want a contiguous prefix from 0", sorted[0].Start)
+	}
+	next := 0
+	for _, p := range sorted {
+		if err := p.validate(ro.Samples); err != nil {
+			return Estimate{}, false, err
+		}
+		if p.Start != next {
+			return Estimate{}, false, fmt.Errorf("variation: partials leave a gap at sample %d (next shard starts at %d)", next, p.Start)
+		}
+		next = p.Start + p.Count
+	}
+	if kind == estimator.QMC {
+		if shifted {
+			return Estimate{}, false, errors.New("variation: QMC partials cannot be importance-sampled")
+		}
+		return mergeQMC(ro, sorted)
+	}
+	return mergeWelford(ro, shifted, sorted)
+}
+
+// mergeWelford replays the MC/ISLE serial fold over the contiguous
+// prefix, truncating at the stopping rule exactly as RunBatchCtx does.
+func mergeWelford(ro Options, shifted bool, parts []Partial) (Estimate, bool, error) {
+	var n int
+	var mean, m2 float64
+	stopped := false
+outer:
+	for _, p := range parts {
+		fi := 0
+		for k := 0; k < p.Count; k++ {
+			i := p.Start + k
+			x := 0.0
+			if fi < len(p.FailIdx) && p.FailIdx[fi] == i {
+				x = 1.0
+				if p.Weights != nil {
+					x = p.Weights[fi]
+				}
+				fi++
+			}
+			n++
+			d := x - mean
+			mean += d / float64(n)
+			m2 += d * (x - mean)
+			if (i+1)%ro.Batch == 0 || i+1 == ro.Samples {
+				if stopRule(ro, shifted, n, mean, m2) {
+					stopped = true
+					break outer
+				}
+			}
+		}
+	}
+
+	ck := estimator.MC
+	if shifted {
+		ck = estimator.ISLE
+	}
+	est := Estimate{FailProb: mean, Yield: 1 - mean, Samples: n, Shifted: shifted, VarianceReduction: 1, Estimator: ck}
+	if n > 1 {
+		sampleVar := m2 / float64(n-1)
+		est.StdErr = math.Sqrt(sampleVar / float64(n))
+		if sampleVar > 0 && mean > 0 && mean < 1 {
+			est.VarianceReduction = mean * (1 - mean) / sampleVar
+		}
+	}
+	return est, stopped || n >= ro.Samples, nil
+}
+
+// mergeQMC replays the per-replicate index-ordered sums and the
+// replicate-mean stopping rule of runQMCSharedCtx.
+func mergeQMC(ro Options, parts []Partial) (Estimate, bool, error) {
+	var acc qmcAcc
+	folded := 0
+	stopped := false
+outer:
+	for _, p := range parts {
+		if p.Weights != nil {
+			return Estimate{}, false, errors.New("variation: QMC partial carries importance weights")
+		}
+		fi := 0
+		for k := 0; k < p.Count; k++ {
+			i := p.Start + k
+			x := 0.0
+			if fi < len(p.FailIdx) && p.FailIdx[fi] == i {
+				x = 1.0
+				fi++
+			}
+			r := i % qmcReplicates
+			acc.n[r]++
+			acc.sum[r] += x
+			folded++
+			if (i+1)%ro.Batch == 0 || i+1 == ro.Samples {
+				pHat, se, nTot, reps := qmcStats(&acc)
+				if qmcStop(ro, nTot, reps, pHat, se) {
+					stopped = true
+					break outer
+				}
+			}
+		}
+	}
+
+	p, se, n, _ := qmcStats(&acc)
+	est := Estimate{FailProb: p, Yield: 1 - p, StdErr: se, Samples: n, VarianceReduction: 1, Estimator: estimator.QMC}
+	if p > 0 && p < 1 && se > 0 && n > 0 {
+		est.VarianceReduction = p * (1 - p) / float64(n) / (se * se)
+	}
+	return est, stopped || folded >= ro.Samples, nil
+}

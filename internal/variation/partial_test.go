@@ -1,0 +1,251 @@
+package variation
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/estimator"
+)
+
+// collectAll evaluates [0, Samples) as a set of shards of the given
+// sizes (cycling through the list) and returns the parts plus the
+// shifted flag the shards agreed on.
+func collectAll(t *testing.T, sc *LinkScenario, o YieldOptions, sizes []int) ([]Partial, bool) {
+	t.Helper()
+	samples, _ := o.ResolvedSampling()
+	var parts []Partial
+	shifted := false
+	for start, si := 0, 0; start < samples; si++ {
+		count := sizes[si%len(sizes)]
+		if rem := samples - start; rem < count {
+			count = rem
+		}
+		p, _, sh, err := CollectPartialCtx(context.Background(), sc, o, start, count)
+		if err != nil {
+			t.Fatalf("CollectPartialCtx(%d,%d): %v", start, count, err)
+		}
+		if start == 0 {
+			shifted = sh
+		} else if sh != shifted {
+			t.Fatalf("shard at %d reports shifted=%v, first shard said %v", start, sh, shifted)
+		}
+		parts = append(parts, p)
+		start += count
+	}
+	return parts, shifted
+}
+
+// TestPartialMergeBitIdentity is the distributed-kernel contract: for
+// every shardable rung and every shard layout — including unaligned
+// and single-sample shards — collecting the range in pieces and
+// replaying the merge reproduces the local estimate bit for bit.
+func TestPartialMergeBitIdentity(t *testing.T) {
+	layouts := [][]int{
+		{4096},            // one shard
+		{512},             // batch-aligned
+		{1000},            // unaligned
+		{100, 700, 33, 1}, // ragged mix
+	}
+	cases := []struct {
+		name string
+		o    YieldOptions
+	}{
+		{"mc", YieldOptions{Samples: 4096, Seed: 11}},
+		{"isle", YieldOptions{Samples: 4096, Seed: 11, Estimator: estimator.ISLE}},
+		{"qmc", YieldOptions{Samples: 4096, Seed: 11, Estimator: estimator.QMC}},
+		{"mc-relerr", YieldOptions{Samples: 4096, Seed: 11, RelErr: 0.2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := testScenario(t, 480e-12)
+			want, err := EstimateLinkYield(sc, tc.o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kind, ok, err := tc.o.ShardableKind()
+			if err != nil || !ok {
+				t.Fatalf("ShardableKind: %v, %v", ok, err)
+			}
+			for _, layout := range layouts {
+				parts, shifted := collectAll(t, sc, tc.o, layout)
+				got, done, err := MergePartials(tc.o, kind, shifted, parts)
+				if err != nil {
+					t.Fatalf("layout %v: %v", layout, err)
+				}
+				if !done {
+					t.Fatalf("layout %v: full coverage not done", layout)
+				}
+				if got != want {
+					t.Fatalf("layout %v: merged %+v != local %+v", layout, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPartialMergeStopsEarly pins the global stopping rule living in
+// the merge: with RelErr set, the merged fold must truncate at the same
+// sample the local kernel stops at — fewer samples than the budget —
+// and report done before the full range is covered.
+func TestPartialMergeStopsEarly(t *testing.T) {
+	sc := testScenario(t, 480e-12)
+	o := YieldOptions{Samples: 8192, Seed: 5, RelErr: 0.2}
+	want, err := EstimateLinkYield(sc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Samples >= 8192 {
+		t.Fatalf("local run burned the whole budget (%d) — test needs an early stop", want.Samples)
+	}
+
+	// Collect only a prefix that covers the stop point, not the budget:
+	// the merge must report done without the remaining shards.
+	var parts []Partial
+	for start := 0; start < want.Samples+512; start += 512 {
+		p, kind, shifted, err := CollectPartialCtx(context.Background(), sc, o, start, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+		got, done, err := MergePartials(o, kind, shifted, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covered := start + 512; covered < want.Samples {
+			if done {
+				t.Fatalf("done after only %d samples, local stop was at %d", covered, want.Samples)
+			}
+			continue
+		}
+		if !done {
+			t.Fatalf("not done after covering %d samples, local stop was at %d", start+512, want.Samples)
+		}
+		if got != want {
+			t.Fatalf("merged %+v != local %+v", got, want)
+		}
+		return
+	}
+}
+
+// TestShardableKind pins which rungs distribute: the index-keyed
+// sampling rungs do, AIS/WCD and the auto ≥3σ cascade (which may
+// answer analytically with zero samples) do not.
+func TestShardableKind(t *testing.T) {
+	cases := []struct {
+		name string
+		o    YieldOptions
+		want estimator.Kind
+		ok   bool
+	}{
+		{"mc", YieldOptions{}, estimator.MC, true},
+		{"legacy-is", YieldOptions{ImportanceSampling: true}, estimator.ISLE, true},
+		{"qmc", YieldOptions{Estimator: estimator.QMC}, estimator.QMC, true},
+		{"explicit-isle", YieldOptions{Estimator: estimator.ISLE}, estimator.ISLE, true},
+		{"ais", YieldOptions{Estimator: estimator.AIS}, estimator.AIS, false},
+		{"wcd", YieldOptions{Estimator: estimator.WCD}, estimator.WCD, false},
+		{"auto-cascade", YieldOptions{TargetSigma: 4}, "", false},
+		{"explicit-past-cascade", YieldOptions{Estimator: estimator.ISLE, TargetSigma: 4}, estimator.ISLE, true},
+	}
+	for _, tc := range cases {
+		kind, ok, err := tc.o.ShardableKind()
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if ok != tc.ok {
+			t.Errorf("%s: shardable=%v, want %v", tc.name, ok, tc.ok)
+		}
+		if tc.want != "" && kind != tc.want {
+			t.Errorf("%s: kind %q, want %q", tc.name, kind, tc.want)
+		}
+	}
+	if _, _, _, err := CollectPartialCtx(context.Background(), testScenario(t, 480e-12), YieldOptions{Estimator: estimator.AIS}, 0, 64); err == nil {
+		t.Error("collecting an AIS shard succeeded, want ErrNotShardable")
+	} else if !errors.Is(err, ErrNotShardable) {
+		t.Errorf("AIS shard error %v does not wrap ErrNotShardable", err)
+	}
+}
+
+// TestMergePartialsRejectsMalformedSets: gaps, overlaps, non-zero
+// starts, and out-of-range shards are protocol violations, not silent
+// mis-merges.
+func TestMergePartialsRejectsMalformedSets(t *testing.T) {
+	o := YieldOptions{Samples: 1024}
+	bad := []struct {
+		name  string
+		parts []Partial
+	}{
+		{"empty", nil},
+		{"gap", []Partial{{Start: 0, Count: 256}, {Start: 512, Count: 512}}},
+		{"overlap", []Partial{{Start: 0, Count: 512}, {Start: 256, Count: 512}}},
+		{"nonzero-start", []Partial{{Start: 256, Count: 256}}},
+		{"past-budget", []Partial{{Start: 0, Count: 2048}}},
+		{"descending-failures", []Partial{{Start: 0, Count: 256, FailIdx: []int{5, 3}}}},
+		{"foreign-failure", []Partial{{Start: 0, Count: 256, FailIdx: []int{300}}}},
+		{"weight-mismatch", []Partial{{Start: 0, Count: 256, FailIdx: []int{1}, Weights: []float64{1, 2}}}},
+	}
+	for _, tc := range bad {
+		if _, _, err := MergePartials(o, estimator.MC, false, tc.parts); err == nil {
+			t.Errorf("%s: merge succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestPartialSums cross-checks the summary sums against the sparse
+// contributions they summarize.
+func TestPartialSums(t *testing.T) {
+	p := Partial{Start: 0, Count: 100, FailIdx: []int{3, 7, 50}, Weights: []float64{0.5, 2, 0.25}}
+	fails, sumW, sumW2 := p.Sums()
+	if fails != 3 || sumW != 2.75 || sumW2 != 4.3125 {
+		t.Fatalf("Sums() = %d, %g, %g; want 3, 2.75, 4.3125", fails, sumW, sumW2)
+	}
+	plain := Partial{Start: 0, Count: 100, FailIdx: []int{1, 2}}
+	fails, sumW, sumW2 = plain.Sums()
+	if fails != 2 || sumW != 2 || sumW2 != 2 {
+		t.Fatalf("unweighted Sums() = %d, %g, %g; want 2, 2, 2", fails, sumW, sumW2)
+	}
+}
+
+// TestAISEstimationStageStops pins the satellite fix: the AIS final
+// stage honors RelErr instead of burning the full budget, stays
+// bit-identical across worker counts, and still runs to the budget when
+// no tolerance is set.
+func TestAISEstimationStageStops(t *testing.T) {
+	sc := testScenario(t, 480e-12)
+	budget := 8192
+
+	full, err := EstimateLinkYield(sc, YieldOptions{Samples: budget, Seed: 3, Estimator: estimator.AIS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Samples != budget {
+		t.Fatalf("no-tolerance AIS run evaluated %d samples, want the whole budget %d", full.Samples, budget)
+	}
+
+	early, err := EstimateLinkYield(sc, YieldOptions{Samples: budget, Seed: 3, Estimator: estimator.AIS, RelErr: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Samples >= budget {
+		t.Fatalf("RelErr-bounded AIS run still burned the whole budget (%d samples)", early.Samples)
+	}
+	if early.StdErr <= 0 || early.StdErr/early.FailProb > 0.2+1e-12 {
+		t.Fatalf("early stop fired at rel err %g, want ≤ 0.2", early.StdErr/early.FailProb)
+	}
+	// The early estimate must agree with the full-budget one within the
+	// (generous) combined error bars.
+	if diff := early.FailProb - full.FailProb; diff > 5*(early.StdErr+full.StdErr) || -diff > 5*(early.StdErr+full.StdErr) {
+		t.Fatalf("early estimate %g inconsistent with full-budget %g (se %g / %g)", early.FailProb, full.FailProb, early.StdErr, full.StdErr)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		got, err := EstimateLinkYield(sc, YieldOptions{Samples: budget, Seed: 3, Estimator: estimator.AIS, RelErr: 0.2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != early {
+			t.Fatalf("workers=%d: %+v != workers-default %+v — early stop broke bit-identity", workers, got, early)
+		}
+	}
+}

@@ -26,8 +26,16 @@
 # certify-or-fall-through decision rides the per-candidate hot path of
 # sizing sweeps, so it must stay sub-microsecond.
 #
+# With a sixth argument (or COORD_OVERHEAD_FACTOR), the script fails
+# when the coordinator's single-local-worker loopback benchmark
+# (BenchmarkLinkYieldCoordinator/loopback) runs more than that factor
+# slower than direct execution (.../direct): the shard protocol (HTTP,
+# JSON, index-ordered partial merge) is bookkeeping around the same
+# sample evaluations and must stay a small constant factor.
+#
 # Usage: scripts/bench_yield.sh [benchtime] [alloc ceiling] [surface ns ceiling] \
-#                               [ais ns/sample ceiling] [wcd prefilter ns ceiling]
+#                               [ais ns/sample ceiling] [wcd prefilter ns ceiling] \
+#                               [coordinator overhead factor]
 #        (default 5x, no gates)
 set -eu
 
@@ -37,6 +45,7 @@ ceiling="${2:-${ALLOC_CEILING_PER_SAMPLE:-}}"
 surface_ceiling="${3:-${SURFACE_NS_CEILING:-}}"
 ais_ceiling="${4:-${AIS_NS_PER_SAMPLE_CEILING:-}}"
 wcd_ceiling="${5:-${WCD_PREFILTER_NS_CEILING:-}}"
+coord_factor="${6:-${COORD_OVERHEAD_FACTOR:-}}"
 out="BENCH_yield.json"
 
 go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem . |
@@ -143,4 +152,27 @@ if [ -n "$wcd_ceiling" ]; then
 			exit bad
 		}' "$out"
 	echo "WCD pre-filter ns/op within ceiling $wcd_ceiling" >&2
+fi
+
+if [ -n "$coord_factor" ]; then
+	awk -v factor="$coord_factor" '
+		/"bench":"Coordinator\/direct"/ {
+			if (match($0, /"ns_op":[0-9.e+]+/))
+				direct = substr($0, RSTART + 8, RLENGTH - 8) + 0
+		}
+		/"bench":"Coordinator\/loopback"/ {
+			if (match($0, /"ns_op":[0-9.e+]+/))
+				loopback = substr($0, RSTART + 8, RLENGTH - 8) + 0
+		}
+		END {
+			if (!direct || !loopback) {
+				print "missing Coordinator/direct or Coordinator/loopback benchmark" > "/dev/stderr"
+				exit 1
+			}
+			if (loopback > factor * direct) {
+				printf "coordinator loopback %g ns/op exceeds %g x direct %g ns/op\n", loopback, factor, direct > "/dev/stderr"
+				exit 1
+			}
+		}' "$out"
+	echo "coordinator merge overhead within factor $coord_factor of direct" >&2
 fi

@@ -340,6 +340,12 @@ func LinkYield(req YieldRequest) (YieldResult, error) {
 // ctx.Err() promptly and discards the partial accumulation. A run
 // that completes under a live context is bit-identical to LinkYield.
 func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
+	return Surfaced{Cache: surfaceCache.Load()}.LinkYieldCtx(ctx, req)
+}
+
+// LinkYieldCtx runs the full estimation path against the bound cache;
+// see the package-level LinkYieldCtx.
+func (sf Surfaced) LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 	p, err := req.plan()
 	if err != nil {
 		return YieldResult{}, err
@@ -350,7 +356,7 @@ func LinkYieldCtx(ctx context.Context, req YieldRequest) (YieldResult, error) {
 	// conservative band meets the request's tolerance. Sizing requests
 	// (YieldTarget) always sample — the chosen design depends on the
 	// target, which a memoized curve cannot re-decide.
-	cache := surfaceCache.Load()
+	cache := sf.Cache
 	consult := cache != nil && !req.NoSurface
 	if consult && p.yt == nil {
 		if res, ok := p.surfaceAnswer(cache); ok {
@@ -550,6 +556,12 @@ func LinkYieldBatch(req YieldBatchRequest) (YieldBatchResult, error) {
 // LinkYieldBatchCtx is LinkYieldBatch under a context, with the same
 // batch-boundary cancellation contract as LinkYieldCtx.
 func LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchResult, error) {
+	return Surfaced{Cache: surfaceCache.Load()}.LinkYieldBatchCtx(ctx, req)
+}
+
+// LinkYieldBatchCtx runs the batch estimation path against the bound
+// cache; see the package-level LinkYieldBatchCtx.
+func (sf Surfaced) LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchResult, error) {
 	if err := req.validateBatch(); err != nil {
 		return YieldBatchResult{}, err
 	}
@@ -565,7 +577,7 @@ func LinkYieldBatchCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchRe
 	// Warm-surface consult, all-or-nothing: a batch is answered from
 	// the cache only when every candidate is warm, so cached and
 	// freshly sampled estimates never mix in one response.
-	cache := surfaceCache.Load()
+	cache := sf.Cache
 	consult := cache != nil && !req.NoSurface
 	if consult {
 		if out, ok := p.surfaceBatchAnswer(cache, req.Candidates, noms); ok {

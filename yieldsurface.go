@@ -2,9 +2,12 @@ package predint
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/buffering"
+	"repro/internal/estimator"
 	"repro/internal/surface"
 	"repro/internal/variation"
 )
@@ -55,6 +58,59 @@ func SurfaceEnabled() bool { return surfaceCache.Load() != nil }
 
 // ActiveSurface returns the installed cache, or nil while disabled.
 func ActiveSurface() *surface.Cache { return surfaceCache.Load() }
+
+// Surfaced binds the yield facade to an explicit surface cache instead
+// of the process-wide one: each method behaves exactly like its
+// package-level namesake with Cache installed (or, with a nil Cache,
+// like the surface-off path). Multi-replica deployments need this —
+// every predintd replica owns its own cache so invalidation and
+// version counters are per-replica state the coordinator can compare,
+// not hidden process globals. The package-level functions delegate
+// here with whatever EnableSurface installed.
+type Surfaced struct {
+	Cache *surface.Cache
+}
+
+// Version reports the bound cache's invalidation version (0 with no
+// cache). Two replicas may only exchange surface answers when their
+// versions match — see the coordinator's shard protocol.
+func (sf Surfaced) Version() uint64 {
+	if sf.Cache == nil {
+		return 0
+	}
+	return sf.Cache.Version()
+}
+
+// RecordYield feeds a completed full-sampling yield result back into
+// the bound cache, exactly as the local estimation path would have: the
+// coordinator calls it on the replica that owns the request's link
+// class, so repeated traffic warms a stable shard. Degraded, surface,
+// and resized results are refused — only a fresh Monte Carlo estimate
+// of the nominal design is a valid curve point plus design memo.
+func (sf Surfaced) RecordYield(req YieldRequest, res YieldResult) error {
+	if sf.Cache == nil {
+		return errors.New("predint: RecordYield needs a bound surface cache")
+	}
+	if res.Degraded || res.Source != SourceMC {
+		return fmt.Errorf("predint: refusing to record a %q result — only full Monte Carlo estimates enter the surface", res.Source)
+	}
+	p, err := req.plan()
+	if err != nil {
+		return err
+	}
+	est := variation.Estimate{
+		FailProb:          res.FailProb,
+		Yield:             res.Yield,
+		StdErr:            res.StdErr,
+		Samples:           res.Samples,
+		Shifted:           res.ImportanceSampled,
+		Estimator:         estimator.Kind(res.Estimator),
+		VarianceReduction: res.VarianceReduction,
+	}
+	des := buffering.Design{Size: res.RepeaterSize, N: res.Repeaters, Delay: res.NominalDelay}
+	p.surfaceRecord(sf.Cache, des, est, p.yt == nil && !res.Resized)
+	return nil
+}
 
 // surfaceKey derives the link-class key of a validated plan: everything
 // that changes the estimated quantity is in it — the technology (by
@@ -156,18 +212,23 @@ func LinkYieldSurface(req YieldRequest) (YieldResult, bool, error) {
 // LinkYieldSurfaceCtx is LinkYieldSurface under a context; only an
 // up-front check applies, as a probe never samples.
 func LinkYieldSurfaceCtx(ctx context.Context, req YieldRequest) (YieldResult, bool, error) {
+	return Surfaced{Cache: surfaceCache.Load()}.LinkYieldSurfaceCtx(ctx, req)
+}
+
+// LinkYieldSurfaceCtx probes the bound cache; see the package-level
+// LinkYieldSurface for the miss conditions.
+func (sf Surfaced) LinkYieldSurfaceCtx(ctx context.Context, req YieldRequest) (YieldResult, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return YieldResult{}, false, err
 	}
-	c := surfaceCache.Load()
-	if c == nil || req.NoSurface || req.YieldTarget != nil {
+	if sf.Cache == nil || req.NoSurface || req.YieldTarget != nil {
 		return YieldResult{}, false, nil
 	}
 	p, err := req.plan()
 	if err != nil {
 		return YieldResult{}, false, err
 	}
-	res, ok := p.surfaceAnswer(c)
+	res, ok := p.surfaceAnswer(sf.Cache)
 	return res, ok, nil
 }
 
@@ -182,10 +243,16 @@ func LinkYieldBatchSurface(req YieldBatchRequest) (YieldBatchResult, bool, error
 
 // LinkYieldBatchSurfaceCtx is LinkYieldBatchSurface under a context.
 func LinkYieldBatchSurfaceCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchResult, bool, error) {
+	return Surfaced{Cache: surfaceCache.Load()}.LinkYieldBatchSurfaceCtx(ctx, req)
+}
+
+// LinkYieldBatchSurfaceCtx probes the bound cache for a whole batch,
+// all-or-nothing; see the package-level LinkYieldBatchSurface.
+func (sf Surfaced) LinkYieldBatchSurfaceCtx(ctx context.Context, req YieldBatchRequest) (YieldBatchResult, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return YieldBatchResult{}, false, err
 	}
-	cache := surfaceCache.Load()
+	cache := sf.Cache
 	if cache == nil || req.NoSurface {
 		return YieldBatchResult{}, false, nil
 	}
