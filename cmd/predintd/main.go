@@ -33,13 +33,28 @@
 // and records route to the replica owning the request's link class
 // under rendezvous hashing, guarded by per-replica surface versions.
 //
+// The worker set is managed, not static: a background prober hits each
+// worker's /readyz every -worker-probe-interval, ejecting a worker
+// after -worker-eject-after consecutive failures and readmitting it
+// after -worker-readmit-after consecutive successes; every worker
+// carries a circuit breaker consulted before dispatch; and with
+// -hedge-after > 0 a straggling shard is hedged onto a second healthy
+// replica, first valid answer winning. GET /v1/internal/workers
+// snapshots per-worker state, breaker, probe streaks, and latency;
+// GET /healthz is pure process liveness while GET /readyz additionally
+// reflects draining and (in coordinator mode) first-probe readiness.
+//
 // Usage:
 //
 //	predintd [-addr localhost:8080] [-inflight 8] [-queue 64]
 //	         [-request-timeout 30s] [-drain-timeout 30s]
 //	         [-max-yield-cost 65536] [-retry-after 1s] [-no-surface]
+//	         [-max-body 1048576]
 //	         [-workers host:port,...] [-shard-samples 0]
 //	         [-shard-timeout 10s] [-shard-attempts 0]
+//	         [-worker-probe-interval 2s] [-worker-probe-timeout 1s]
+//	         [-worker-eject-after 3] [-worker-readmit-after 2]
+//	         [-hedge-after 0]
 package main
 
 import (
@@ -70,10 +85,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxYieldCostFlag := fs.Int("max-yield-cost", 65536, "largest Monte Carlo sample budget served in full; costlier /v1/yield requests degrade to the nominal estimate")
 	retryAfterFlag := fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 	noSurfaceFlag := fs.Bool("no-surface", false, "disable the yield-response-surface cache; every /v1/yield query runs the full pipeline")
+	maxBodyFlag := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes; bigger bodies are refused with 413")
 	workersFlag := fs.String("workers", "", "comma-separated worker replica addresses; enables coordinator mode for /v1/yield")
 	shardSamplesFlag := fs.Int("shard-samples", 0, "samples per shard in coordinator mode; 0 sizes shards to span roughly two waves across the worker set")
 	shardTimeoutFlag := fs.Duration("shard-timeout", 10*time.Second, "per-shard RPC timeout in coordinator mode")
 	shardAttemptsFlag := fs.Int("shard-attempts", 0, "replicas a failing shard is retried against before local fallback; 0 means one attempt per worker")
+	probeIntervalFlag := fs.Duration("worker-probe-interval", 2*time.Second, "health-probe cadence against each worker in coordinator mode; 0 disables probing")
+	probeTimeoutFlag := fs.Duration("worker-probe-timeout", time.Second, "per-probe timeout")
+	ejectAfterFlag := fs.Int("worker-eject-after", 3, "consecutive probe failures before a worker is ejected from dispatch")
+	readmitAfterFlag := fs.Int("worker-readmit-after", 2, "consecutive probe successes before an ejected worker is readmitted")
+	hedgeAfterFlag := fs.Duration("hedge-after", 0, "delay before a straggling shard is hedged onto a second healthy worker; 0 disables hedging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,11 +107,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *maxYieldCostFlag < 1 {
 		return fmt.Errorf("predintd: -max-yield-cost %d, need at least 1", *maxYieldCostFlag)
 	}
+	if *maxBodyFlag < 1 {
+		return fmt.Errorf("predintd: -max-body %d, need at least 1", *maxBodyFlag)
+	}
 
 	ctx, cancel := cliutil.Context(0)
 	defer cancel()
 
 	s := newServer(*inflightFlag, *queueFlag, *maxYieldCostFlag, *reqTimeoutFlag, *retryAfterFlag)
+	s.maxBody = *maxBodyFlag
 
 	// The warm-start surface is on by default in the daemon — it is
 	// exactly the repeated-traffic shape the cache exists for — and a
@@ -103,15 +128,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *workersFlag != "" {
 		coord, err := coordinator.New(coordinator.Config{
-			Workers:      strings.Split(*workersFlag, ","),
-			Client:       &http.Client{Timeout: *shardTimeoutFlag},
-			ShardSamples: *shardSamplesFlag,
-			MaxAttempts:  *shardAttemptsFlag,
-			Surface:      s.surf,
+			Workers:       strings.Split(*workersFlag, ","),
+			Client:        &http.Client{Timeout: *shardTimeoutFlag},
+			ShardSamples:  *shardSamplesFlag,
+			MaxAttempts:   *shardAttemptsFlag,
+			Surface:       s.surf,
+			ProbeInterval: *probeIntervalFlag,
+			ProbeTimeout:  *probeTimeoutFlag,
+			EjectAfter:    *ejectAfterFlag,
+			ReadmitAfter:  *readmitAfterFlag,
+			HedgeAfter:    *hedgeAfterFlag,
 		})
 		if err != nil {
 			return err
 		}
+		defer coord.Close()
 		s.coord = coord
 	}
 

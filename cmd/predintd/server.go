@@ -65,6 +65,7 @@ type server struct {
 	queued       atomic.Int64  // admitted requests not yet holding a slot
 	queueDepth   int64         // waiting requests beyond which we shed
 	maxYieldCost int           // largest Monte Carlo budget served in full
+	maxBody      int64         // request-body byte cap; overflow is a 413
 	reqTimeout   time.Duration // server-side per-request deadline
 	retryAfter   time.Duration // Retry-After hint on shed responses
 	draining     atomic.Bool   // set on SIGTERM before the listener drains
@@ -88,6 +89,7 @@ func newServer(inflight, queue, maxYieldCost int, reqTimeout, retryAfter time.Du
 		inflight:     make(chan struct{}, inflight),
 		queueDepth:   int64(queue),
 		maxYieldCost: maxYieldCost,
+		maxBody:      1 << 20,
 		reqTimeout:   reqTimeout,
 		retryAfter:   retryAfter,
 		shardFault:   "predintd.shard",
@@ -113,7 +115,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/yield/batch", s.admit(s.handleYieldBatch))
 	mux.HandleFunc("POST /v1/noc", s.admit(s.handleNoC))
 	mux.HandleFunc("POST /v1/internal/shard", s.admit(s.handleShard))
+	mux.HandleFunc("GET /v1/internal/workers", s.handleWorkers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", obs.Handler())
 	return mux
 }
@@ -230,7 +234,12 @@ func (s *server) shedWith(w http.ResponseWriter, status int, err error) {
 
 func statusFor(err error) int {
 	var pe *pool.PanicError
+	var mbe *http.MaxBytesError
 	switch {
+	case errors.As(err, &mbe):
+		// The body cap tripped: the client sent too much, and should
+		// not retry the same payload.
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -260,11 +269,17 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 // decodeBody decodes a JSON request body strictly: unknown fields and
-// trailing garbage are 400s, and bodies are capped at 1 MiB.
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+// trailing garbage are 400s, and bodies over the -max-body cap are
+// 413s (http.MaxBytesReader stops reading at the cap, so a hostile or
+// confused peer cannot balloon memory by streaming).
+func (s *server) decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("predintd: request body over the %d-byte cap: %w", s.maxBody, err)
+		}
 		return fmt.Errorf("predintd: bad request body: %w", err)
 	}
 	if dec.More() {
@@ -308,7 +323,7 @@ func (s *server) handleLink(ctx context.Context, r *http.Request) (any, error) {
 		return nil, err
 	}
 	var dto linkRequestDTO
-	if err := decodeBody(nil, r, &dto); err != nil {
+	if err := s.decodeBody(r, &dto); err != nil {
 		return nil, err
 	}
 	res, err := predint.DesignLinkCtx(ctx, predint.LinkRequest{
@@ -443,7 +458,7 @@ func (s *server) handleYield(ctx context.Context, r *http.Request) (any, error) 
 		return nil, err
 	}
 	var dto yieldRequestDTO
-	if err := decodeBody(nil, r, &dto); err != nil {
+	if err := s.decodeBody(r, &dto); err != nil {
 		return nil, err
 	}
 	req := dto.yieldRequest()
@@ -521,7 +536,7 @@ func (s *server) handleYieldBatch(ctx context.Context, r *http.Request) (any, er
 		return nil, err
 	}
 	var dto yieldBatchRequestDTO
-	if err := decodeBody(nil, r, &dto); err != nil {
+	if err := s.decodeBody(r, &dto); err != nil {
 		return nil, err
 	}
 	req := predint.YieldBatchRequest{
@@ -585,7 +600,7 @@ func (s *server) handleShard(ctx context.Context, r *http.Request) (any, error) 
 		return nil, err
 	}
 	var sr coordinator.ShardRequest
-	if err := decodeBody(nil, r, &sr); err != nil {
+	if err := s.decodeBody(r, &sr); err != nil {
 		return nil, err
 	}
 	return coordinator.ExecuteShard(ctx, s.surf, sr)
@@ -616,7 +631,7 @@ func (s *server) handleNoC(ctx context.Context, r *http.Request) (any, error) {
 		return nil, err
 	}
 	var dto nocRequestDTO
-	if err := decodeBody(nil, r, &dto); err != nil {
+	if err := s.decodeBody(r, &dto); err != nil {
 		return nil, err
 	}
 	res, err := predint.SynthesizeNoCCtx(ctx, predint.NoCRequest{
@@ -640,12 +655,38 @@ func (s *server) handleNoC(ctx context.Context, r *http.Request) (any, error) {
 	}, nil
 }
 
-// ---- /healthz ----
+// ---- /healthz, /readyz, /v1/internal/workers ----
 
+// handleHealth is pure process liveness: as long as the process can
+// answer HTTP it is alive, even while draining. Readiness — should
+// this replica receive traffic — lives on /readyz.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady reports whether the replica should receive traffic: 503
+// while draining, and — in coordinator mode with the prober on — 503
+// until the first successful worker probe, so a load balancer never
+// routes to a coordinator that has not yet seen a live worker.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if s.coord != nil && !s.coord.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "waiting for first worker probe"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleWorkers is the membership admin snapshot: per-worker state,
+// breaker, probe streaks, backoff, and RPC latency. Served outside
+// admission control so it stays reachable while the data plane sheds.
+func (s *server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.coord == nil {
+		writeErr(w, http.StatusNotFound, errors.New("predintd: not running in coordinator mode"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": s.coord.WorkersStatus()})
 }

@@ -194,30 +194,75 @@ func TestYieldBatchDegradesOverCostCeiling(t *testing.T) {
 	}
 }
 
-func TestHealthz(t *testing.T) {
+// TestHealthzReadyz pins the liveness/readiness split: /healthz is
+// pure process liveness and stays 200 even while draining — only
+// /readyz (what load balancers should watch) flips to 503, so a drain
+// stops traffic without the orchestrator killing a healthy process.
+func TestHealthzReadyz(t *testing.T) {
 	s, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthy %s: status %d", path, resp.StatusCode)
+		}
+	}
+	s.draining.Store(true)
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthy: status %d", resp.StatusCode)
+		t.Fatalf("draining liveness: status %d, want 200", resp.StatusCode)
 	}
-	s.draining.Store(true)
-	resp, err = http.Get(ts.URL + "/healthz")
+	resp, err = http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
-		t.Fatalf("draining: status %d, body %s", resp.StatusCode, body)
+		t.Fatalf("draining readiness: status %d, body %s", resp.StatusCode, body)
 	}
 	// Admission refuses outright while draining.
 	code, hdr, _ := postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
 	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
 		t.Fatalf("draining admission: status %d, Retry-After %q", code, hdr.Get("Retry-After"))
+	}
+}
+
+// TestBodyCap413 pins the request-body bound on the public endpoints:
+// a body over -max-body is refused with 413 before it is buffered.
+func TestBodyCap413(t *testing.T) {
+	s, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	s.maxBody = 4096
+	huge := `{"tech": "90nm", "length_mm": 5, "pad": "` + strings.Repeat("x", 8192) + `"}`
+	code, _, body := postJSON(t, ts.URL+"/v1/link", huge)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, body %s, want 413", code, body)
+	}
+	// At the cap boundary normal requests still work.
+	code, _, body = postJSON(t, ts.URL+"/v1/link", `{"tech": "90nm", "length_mm": 5}`)
+	if code != http.StatusOK {
+		t.Fatalf("normal body after cap change: status %d, body %s", code, body)
+	}
+}
+
+// TestWorkersEndpointWithoutCoordinator: the membership admin endpoint
+// 404s when the replica is not running in coordinator mode.
+func TestWorkersEndpointWithoutCoordinator(t *testing.T) {
+	_, ts := testServer(t, 4, 16, 1<<20, 10*time.Second)
+	resp, err := http.Get(ts.URL + "/v1/internal/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("workers without coordinator: status %d, want 404", resp.StatusCode)
 	}
 }
 

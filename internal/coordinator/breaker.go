@@ -1,0 +1,134 @@
+package coordinator
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (traffic
+// flows), open (traffic refused), half-open (one trial request probes
+// whether the worker recovered).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-worker circuit breaker consulted before every shard
+// dispatch and surface probe. It opens after threshold consecutive
+// request failures, refuses traffic for cooldown, then admits exactly
+// one trial request (half-open): a success closes the circuit, a
+// failure re-opens it for another cooldown. Keeping the trial to a
+// single in-flight request means a still-dead worker costs one RPC per
+// cooldown instead of a retry storm.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures observed while closed
+	openedAt time.Time // when the circuit last opened
+	trialing bool      // the half-open trial slot is claimed
+}
+
+// allow reports whether a request may be sent now. An open breaker
+// past its cooldown transitions to half-open and grants the caller the
+// single trial slot; the caller must resolve it with success or
+// failure.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			metBreakerRejections.Inc()
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trialing = true
+		metBreakerHalfOpens.Inc()
+		return true
+	case breakerHalfOpen:
+		if b.trialing {
+			metBreakerRejections.Inc()
+			return false
+		}
+		b.trialing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// success records a completed request: any state closes.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		metBreakerCloses.Inc()
+	}
+	b.state = breakerClosed
+	b.fails = 0
+	b.trialing = false
+}
+
+// failure records a failed request: a closed breaker opens at the
+// consecutive-failure threshold, a half-open trial failure re-opens
+// immediately. Failures arriving while already open (stragglers from
+// before the trip) do not extend the cooldown.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	switch b.state {
+	case breakerClosed:
+		if b.fails >= b.threshold {
+			b.open(now)
+		}
+	case breakerHalfOpen:
+		b.open(now)
+	}
+}
+
+// trip forces the circuit open regardless of history — the
+// "coordinator.breaker" fault point's lever.
+func (b *breaker) trip(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		b.open(now)
+	}
+}
+
+// open transitions to the open state; callers hold b.mu.
+func (b *breaker) open(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.trialing = false
+	metBreakerOpens.Inc()
+}
+
+// current returns the state for snapshots.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

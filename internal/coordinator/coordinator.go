@@ -8,30 +8,31 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	predint "repro"
 	"repro/internal/faultinject"
-	"repro/internal/obs"
 	"repro/internal/surface"
 	"repro/internal/variation"
 )
 
 // Config configures a Coordinator.
 type Config struct {
-	// Workers lists the replica base addresses ("host:port" or full
-	// URLs). Required, non-empty. Order matters only for metric
-	// naming; ownership is rendezvous-hashed, so it is stable under
-	// reordering.
+	// Workers lists the seed replica base addresses ("host:port" or
+	// full URLs). Required, non-empty. The set is dynamic afterwards:
+	// the health prober evicts and readmits members, and
+	// AddWorker/RemoveWorker change the roster at runtime.
 	Workers []string
 	// Client is the HTTP client for shard RPCs; nil gets a 10 s
 	// timeout default.
 	Client *http.Client
 	// ShardSamples is the per-shard sample count; 0 sizes shards so
-	// the budget spans roughly two waves across the worker set
+	// the budget spans roughly two waves across the ready worker set
 	// (rounded up to a batch multiple, so the merged fold's stopping
 	// checks line up with shard boundaries).
 	ShardSamples int
@@ -43,69 +44,287 @@ type Config struct {
 	// surface-less). Completed estimates are recorded here as well as
 	// at the owning replica, and its version guards cache exchanges.
 	Surface *surface.Cache
+
+	// ProbeInterval is the background health-probe period; 0 disables
+	// the prober (members are then only demoted by their breakers).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe; default 1 s.
+	ProbeTimeout time.Duration
+	// ProbePath is the worker readiness endpoint probed; default
+	// "/readyz" (predintd's readiness split: /healthz stays pure
+	// process liveness and keeps answering during a drain).
+	ProbePath string
+	// EjectAfter is the consecutive-probe-failure count that evicts a
+	// member from dispatch; default 3.
+	EjectAfter int
+	// ReadmitAfter is the consecutive-probe-success count that
+	// readmits an evicted member; default 2.
+	ReadmitAfter int
+	// BreakerThreshold is the consecutive request-failure count that
+	// opens a member's circuit breaker; default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic
+	// before admitting a half-open trial request; default 5 s.
+	BreakerCooldown time.Duration
+	// HedgeAfter re-issues a straggling shard on a second healthy
+	// replica after this delay; the first valid response wins and the
+	// loser is cancelled. 0 disables hedging.
+	HedgeAfter time.Duration
 }
 
-// Coordinator fans yield requests out over a static worker set. Safe
-// for concurrent use.
+// Coordinator fans yield requests out over a managed worker set. Safe
+// for concurrent use. Close stops the background health prober.
 type Coordinator struct {
-	workers      []string
-	client       *http.Client
-	shardSamples int
-	maxAttempts  int
-	surf         *surface.Cache
+	client           *http.Client
+	shardSamples     int
+	maxAttempts      int
+	hedgeAfter       time.Duration
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	probePath        string
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	surf             *surface.Cache
+	mem              *membership
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{} // closed when the prober exits; nil if never started
 }
 
-// New validates the config and builds a Coordinator.
+// New validates the config and builds a Coordinator, starting the
+// background health prober when ProbeInterval is positive.
 func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("coordinator: need at least one worker")
-	}
-	workers := make([]string, len(cfg.Workers))
-	for i, w := range cfg.Workers {
-		w = strings.TrimSpace(w)
-		if w == "" {
-			return nil, fmt.Errorf("coordinator: empty worker address at index %d", i)
-		}
-		if !strings.Contains(w, "://") {
-			w = "http://" + w
-		}
-		workers[i] = strings.TrimRight(w, "/")
 	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
-	attempts := cfg.MaxAttempts
-	if attempts <= 0 {
-		attempts = len(workers)
+	c := &Coordinator{
+		client:           client,
+		shardSamples:     cfg.ShardSamples,
+		maxAttempts:      cfg.MaxAttempts,
+		hedgeAfter:       cfg.HedgeAfter,
+		probeInterval:    cfg.ProbeInterval,
+		probeTimeout:     cfg.ProbeTimeout,
+		probePath:        cfg.ProbePath,
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerCooldown:  cfg.BreakerCooldown,
+		surf:             cfg.Surface,
+		stop:             make(chan struct{}),
 	}
-	return &Coordinator{
-		workers:      workers,
-		client:       client,
-		shardSamples: cfg.ShardSamples,
-		maxAttempts:  attempts,
-		surf:         cfg.Surface,
-	}, nil
-}
-
-// Workers returns the normalized worker URLs.
-func (c *Coordinator) Workers() []string { return append([]string(nil), c.workers...) }
-
-// ownerIndex rendezvous-hashes a link class onto a worker: each worker
-// scores mix64(classHash ^ fnv(workerURL)) and the highest score owns
-// the class. Every replica computes the same owner for the same class
-// and worker set, with minimal reshuffling when the set changes.
-func (c *Coordinator) ownerIndex(classHash uint64) int {
-	best, bestScore := 0, uint64(0)
-	for i, w := range c.workers {
-		h := fnv.New64a()
-		io.WriteString(h, w)
-		score := mix64(classHash ^ h.Sum64())
-		if i == 0 || score > bestScore {
-			best, bestScore = i, score
+	if c.probeTimeout <= 0 {
+		c.probeTimeout = time.Second
+	}
+	if c.probePath == "" {
+		c.probePath = "/readyz"
+	}
+	if c.breakerThreshold <= 0 {
+		c.breakerThreshold = 3
+	}
+	if c.breakerCooldown <= 0 {
+		c.breakerCooldown = 5 * time.Second
+	}
+	c.mem = &membership{
+		ejectAfter:   cfg.EjectAfter,
+		readmitAfter: cfg.ReadmitAfter,
+		members:      map[string]*member{},
+	}
+	if c.mem.ejectAfter <= 0 {
+		c.mem.ejectAfter = 3
+	}
+	if c.mem.readmitAfter <= 0 {
+		c.mem.readmitAfter = 2
+	}
+	for i, w := range cfg.Workers {
+		norm, err := normalizeWorker(w)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: worker at index %d: %w", i, err)
+		}
+		if !c.mem.add(newMember(norm, c.breakerThreshold, c.breakerCooldown)) {
+			return nil, fmt.Errorf("coordinator: duplicate worker %s", norm)
 		}
 	}
-	return best
+	if c.probeInterval > 0 {
+		c.done = make(chan struct{})
+		go c.probeLoop()
+	}
+	return c, nil
+}
+
+// normalizeWorker canonicalizes one worker address.
+func normalizeWorker(w string) (string, error) {
+	w = strings.TrimSpace(w)
+	if w == "" {
+		return "", errors.New("empty worker address")
+	}
+	if !strings.Contains(w, "://") {
+		w = "http://" + w
+	}
+	return strings.TrimRight(w, "/"), nil
+}
+
+// Close stops the background health prober and waits for it to exit.
+// In-flight Estimate calls are unaffected.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+		if c.done != nil {
+			<-c.done
+		}
+	})
+}
+
+// Workers returns the current members' normalized URLs in stable join
+// order, ejected ones included.
+func (c *Coordinator) Workers() []string {
+	mems := c.mem.snapshot()
+	out := make([]string, len(mems))
+	for i, m := range mems {
+		out[i] = m.addr
+	}
+	return out
+}
+
+// AddWorker joins a replica to the live set. It becomes eligible for
+// dispatch immediately and is health-probed on the next cycle.
+func (c *Coordinator) AddWorker(addr string) error {
+	norm, err := normalizeWorker(addr)
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	if !c.mem.add(newMember(norm, c.breakerThreshold, c.breakerCooldown)) {
+		return fmt.Errorf("coordinator: worker %s is already a member", norm)
+	}
+	return nil
+}
+
+// RemoveWorker leaves a replica from the live set. Outstanding
+// requests to it complete; no new work is dispatched.
+func (c *Coordinator) RemoveWorker(addr string) error {
+	norm, err := normalizeWorker(addr)
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	if !c.mem.remove(norm) {
+		return fmt.Errorf("coordinator: worker %s is not a member", norm)
+	}
+	return nil
+}
+
+// Ready reports whether the coordinator is fit to serve: always with
+// the prober disabled, otherwise only after the first successful
+// worker probe. predintd's /readyz gates on this, so a front replica
+// is not routed traffic before it can reach its fleet.
+func (c *Coordinator) Ready() bool {
+	if c.probeInterval <= 0 {
+		return true
+	}
+	return c.mem.probed.Load()
+}
+
+// WorkersStatus snapshots every member's state for the admin endpoint.
+func (c *Coordinator) WorkersStatus() []WorkerStatus {
+	now := time.Now()
+	mems := c.mem.snapshot()
+	out := make([]WorkerStatus, len(mems))
+	for i, m := range mems {
+		out[i] = m.status(now)
+	}
+	return out
+}
+
+// probeLoop is the background health prober: every interval it probes
+// each member's readiness endpoint, feeding consecutive-failure
+// eviction and consecutive-success readmission. The first pass runs
+// immediately so Ready() does not wait a full interval after startup.
+func (c *Coordinator) probeLoop() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.probeInterval)
+	defer ticker.Stop()
+	c.probeAll()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	for _, m := range c.mem.snapshot() {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		c.probeOne(m)
+	}
+}
+
+// probeOne performs one health probe. The "coordinator.probe" fault
+// point fails the probe before any network traffic, so tests can drive
+// eviction without a dead server.
+func (c *Coordinator) probeOne(m *member) {
+	metProbes.Inc()
+	if err := faultinject.Hit("coordinator.probe"); err != nil {
+		c.mem.probeFailure(m, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.addr+c.probePath, nil)
+	if err != nil {
+		c.mem.probeFailure(m, err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.mem.probeFailure(m, err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.mem.probeFailure(m, fmt.Errorf("probe %s%s: status %d", m.addr, c.probePath, resp.StatusCode))
+		return
+	}
+	c.mem.probeSuccess(m)
+}
+
+// owner rendezvous-hashes a link class onto the non-ejected member
+// with the highest score mix64(classHash ^ fnv(addr)). Scoring by
+// address keeps ownership a pure function of (class, live set): every
+// replica computes the same owner, reordering the roster changes
+// nothing, and a join or leave moves only the ~1/N classes whose best
+// address changed. Falls back to the full set when everything is
+// ejected, so routing stays defined while the fleet recovers.
+func (c *Coordinator) owner(classHash uint64) *member {
+	mems := c.mem.snapshot()
+	pick := func(includeEjected bool) *member {
+		var best *member
+		var bestScore uint64
+		for _, m := range mems {
+			if !includeEjected && m.isEjected() {
+				continue
+			}
+			h := fnv.New64a()
+			io.WriteString(h, m.addr)
+			score := mix64(classHash ^ h.Sum64())
+			if best == nil || score > bestScore {
+				best, bestScore = m, score
+			}
+		}
+		return best
+	}
+	if m := pick(false); m != nil {
+		return m
+	}
+	return pick(true)
 }
 
 // mix64 is the splitmix64 finalizer — a cheap, well-distributed bijection.
@@ -133,9 +352,9 @@ func (c *Coordinator) Estimate(ctx context.Context, req predint.YieldRequest) (p
 		return predint.YieldResult{}, err
 	}
 	metRequestsServed.Inc()
-	owner := c.ownerIndex(plan.ClassHash())
+	owner := c.owner(plan.ClassHash())
 
-	if !req.NoSurface {
+	if !req.NoSurface && owner != nil {
 		if res, ok := c.probeOwner(ctx, owner, req); ok {
 			metProbeHits.Inc()
 			return res, nil
@@ -149,7 +368,9 @@ func (c *Coordinator) Estimate(ctx context.Context, req predint.YieldRequest) (p
 	res := plan.Result(est)
 
 	if !req.NoSurface {
-		c.recordOwner(ctx, owner, req, res)
+		if owner != nil {
+			c.recordOwner(ctx, owner, req, res)
+		}
 		if c.surf != nil {
 			// Also warm this replica's own cache: the owner serves
 			// repeated traffic for the class, but a local hit is
@@ -165,9 +386,14 @@ func errorsIsNotShardable(err error) bool {
 }
 
 // probeOwner asks the owning replica's warm surface; any transport
-// error is a miss (the sampling path is always available).
-func (c *Coordinator) probeOwner(ctx context.Context, owner int, req predint.YieldRequest) (predint.YieldResult, bool) {
-	resp, err := c.call(ctx, owner, ShardRequest{
+// error, or an owner behind an open breaker, is a miss (the sampling
+// path is always available).
+func (c *Coordinator) probeOwner(ctx context.Context, owner *member, req predint.YieldRequest) (predint.YieldResult, bool) {
+	if !owner.eligible(time.Now()) {
+		metOwnerProbeMisses.Inc()
+		return predint.YieldResult{}, false
+	}
+	resp, err := c.callMember(ctx, owner, ShardRequest{
 		Op:             OpProbe,
 		Req:            req,
 		SurfaceVersion: predint.Surfaced{Cache: c.surf}.Version(),
@@ -181,8 +407,11 @@ func (c *Coordinator) probeOwner(ctx context.Context, owner int, req predint.Yie
 
 // recordOwner feeds a completed estimate to the owning replica's
 // surface. Best-effort: a failed record only costs a future probe hit.
-func (c *Coordinator) recordOwner(ctx context.Context, owner int, req predint.YieldRequest, res predint.YieldResult) {
-	_, _ = c.call(ctx, owner, ShardRequest{
+func (c *Coordinator) recordOwner(ctx context.Context, owner *member, req predint.YieldRequest, res predint.YieldResult) {
+	if !owner.eligible(time.Now()) {
+		return
+	}
+	_, _ = c.callMember(ctx, owner, ShardRequest{
 		Op:             OpRecord,
 		Req:            req,
 		SurfaceVersion: predint.Surfaced{Cache: c.surf}.Version(),
@@ -203,15 +432,21 @@ type shardResult struct {
 	err     error
 }
 
-// sample fans the plan's [0, Samples) range out in waves of
-// len(workers) shards. After every completed shard the contiguous
+// sample fans the plan's [0, Samples) range out in waves sized to the
+// ready member count. After every completed shard the contiguous
 // merged prefix is re-folded; when the global stopping rule fires
 // inside it, outstanding shards are cancelled — the stopping decision
 // stays global and index-ordered even though evaluation is not.
+// Membership churn mid-run only moves where shards execute (each shard
+// is a pure function of the request and its index range), so the
+// merged estimate is unchanged by any join, leave, or eviction.
 func (c *Coordinator) sample(ctx context.Context, plan *predint.YieldShardPlan, req predint.YieldRequest) (variation.Estimate, error) {
 	total := plan.Samples()
 	batch := plan.Batch()
-	w := len(c.workers)
+	w := c.mem.readyCount()
+	if w < 1 {
+		w = 1
+	}
 	size := c.shardSamples
 	if size <= 0 {
 		size = (total + 2*w - 1) / (2 * w)
@@ -316,29 +551,93 @@ func (c *Coordinator) sample(ctx context.Context, plan *predint.YieldShardPlan, 
 	return est, nil
 }
 
-// fetchShard obtains one shard: bounded retry across the worker set
-// starting at a shard-dependent replica (spreading load), then — when
-// every attempt failed — degradation to local execution, so a dead
-// worker set degrades the coordinator to a slower single replica
-// rather than an outage.
+// pick selects the next eligible member round-robin from a
+// shard-dependent start offset (spreading load), skipping ejected
+// members, open breakers, Retry-After windows, and already-tried
+// addresses. The "coordinator.breaker" fault point force-trips a
+// candidate's breaker in passing, so tests can stage trips without
+// manufacturing real failures.
+func (c *Coordinator) pick(start int, exclude map[string]bool) *member {
+	mems := c.mem.snapshot()
+	n := len(mems)
+	if n == 0 {
+		return nil
+	}
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		m := mems[((start%n)+n+i)%n]
+		if exclude != nil && exclude[m.addr] {
+			continue
+		}
+		if err := faultinject.Hit("coordinator.breaker"); err != nil {
+			m.br.trip(now)
+			continue
+		}
+		if m.eligible(now) {
+			return m
+		}
+	}
+	return nil
+}
+
+// nextEligibleWait reports how long until the soonest Retry-After
+// window of a non-ejected member expires — the sleep that lets a
+// drained-then-back replica be reused instead of failing the shard
+// when it is the only capacity left.
+func (c *Coordinator) nextEligibleWait(now time.Time) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, m := range c.mem.snapshot() {
+		m.mu.Lock()
+		if !m.ejected && m.retryAfterUntil.After(now) {
+			if d := m.retryAfterUntil.Sub(now); !found || d < best {
+				best, found = d, true
+			}
+		}
+		m.mu.Unlock()
+	}
+	return best, found
+}
+
+// fetchShard obtains one shard: bounded retry across the eligible
+// member set (hedging stragglers when configured), a bounded sleep
+// when every replica is inside a Retry-After window, then — when the
+// set is exhausted — degradation to local execution, so a dead worker
+// set degrades the coordinator to a slower single replica rather than
+// an outage.
 func (c *Coordinator) fetchShard(ctx context.Context, plan *predint.YieldShardPlan, req predint.YieldRequest, s shardRange) (variation.Partial, bool, error) {
-	for a := 0; a < c.maxAttempts; a++ {
+	sr := ShardRequest{Op: OpSample, Req: req, Start: s.start, Count: s.count}
+	attempts := c.maxAttempts
+	if attempts <= 0 {
+		attempts = c.mem.size()
+	}
+	tried := map[string]bool{}
+	for a := 0; a < attempts; a++ {
 		if ctx.Err() != nil {
 			return variation.Partial{}, false, ctx.Err()
 		}
-		wi := (s.idx + a) % len(c.workers)
-		resp, err := c.call(ctx, wi, ShardRequest{
-			Op:    OpSample,
-			Req:   req,
-			Start: s.start,
-			Count: s.count,
-		})
+		m := c.pick(s.idx+a, tried)
+		if m == nil {
+			// Every replica is ejected, breaker-open, or backing off a
+			// 503's Retry-After. When a backoff window is the blocker,
+			// honor it: sleep min(window, deadline remaining), then
+			// retry the rotation.
+			if d, ok := c.nextEligibleWait(time.Now()); ok {
+				metRetryAfterWaits.Inc()
+				if !sleepCtx(ctx, d) {
+					return variation.Partial{}, false, ctx.Err()
+				}
+				continue
+			}
+			break
+		}
+		tried[m.addr] = true
+		resp, from, err := c.callHedged(ctx, m, sr, s.idx, tried)
 		if err != nil {
-			metricsFor(wi).errors.Inc()
 			continue
 		}
 		if resp.Part == nil || resp.Part.Start != s.start || resp.Part.Count != s.count {
-			metricsFor(wi).errors.Inc()
+			from.fail(time.Now())
 			continue
 		}
 		return *resp.Part, resp.Shifted, nil
@@ -353,19 +652,116 @@ func (c *Coordinator) fetchShard(ctx context.Context, plan *predint.YieldShardPl
 	return plan.CollectCtx(ctx, s.start, s.count)
 }
 
-// call performs one shard RPC. The two fault points model the seam:
-// "coordinator.rpc" fires before the request leaves (connection-level
-// failure), "coordinator.response" truncates the response body (torn
-// read / partial response).
-func (c *Coordinator) call(ctx context.Context, wi int, sr ShardRequest) (ShardResponse, error) {
+// sleepCtx sleeps d or until ctx is done; true means the full sleep.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// callHedged performs one shard RPC with straggler hedging: the
+// primary is dispatched immediately; if it has not answered after
+// hedgeAfter, the same shard is re-issued on the next eligible
+// replica. The first valid response wins and the loser's request
+// context is cancelled — losing work is abandoned, not awaited, so a
+// hung replica costs at most the hedge delay instead of the full RPC
+// timeout. A fast primary failure returns immediately (retry rotation
+// handles failures; hedging is for stragglers).
+func (c *Coordinator) callHedged(ctx context.Context, primary *member, sr ShardRequest, shardIdx int, exclude map[string]bool) (ShardResponse, *member, error) {
+	if c.hedgeAfter <= 0 {
+		resp, err := c.callMember(ctx, primary, sr)
+		return resp, primary, err
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser (and any straggler on early error return)
+
+	type reply struct {
+		resp ShardResponse
+		m    *member
+		err  error
+	}
+	replies := make(chan reply, 2) // buffered: a late loser never blocks its goroutine
+	launch := func(m *member) {
+		go func() {
+			resp, err := c.callMember(cctx, m, sr)
+			replies <- reply{resp: resp, m: m, err: err}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+
+	timer := time.NewTimer(c.hedgeAfter)
+	defer timer.Stop()
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			// The "coordinator.hedge" fault point suppresses the hedge
+			// dispatch, staging the race where the straggler must still
+			// be waited out.
+			if err := faultinject.Hit("coordinator.hedge"); err != nil {
+				continue
+			}
+			if h := c.pick(shardIdx+1, exclude); h != nil {
+				metHedges.Inc()
+				launch(h)
+				inflight++
+			}
+		case r := <-replies:
+			inflight--
+			if r.err == nil {
+				if inflight > 0 {
+					// The other leg is still running; our deferred
+					// cancel reaps it.
+					metHedgesCancelled.Inc()
+				}
+				if hedged && inflight > 0 {
+					if r.m == primary {
+						metHedgeLosses.Inc()
+					} else {
+						metHedgeWins.Inc()
+					}
+				}
+				return r.resp, r.m, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				return ShardResponse{}, primary, firstErr
+			}
+			// One leg failed, the other is still in flight: wait it out.
+		}
+	}
+}
+
+// callMember performs one shard RPC against a specific member, feeding
+// its breaker, metrics, and Retry-After backoff from the outcome. A
+// cancellation of ctx (hedge decided, global stop) is never charged to
+// the member. The two fault points model the seam: "coordinator.rpc"
+// fires before the request leaves (connection-level failure),
+// "coordinator.response" truncates the response body (torn read /
+// partial response).
+func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest) (ShardResponse, error) {
 	if err := faultinject.Hit("coordinator.rpc"); err != nil {
+		m.fail(time.Now())
 		return ShardResponse{}, err
 	}
 	body, err := json.Marshal(sr)
 	if err != nil {
 		return ShardResponse{}, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.workers[wi]+"/v1/internal/shard", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.addr+"/v1/internal/shard", bytes.NewReader(body))
 	if err != nil {
 		return ShardResponse{}, err
 	}
@@ -373,27 +769,67 @@ func (c *Coordinator) call(ctx context.Context, wi int, sr ShardRequest) (ShardR
 	start := time.Now()
 	httpResp, err := c.client.Do(httpReq)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ShardResponse{}, ctx.Err()
+		}
+		m.fail(time.Now())
 		return ShardResponse{}, err
 	}
 	data, err := io.ReadAll(httpResp.Body)
 	httpResp.Body.Close()
 	if err != nil {
+		if ctx.Err() != nil {
+			return ShardResponse{}, ctx.Err()
+		}
+		m.fail(time.Now())
 		return ShardResponse{}, err
 	}
 	if ferr := faultinject.Hit("coordinator.response"); ferr != nil {
 		data = data[:len(data)/2]
 	}
 	if httpResp.StatusCode != http.StatusOK {
-		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: status %d: %s", c.workers[wi], httpResp.StatusCode, truncate(data, 200))
+		if httpResp.StatusCode == http.StatusServiceUnavailable {
+			c.noteRetryAfter(ctx, m, httpResp.Header.Get("Retry-After"))
+		}
+		m.fail(time.Now())
+		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: status %d: %s", m.addr, httpResp.StatusCode, truncate(data, 200))
 	}
 	var out ShardResponse
 	if err := json.Unmarshal(data, &out); err != nil {
-		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: bad response: %w", c.workers[wi], err)
+		m.fail(time.Now())
+		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: bad response: %w", m.addr, err)
 	}
-	m := metricsFor(wi)
-	m.shards.Inc()
-	m.latency.Observe(time.Since(start))
+	m.ok(time.Since(start))
 	return out, nil
+}
+
+// noteRetryAfter honors a 503's Retry-After hint: the member is backed
+// off for min(hint, deadline remaining) plus up to 10% jitter (so a
+// fleet of coordinators does not re-converge on the drained replica in
+// the same instant). A 503 without a parsable hint gets a short
+// default so the next rotation still prefers other replicas.
+func (c *Coordinator) noteRetryAfter(ctx context.Context, m *member, header string) {
+	d := 500 * time.Millisecond
+	if header != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		} else if t, err := http.ParseTime(header); err == nil {
+			d = time.Until(t)
+		}
+	}
+	if d <= 0 {
+		return
+	}
+	d += rand.N(d/10 + 1)
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < d {
+			d = rem
+		}
+	}
+	if d <= 0 {
+		return
+	}
+	m.backoff(time.Now().Add(d))
 }
 
 func truncate(b []byte, n int) string {
@@ -403,39 +839,14 @@ func truncate(b []byte, n int) string {
 	return string(b)
 }
 
-// Per-worker shard metrics, registered lazily by worker index (the obs
-// registry panics on duplicate names, and worker sets are only known
-// at runtime). Indexing by slot rather than URL keeps the metric
-// namespace bounded across reconfigurations.
-type workerMetrics struct {
-	shards  *obs.Counter
-	errors  *obs.Counter
-	latency *obs.Histogram
-}
-
-var (
-	workerMetricsMu sync.Mutex
-	workerMetricsBy = map[int]*workerMetrics{}
-)
-
-func metricsFor(wi int) *workerMetrics {
-	workerMetricsMu.Lock()
-	defer workerMetricsMu.Unlock()
-	m, ok := workerMetricsBy[wi]
-	if !ok {
-		m = &workerMetrics{
-			shards:  obs.NewCounter(fmt.Sprintf("coordinator.worker%d.shards", wi)),
-			errors:  obs.NewCounter(fmt.Sprintf("coordinator.worker%d.errors", wi)),
-			latency: obs.NewHistogram(fmt.Sprintf("coordinator.worker%d.latency", wi)),
-		}
-		workerMetricsBy[wi] = m
-	}
-	return m
-}
+// maxShardBody caps a shard-protocol request body read by Handler;
+// cmd/predintd applies its own (flag-configurable) cap in front of the
+// same decoder.
+const maxShardBody = 1 << 20
 
 // decodeJSON / writeJSON are the minimal codec for Handler.
 func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxShardBody))
 	return dec.Decode(v)
 }
 

@@ -1,8 +1,12 @@
 package coordinator
 
 import (
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -12,10 +16,14 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Workers: []string{"a:1", " "}}); err == nil {
 		t.Error("New with a blank worker succeeded, want error")
 	}
+	if _, err := New(Config{Workers: []string{"a:1", "http://a:1/"}}); err == nil {
+		t.Error("New with a duplicate worker succeeded, want error")
+	}
 	c, err := New(Config{Workers: []string{"host:8080", "http://other:9090/", " padded:1 "}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	want := []string{"http://host:8080", "http://other:9090", "http://padded:1"}
 	got := c.Workers()
 	if len(got) != len(want) {
@@ -38,6 +46,7 @@ func TestRendezvousOwnership(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c1.Close()
 	// Reversed list: the owning URL (not the index) must be unchanged.
 	rev := make([]string, len(workers))
 	for i, w := range workers {
@@ -47,12 +56,13 @@ func TestRendezvousOwnership(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c2.Close()
 
 	seen := map[string]int{}
 	for class := uint64(0); class < 256; class++ {
 		h := class * 0x9e3779b97f4a7c15 // spread the toy class ids
-		u1 := c1.workers[c1.ownerIndex(h)]
-		u2 := c2.workers[c2.ownerIndex(h)]
+		u1 := c1.owner(h).addr
+		u2 := c2.owner(h).addr
 		if u1 != u2 {
 			t.Fatalf("class %d owned by %s in one ordering, %s in another", class, u1, u2)
 		}
@@ -66,7 +76,221 @@ func TestRendezvousOwnership(t *testing.T) {
 			t.Errorf("worker %s owns %d of 256 classes — rendezvous badly skewed", u, n)
 		}
 	}
-	if !strings.HasPrefix(c1.workers[0], "http://") {
-		t.Fatalf("unnormalized worker %q", c1.workers[0])
+	if !strings.HasPrefix(c1.Workers()[0], "http://") {
+		t.Fatalf("unnormalized worker %q", c1.Workers()[0])
+	}
+}
+
+// TestRendezvousStabilityUnderChurn is the membership-churn contract:
+// a single leave moves only the classes the departed worker owned
+// (~1/N of them) and leaves every other assignment untouched; the
+// worker rejoining restores the original ownership map exactly.
+func TestRendezvousStabilityUnderChurn(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	c, err := New(Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const classes = 512
+	hash := func(class uint64) uint64 { return class * 0x9e3779b97f4a7c15 }
+	before := make([]string, classes)
+	for i := range before {
+		before[i] = c.owner(hash(uint64(i))).addr
+	}
+
+	const leaver = "http://b:2"
+	if err := c.RemoveWorker(leaver); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range before {
+		after := c.owner(hash(uint64(i))).addr
+		if after == leaver {
+			t.Fatalf("class %d still routed to the removed worker", i)
+		}
+		if before[i] == leaver {
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Errorf("class %d moved %s -> %s although its owner never left", i, before[i], after)
+		}
+	}
+	// The leaver's share should be roughly classes/4; a massive share
+	// would mean the hash is skewed, zero would mean the removal was a
+	// no-op.
+	if moved == 0 || moved > classes/2 {
+		t.Errorf("removed worker owned %d of %d classes, want a ~1/4 share", moved, classes)
+	}
+
+	if err := c.AddWorker(leaver); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if got := c.owner(hash(uint64(i))).addr; got != before[i] {
+			t.Errorf("class %d owned by %s after rejoin, originally %s", i, got, before[i])
+		}
+	}
+
+	// Eviction re-routes exactly like removal, without forgetting the
+	// member: an ejected owner's classes land elsewhere, and
+	// readmission brings them home.
+	c.mem.members[leaver].mu.Lock()
+	c.mem.members[leaver].ejected = true
+	c.mem.members[leaver].mu.Unlock()
+	for i := range before {
+		if got := c.owner(hash(uint64(i))).addr; got == leaver {
+			t.Fatalf("class %d routed to an ejected worker", i)
+		}
+	}
+	c.mem.members[leaver].mu.Lock()
+	c.mem.members[leaver].ejected = false
+	c.mem.members[leaver].mu.Unlock()
+	for i := range before {
+		if got := c.owner(hash(uint64(i))).addr; got != before[i] {
+			t.Fatalf("class %d owned by %s after readmission, originally %s", i, got, before[i])
+		}
+	}
+}
+
+// TestBreakerStateMachine pins the circuit's three states: closed
+// opens at the consecutive-failure threshold, open refuses until the
+// cooldown then admits exactly one half-open trial, trial success
+// closes, trial failure re-opens.
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: 50 * time.Millisecond}
+	now := time.Now()
+
+	for i := 0; i < 2; i++ {
+		b.failure(now)
+	}
+	if !b.allow(now) {
+		t.Fatal("breaker opened below the threshold")
+	}
+	b.failure(now) // third consecutive failure
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("after 3 consecutive failures: state %v, want open", got)
+	}
+	if b.allow(now) || b.allow(now.Add(10*time.Millisecond)) {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one trial request passes.
+	later := now.Add(60 * time.Millisecond)
+	if !b.allow(later) {
+		t.Fatal("open breaker refused the half-open trial after the cooldown")
+	}
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("post-cooldown state %v, want half_open", got)
+	}
+	if b.allow(later) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// Trial failure re-opens for another full cooldown.
+	b.failure(later)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("failed trial left state %v, want open", got)
+	}
+	if b.allow(later.Add(10 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted traffic inside the new cooldown")
+	}
+
+	// Next trial succeeds: closed, failure streak reset.
+	again := later.Add(60 * time.Millisecond)
+	if !b.allow(again) {
+		t.Fatal("re-opened breaker refused its next trial")
+	}
+	b.success()
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("successful trial left state %v, want closed", got)
+	}
+	b.failure(again)
+	if !b.allow(again) {
+		t.Fatal("one failure after recovery tripped the breaker — streak not reset")
+	}
+}
+
+// TestMemberRetryAfterBackoff pins the 503 backoff: a member inside
+// its Retry-After window is ineligible, and becomes eligible again
+// once the window passes; an earlier deadline never shrinks a window.
+func TestMemberRetryAfterBackoff(t *testing.T) {
+	m := newMember("http://w:1", 3, time.Second)
+	now := time.Now()
+	if !m.eligible(now) {
+		t.Fatal("fresh member ineligible")
+	}
+	m.backoff(now.Add(100 * time.Millisecond))
+	if m.eligible(now.Add(50 * time.Millisecond)) {
+		t.Fatal("member eligible inside its Retry-After window")
+	}
+	m.backoff(now.Add(20 * time.Millisecond)) // earlier: must not shrink
+	if m.eligible(now.Add(50 * time.Millisecond)) {
+		t.Fatal("a shorter backoff shrank the existing window")
+	}
+	if !m.eligible(now.Add(150 * time.Millisecond)) {
+		t.Fatal("member still ineligible after the window passed")
+	}
+}
+
+// TestHandlerBodyCap pins the shard endpoint's request-body bound: a
+// body over the cap is refused with 413 before it is buffered.
+func TestHandlerBodyCap(t *testing.T) {
+	ts := httptest.NewServer(Handler(nil))
+	defer ts.Close()
+
+	huge := `{"op": "sample", "pad": "` + strings.Repeat("x", maxShardBody+1024) + `"}`
+	resp, err := http.Post(ts.URL, "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized shard body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestMembershipEvictionReadmission drives the probe bookkeeping
+// directly: ejectAfter consecutive failures evict, readmitAfter
+// consecutive successes readmit, and interleaved outcomes reset the
+// streaks.
+func TestMembershipEvictionReadmission(t *testing.T) {
+	ms := &membership{ejectAfter: 3, readmitAfter: 2, members: map[string]*member{}}
+	m := newMember("http://w:9", 3, time.Second)
+	ms.add(m)
+
+	fail := func() { ms.probeFailure(m, context.DeadlineExceeded) }
+	okay := func() { ms.probeSuccess(m) }
+
+	fail()
+	fail()
+	okay() // streak broken
+	fail()
+	fail()
+	if m.isEjected() {
+		t.Fatal("ejected although the failure streak never reached 3")
+	}
+	fail()
+	if !m.isEjected() {
+		t.Fatal("not ejected after 3 consecutive probe failures")
+	}
+	if ms.readyCount() != 0 {
+		t.Fatalf("readyCount = %d with the only member ejected", ms.readyCount())
+	}
+
+	okay()
+	fail() // streak broken
+	okay()
+	if !m.isEjected() {
+		t.Fatal("readmitted although the success streak never reached 2")
+	}
+	okay()
+	if m.isEjected() {
+		t.Fatal("not readmitted after 2 consecutive probe successes")
+	}
+	if !ms.probed.Load() {
+		t.Fatal("first successful probe did not mark the set as probed")
 	}
 }

@@ -13,6 +13,7 @@ package coordinator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -92,6 +93,29 @@ var (
 	metRequestsServed   = obs.NewCounter("coordinator.requests")
 	metNotShardable     = obs.NewCounter("coordinator.not_shardable")
 	metOwnerProbeMisses = obs.NewCounter("coordinator.owner_probe_misses")
+
+	// Membership / health-probe lifecycle.
+	metProbes        = obs.NewCounter("coordinator.health_probes")
+	metProbeFailures = obs.NewCounter("coordinator.health_probe_failures")
+	metEjections     = obs.NewCounter("coordinator.ejections")
+	metReadmissions  = obs.NewCounter("coordinator.readmissions")
+
+	// Circuit-breaker transitions and refusals.
+	metBreakerOpens      = obs.NewCounter("coordinator.breaker_opens")
+	metBreakerHalfOpens  = obs.NewCounter("coordinator.breaker_half_opens")
+	metBreakerCloses     = obs.NewCounter("coordinator.breaker_closes")
+	metBreakerRejections = obs.NewCounter("coordinator.breaker_rejections")
+
+	// Hedged shard requests: issued, won by the hedge, won by the
+	// primary (hedge wasted), and losing legs cancelled mid-flight.
+	metHedges          = obs.NewCounter("coordinator.hedges")
+	metHedgeWins       = obs.NewCounter("coordinator.hedge_wins")
+	metHedgeLosses     = obs.NewCounter("coordinator.hedge_losses")
+	metHedgesCancelled = obs.NewCounter("coordinator.hedges_cancelled")
+
+	// Retry-After honor: sleeps taken because every replica was inside
+	// a 503 backoff window.
+	metRetryAfterWaits = obs.NewCounter("coordinator.retry_after_waits")
 )
 
 // ExecuteShard serves one ShardRequest against this replica's surface
@@ -170,7 +194,14 @@ func Handler(surf *surface.Cache) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var sr ShardRequest
 		if err := decodeJSON(r, &sr); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				// A peer (or attacker) streaming an oversized body is
+				// refused before it can balloon memory.
+				status = http.StatusRequestEntityTooLarge
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		resp, err := ExecuteShard(r.Context(), surf, sr)
