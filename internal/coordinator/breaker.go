@@ -108,6 +108,20 @@ func (b *breaker) failure(now time.Time) {
 	}
 }
 
+// release returns an unresolved half-open trial slot. A caller that
+// claimed the trial via allow() but whose request was cancelled before
+// completing (hedge loser, wave stopped mid-flight) charges neither
+// success nor failure; without this the breaker would stay half-open
+// with the slot claimed forever, locking the worker out of dispatch.
+// The slot is simply re-opened — the next allow() grants a new trial.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen && b.trialing {
+		b.trialing = false
+	}
+}
+
 // trip forces the circuit open regardless of history — the
 // "coordinator.breaker" fault point's lever.
 func (b *breaker) trip(now time.Time) {

@@ -255,15 +255,29 @@ func (c *Coordinator) probeLoop() {
 	}
 }
 
+// probeAll probes the members concurrently with bounded fan-out, so a
+// few hung workers (each costing the full probe timeout) cannot
+// stretch a pass past the probe interval and delay eviction or
+// readmission of everyone behind them in the roster.
 func (c *Coordinator) probeAll() {
+	const maxConcurrentProbes = 8
+	sem := make(chan struct{}, maxConcurrentProbes)
+	var wg sync.WaitGroup
 	for _, m := range c.mem.snapshot() {
 		select {
 		case <-c.stop:
+			wg.Wait()
 			return
-		default:
+		case sem <- struct{}{}:
 		}
-		c.probeOne(m)
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.probeOne(m)
+		}(m)
 	}
+	wg.Wait()
 }
 
 // probeOne performs one health probe. The "coordinator.probe" fault
@@ -633,6 +647,9 @@ func (c *Coordinator) fetchShard(ctx context.Context, plan *predint.YieldShardPl
 		}
 		tried[m.addr] = true
 		resp, from, err := c.callHedged(ctx, m, sr, s.idx, tried)
+		// The winning leg may be a hedge replica; record it too, so a
+		// mismatched response from it is not retried on the same member.
+		tried[from.addr] = true
 		if err != nil {
 			continue
 		}
@@ -713,6 +730,10 @@ func (c *Coordinator) callHedged(ctx context.Context, primary *member, sr ShardR
 				continue
 			}
 			if h := c.pick(shardIdx+1, exclude); h != nil {
+				// Mark the hedge leg as tried immediately (exclude is
+				// the caller's tried set, touched only on this
+				// goroutine) so later retry attempts skip it.
+				exclude[h.addr] = true
 				metHedges.Inc()
 				launch(h)
 				inflight++
@@ -748,7 +769,10 @@ func (c *Coordinator) callHedged(ctx context.Context, primary *member, sr ShardR
 // callMember performs one shard RPC against a specific member, feeding
 // its breaker, metrics, and Retry-After backoff from the outcome. A
 // cancellation of ctx (hedge decided, global stop) is never charged to
-// the member. The two fault points model the seam: "coordinator.rpc"
+// the member — but any half-open trial slot the caller claimed via
+// eligible()/pick() is released on such no-outcome returns, so a
+// cancelled trial cannot leave the breaker permanently claimed.
+// The two fault points model the seam: "coordinator.rpc"
 // fires before the request leaves (connection-level failure),
 // "coordinator.response" truncates the response body (torn read /
 // partial response).
@@ -759,10 +783,12 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 	}
 	body, err := json.Marshal(sr)
 	if err != nil {
+		m.release()
 		return ShardResponse{}, err
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.addr+"/v1/internal/shard", bytes.NewReader(body))
 	if err != nil {
+		m.release()
 		return ShardResponse{}, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
@@ -770,6 +796,7 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 	httpResp, err := c.client.Do(httpReq)
 	if err != nil {
 		if ctx.Err() != nil {
+			m.release()
 			return ShardResponse{}, ctx.Err()
 		}
 		m.fail(time.Now())
@@ -779,6 +806,7 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 	httpResp.Body.Close()
 	if err != nil {
 		if ctx.Err() != nil {
+			m.release()
 			return ShardResponse{}, ctx.Err()
 		}
 		m.fail(time.Now())

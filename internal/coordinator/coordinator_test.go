@@ -2,6 +2,8 @@ package coordinator
 
 import (
 	"context"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -210,6 +212,107 @@ func TestBreakerStateMachine(t *testing.T) {
 	b.failure(again)
 	if !b.allow(again) {
 		t.Fatal("one failure after recovery tripped the breaker — streak not reset")
+	}
+}
+
+// TestBreakerReleaseUnclaimsTrial pins release(): an unresolved
+// half-open trial returns its slot (the next allow() grants a new
+// trial), and release outside a claimed half-open trial is a no-op.
+func TestBreakerReleaseUnclaimsTrial(t *testing.T) {
+	b := breaker{threshold: 1, cooldown: 50 * time.Millisecond}
+	now := time.Now()
+
+	b.release() // closed, nothing claimed: must not disturb anything
+	if !b.allow(now) {
+		t.Fatal("release on a closed breaker broke admission")
+	}
+
+	b.failure(now) // threshold 1: opens
+	later := now.Add(60 * time.Millisecond)
+	if !b.allow(later) {
+		t.Fatal("open breaker refused the half-open trial after the cooldown")
+	}
+	if b.allow(later) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// The trial was cancelled: releasing the slot must make the breaker
+	// admittable again without closing it or extending the cooldown.
+	b.release()
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("released trial left state %v, want half_open", got)
+	}
+	if !b.allow(later) {
+		t.Fatal("released half-open trial slot was not re-grantable")
+	}
+	b.success()
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("trial success left state %v, want closed", got)
+	}
+}
+
+// TestCancelledTrialReleasesBreaker is the end-to-end regression for
+// the half-open trial leak: a member's half-open trial claimed via
+// eligible() whose RPC is then cancelled (hedge loser, wave stop) must
+// return the slot — the member stays dispatchable instead of being
+// locked out until process restart.
+func TestCancelledTrialReleasesBreaker(t *testing.T) {
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's background read is armed —
+		// without it a client disconnect never cancels r.Context().
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // never answer; only cancellation ends the RPC
+	}))
+	defer hang.Close()
+
+	c, err := New(Config{
+		Workers:          []string{hang.URL},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := c.mem.snapshot()[0]
+
+	m.fail(time.Now()) // threshold 1: breaker opens
+	time.Sleep(5 * time.Millisecond)
+	now := time.Now()
+	if !m.eligible(now) {
+		t.Fatal("breaker refused the half-open trial after the cooldown")
+	}
+	if m.eligible(now) {
+		t.Fatal("second concurrent trial admitted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.callMember(ctx, m, ShardRequest{Op: OpSample}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled trial RPC returned %v, want context.Canceled", err)
+	}
+
+	if got := m.br.current(); got != breakerHalfOpen {
+		t.Fatalf("cancelled trial left breaker %v, want half_open", got)
+	}
+	if !m.eligible(time.Now()) {
+		t.Fatal("cancelled half-open trial never released its slot — member locked out of dispatch")
+	}
+}
+
+// TestMetricKeyDistinct pins the collision fix: addresses whose
+// sanitized forms coincide still get distinct metric keys, and the
+// mapping stays deterministic per address.
+func TestMetricKeyDistinct(t *testing.T) {
+	a, b := metricKey("http://host-a:1"), metricKey("http://host_a:1")
+	if a == b {
+		t.Fatalf("metricKey collided: %q for both host-a:1 and host_a:1", a)
+	}
+	if a != metricKey("http://host-a:1") {
+		t.Fatal("metricKey is not deterministic for the same address")
 	}
 }
 

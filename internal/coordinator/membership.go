@@ -2,6 +2,8 @@ package coordinator
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +69,12 @@ func (m *member) ok(latency time.Duration) {
 func (m *member) fail(now time.Time) {
 	m.br.failure(now)
 	m.met.errors.Inc()
+}
+
+// release returns an unresolved breaker trial slot for a request that
+// completed with neither success nor failure (cancelled mid-flight).
+func (m *member) release() {
+	m.br.release()
 }
 
 // backoff extends the member's Retry-After window to until; an earlier
@@ -274,7 +282,11 @@ func metricsFor(addr string) *workerMetrics {
 	return m
 }
 
-// metricKey maps a worker URL onto the registry's dotted-name alphabet.
+// metricKey maps a worker URL onto the registry's dotted-name
+// alphabet. Sanitization alone can collide distinct addresses
+// ("host-a:1" and "host_a:1" both flatten to "host_a_1"), so a short
+// hash of the raw address is appended: distinct addresses always get
+// distinct series, while the same address always maps to the same key.
 func metricKey(addr string) string {
 	s := strings.TrimPrefix(addr, "http://")
 	s = strings.TrimPrefix(s, "https://")
@@ -289,5 +301,7 @@ func metricKey(addr string) string {
 			b.WriteByte('_')
 		}
 	}
-	return b.String()
+	h := fnv.New32a()
+	io.WriteString(h, addr)
+	return fmt.Sprintf("%s_%08x", b.String(), h.Sum32())
 }
