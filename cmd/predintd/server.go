@@ -374,6 +374,7 @@ type yieldRequestDTO struct {
 	ImportanceSampling bool     `json:"importance_sampling,omitempty"`
 	Estimator          string   `json:"estimator,omitempty"`
 	TargetSigma        *float64 `json:"target_sigma,omitempty"`
+	Sampler            string   `json:"sampler,omitempty"`
 	SigmaScale         *float64 `json:"sigma_scale,omitempty"`
 	YieldTarget        *float64 `json:"yield_target,omitempty"`
 	NoSurface          bool     `json:"no_surface,omitempty"`
@@ -415,6 +416,7 @@ func (dto yieldRequestDTO) yieldRequest() predint.YieldRequest {
 		ImportanceSampling: dto.ImportanceSampling,
 		Estimator:          dto.Estimator,
 		TargetSigma:        dto.TargetSigma,
+		Sampler:            dto.Sampler,
 		SigmaScale:         dto.SigmaScale,
 		YieldTarget:        dto.YieldTarget,
 		NoSurface:          dto.NoSurface,

@@ -7,6 +7,7 @@
 //
 //	yield -tech 65nm -length 5 [-n 4096] [-seed 1] [-j 0]
 //	      [-target 444] [-estimator auto|mc|qmc|isle|ais|wcd] [-sigma 6]
+//	      [-sampler ziggurat|box-muller]
 //	      [-is] [-relerr 0.05] [-abserr 0.001] [-yield 0.99]
 //	      [-candidates 8:10,12:8,16:6] [-style swss|shielded|staggered]
 //	      [-weight 0.5] [-sigma-scale 1] [-no-surface]
@@ -87,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobsFlag := fs.Int("j", 0, "parallel sampling workers (0 = all cores, 1 = serial)")
 	targetFlag := fs.Float64("target", 0, "delay target in ps (0 = the node's clock period)")
 	estFlag := fs.String("estimator", "auto", "estimator rung: auto, mc, qmc, isle, ais, wcd")
+	samplerFlag := fs.String("sampler", "", "normal sampler for the mc/isle rungs: ziggurat (default) or box-muller (pinned legacy sequence)")
 	sigmaLevelFlag := fs.Float64("sigma", 0, "target sigma level the query must resolve, e.g. 6 (0 = none; routes the estimator)")
 	isFlag := fs.Bool("is", false, "importance-sampling estimator (for small failure probabilities)")
 	relErrFlag := fs.Float64("relerr", 0, "stop early at this relative standard error (0 = run all samples)")
@@ -122,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Workers:            *jobsFlag,
 		ImportanceSampling: *isFlag,
 		Estimator:          *estFlag,
+		Sampler:            *samplerFlag,
 		SigmaScale:         predint.Float(*sigmaFlag),
 		NoSurface:          *noSurfaceFlag,
 	}

@@ -86,10 +86,34 @@ type Coordinator struct {
 	breakerCooldown  time.Duration
 	surf             *surface.Cache
 	mem              *membership
+	scratch          sync.Pool // *rpcScratch
 
 	closeOnce sync.Once
 	stop      chan struct{}
 	done      chan struct{} // closed when the prober exits; nil if never started
+}
+
+// rpcScratch holds one shard RPC's reusable buffers: the marshaled
+// request body, the response accumulation buffer, and the decode
+// targets whose backing arrays (FailIdx/Weights) persist across calls.
+// Pooled per Coordinator, so successive waves of a request — and
+// successive requests — stop reallocating the encode/decode plumbing
+// around every shard; only an exact-size detached clone of the Partial
+// escapes callMember (the decoded scratch would otherwise be
+// overwritten by the next wave while the merge still holds it).
+type rpcScratch struct {
+	enc  bytes.Buffer // marshaled ShardRequest
+	body bytes.Reader // request-body view over enc's bytes
+	resp bytes.Buffer // response body accumulation
+	out  ShardResponse
+	part variation.Partial // decode target behind out.Part
+}
+
+func (c *Coordinator) getScratch() *rpcScratch {
+	if v := c.scratch.Get(); v != nil {
+		return v.(*rpcScratch)
+	}
+	return &rpcScratch{}
 }
 
 // New validates the config and builds a Coordinator, starting the
@@ -781,13 +805,17 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 		m.fail(time.Now())
 		return ShardResponse{}, err
 	}
-	body, err := json.Marshal(sr)
-	if err != nil {
+	sc := c.getScratch()
+	sc.enc.Reset()
+	if err := json.NewEncoder(&sc.enc).Encode(sr); err != nil {
+		c.scratch.Put(sc)
 		m.release()
 		return ShardResponse{}, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.addr+"/v1/internal/shard", bytes.NewReader(body))
+	sc.body.Reset(sc.enc.Bytes())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.addr+"/v1/internal/shard", &sc.body)
 	if err != nil {
+		c.scratch.Put(sc)
 		m.release()
 		return ShardResponse{}, err
 	}
@@ -795,6 +823,9 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 	start := time.Now()
 	httpResp, err := c.client.Do(httpReq)
 	if err != nil {
+		// The transport may still be draining the request body after a
+		// failed or cancelled round trip; drop the scratch instead of
+		// risking a reuse of its buffers under an in-flight write.
 		if ctx.Err() != nil {
 			m.release()
 			return ShardResponse{}, ctx.Err()
@@ -802,7 +833,8 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 		m.fail(time.Now())
 		return ShardResponse{}, err
 	}
-	data, err := io.ReadAll(httpResp.Body)
+	sc.resp.Reset()
+	_, err = sc.resp.ReadFrom(httpResp.Body)
 	httpResp.Body.Close()
 	if err != nil {
 		if ctx.Err() != nil {
@@ -812,6 +844,7 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 		m.fail(time.Now())
 		return ShardResponse{}, err
 	}
+	data := sc.resp.Bytes()
 	if ferr := faultinject.Hit("coordinator.response"); ferr != nil {
 		data = data[:len(data)/2]
 	}
@@ -820,13 +853,42 @@ func (c *Coordinator) callMember(ctx context.Context, m *member, sr ShardRequest
 			c.noteRetryAfter(ctx, m, httpResp.Header.Get("Retry-After"))
 		}
 		m.fail(time.Now())
-		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: status %d: %s", m.addr, httpResp.StatusCode, truncate(data, 200))
+		msg := truncate(data, 200)
+		c.scratch.Put(sc)
+		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: status %d: %s", m.addr, httpResp.StatusCode, msg)
 	}
-	var out ShardResponse
-	if err := json.Unmarshal(data, &out); err != nil {
+	// Decode into the scratch targets: the Partial's FailIdx/Weights
+	// backing arrays persist across calls, so steady-state waves decode
+	// with no slice growth. Start = -1 marks "no part decoded" — a
+	// response without one leaves the sentinel in place.
+	sc.part = variation.Partial{Start: -1, FailIdx: sc.part.FailIdx[:0], Weights: sc.part.Weights[:0]}
+	sc.out = ShardResponse{Part: &sc.part}
+	if err := json.Unmarshal(data, &sc.out); err != nil {
 		m.fail(time.Now())
+		c.scratch.Put(sc)
 		return ShardResponse{}, fmt.Errorf("coordinator: worker %s: bad response: %w", m.addr, err)
 	}
+	out := sc.out
+	if p := out.Part; p == &sc.part || p == nil {
+		// Detach from the scratch before it is reused: an exact-size
+		// clone of a decoded part (the merge holds it across waves), nil
+		// when the response carried none. Empty slices normalize to nil,
+		// matching the wire form (omitempty) the non-pooled decode
+		// produced.
+		if p == nil || p.Start < 0 {
+			out.Part = nil
+		} else {
+			cp := variation.Partial{Start: p.Start, Count: p.Count}
+			if len(p.FailIdx) > 0 {
+				cp.FailIdx = append([]int(nil), p.FailIdx...)
+			}
+			if len(p.Weights) > 0 {
+				cp.Weights = append([]float64(nil), p.Weights...)
+			}
+			out.Part = &cp
+		}
+	}
+	c.scratch.Put(sc)
 	m.ok(time.Since(start))
 	return out, nil
 }

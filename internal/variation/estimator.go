@@ -20,6 +20,7 @@ var (
 	ErrNegativeBatch      = errors.New("variation: negative batch size")
 	ErrNegativeMinSamples = errors.New("variation: negative minimum sample count")
 	ErrNegativeWorkers    = errors.New("variation: negative worker count")
+	ErrUnknownSampler     = errors.New("variation: unknown sampler")
 )
 
 // Estimator observability (see internal/obs): how many samples the
@@ -99,6 +100,13 @@ type Options struct {
 	// the likelihood ratio φ(z)/φ(z−θ). Nil selects plain Monte
 	// Carlo.
 	Shift []float64
+	// Sampler selects the normal sampler: SamplerZiggurat (the
+	// default when empty) or SamplerBoxMuller (the pinned legacy
+	// sequence). The two produce different, individually deterministic
+	// draw sequences at the same seed; every other determinism
+	// guarantee (bit-identity across worker counts and shard layouts)
+	// holds under either.
+	Sampler Sampler
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +122,7 @@ func (o Options) withDefaults() Options {
 	if o.Batch == 0 {
 		o.Batch = 256
 	}
+	o.Sampler = resolveSampler(o.Sampler)
 	return o
 }
 
@@ -141,6 +150,9 @@ func (o Options) validate() error {
 	}
 	if o.Shift != nil && len(o.Shift) != o.Dims {
 		return fmt.Errorf("variation: shift has %d dims, want %d", len(o.Shift), o.Dims)
+	}
+	if !validSampler(o.Sampler) {
+		return fmt.Errorf("%w %q", ErrUnknownSampler, o.Sampler)
 	}
 	return nil
 }
@@ -246,8 +258,9 @@ func RunBatch(o Options, trial BatchTrial) (Estimate, error) {
 
 // RunBatchCtx is the batched zero-steady-state-allocation sampling
 // kernel: each worker owns a reusable Stream and draw buffer (reseeded
-// per sample with Stream.Reset, filled with NormsInto), so after the
-// one-time setup the kernel performs no per-sample heap allocation.
+// per sample with Stream.Reset, filled by the options' Sampler), so
+// after the one-time setup the kernel performs no per-sample heap
+// allocation.
 // Draw sequences, fold order, and stopping behaviour are bit-identical
 // to the historical per-sample path for every Workers value.
 func RunBatchCtx(ctx context.Context, o Options, trial BatchTrial) (Estimate, error) {
@@ -303,7 +316,7 @@ func RunBatchCtx(ctx context.Context, o Options, trial BatchTrial) (Estimate, er
 			st := &streams[worker]
 			st.Reset(o.Seed, uint64(i))
 			z := zbuf[worker*o.Dims : (worker+1)*o.Dims]
-			st.NormsInto(z)
+			st.normsInto(z, o.Sampler)
 			w := 1.0
 			if shifted {
 				// z ← θ + ε with likelihood ratio

@@ -1,0 +1,794 @@
+package variation
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/estimator"
+	"repro/internal/liberty"
+	"repro/internal/model"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+// This file is the structure-of-arrays batch-lane sampling kernel: the
+// hot per-sample path of the mc/isle/qmc rungs restructured to process
+// a lane of up to laneSize samples per call over contiguous float64
+// slices. The scalar path (evalShared/evalShifted) walks one sample at
+// a time through Space.ApplyInto → Coefficients.ScaleInto →
+// perturbSegment → LineDelayRC, copying a full Technology and
+// Coefficients per sample and re-deriving quantities the delay never
+// reads (leakage exponentials, the unused repeater kind, the unused
+// routing layers). The lane kernel compiles everything sample-invariant
+// once per run — the per-space apply program, the nominal drive
+// resistances, the per-candidate stage constants — and then runs flat
+// loops over the lane arrays: draw, apply, rescale, extract, score.
+//
+// Bit-identity contract: for every sample the lane kernel evaluates
+// exactly the floating-point expressions of the scalar path, with the
+// same operand values in the same association order, so contributions
+// are bit-identical to evalShared/evalShifted. Quantities the scalar
+// path computes but the delay comparison never consumes are skipped —
+// skipping arithmetic whose result is unused cannot change the bits of
+// what remains. Lane partitioning itself cannot affect results either:
+// contributions are folded by the caller in sample-index order
+// regardless of which lane (or worker) produced them, which also means
+// the lane width may adapt to the worker count freely.
+//
+// The one per-sample branch the scalar path takes that the lane cannot
+// precompute is LineSpec.Validate's perturbed-width check (a shrunken
+// line can lose its copper core when width·0.6 ≤ 2·barrier). The lane
+// flags those rare samples and replays them through the scalar
+// evaluator, reproducing the exact error (and error selection order)
+// the scalar kernel would surface.
+
+const (
+	// laneSize is the maximum samples one lane evaluates per call —
+	// large enough to amortize per-task pool overhead (the per-item
+	// claim + panic guard that made per-sample dispatch slower in
+	// parallel than serial), small enough that per-worker scratch
+	// stays cache-resident.
+	laneSize = 64
+	// laneMin is the floor when shrinking lanes to feed many workers.
+	laneMin = 16
+)
+
+// laneKernelDisabled routes the sampling kernels through the scalar
+// per-sample path instead of the lane kernel. Test hook only: the
+// bit-identity matrix runs both paths and compares estimates.
+var laneKernelDisabled = false
+
+// laneChunk picks the lane width for a batch: full lanes when serial,
+// shrunk (but never below laneMin) so a batch splits across the worker
+// budget when parallel. Purely a scheduling choice — lane width never
+// affects results.
+func laneChunk(batch, workers int) int {
+	c := laneSize
+	if workers > 1 {
+		if per := (batch + workers - 1) / workers; per < c {
+			c = per
+		}
+		if c < laneMin {
+			c = laneMin
+		}
+	}
+	if c > batch {
+		c = batch
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Factor-array indices of the apply program's outputs, mirroring the
+// order Space.ApplyInto derives them.
+const (
+	facVthN = iota
+	facVthP
+	facL
+	facW
+	facT
+	facILD
+	facRho
+	facCount
+)
+
+type laneOpCode uint8
+
+const (
+	// opConst fills the destination with a constant (an inert
+	// zero-sigma dimension, hoisted out of the per-sample path).
+	opConst laneOpCode = iota
+	// opVth computes a clamped absolute threshold perturbation.
+	opVth
+	// opRelFactor computes a clamped relative factor 1 + sigma·z.
+	opRelFactor
+)
+
+// laneOp is one step of the compiled apply program.
+type laneOp struct {
+	code  laneOpCode
+	dst   uint8 // factor-array index
+	dim   uint8 // z dimension read (opVth/opRelFactor)
+	sigma float64
+	base  float64 // opVth: nominal Vth; opConst: the constant
+}
+
+// applyProg is the precompiled per-space apply program: a flat op list
+// derived once from (Space, base technology) and executed branch-free
+// per lane. It hoists the per-sample branching of Space.ApplyInto —
+// which sigmas are zero, what the Vth clamp bounds are — into compile
+// time.
+type applyProg struct {
+	ops    [facCount]laneOp
+	vthMax float64 // Vdd − 0.05, the upper Vth clamp
+}
+
+// compileApplyProg builds the apply program for one space over one
+// base technology.
+func compileApplyProg(sp Space, base *tech.Technology) applyProg {
+	p := applyProg{vthMax: base.Vdd - 0.05}
+	clampVth := func(v float64) float64 {
+		if v < 0.05 {
+			v = 0.05
+		}
+		if v > p.vthMax {
+			v = p.vthMax
+		}
+		return v
+	}
+	vth := func(dst, dim uint8, base float64) laneOp {
+		if sp.VthSigma == 0 {
+			return laneOp{code: opConst, dst: dst, base: clampVth(base)}
+		}
+		return laneOp{code: opVth, dst: dst, dim: dim, sigma: sp.VthSigma, base: base}
+	}
+	rel := func(dst, dim uint8, sigma float64) laneOp {
+		if sigma == 0 {
+			return laneOp{code: opConst, dst: dst, base: 1}
+		}
+		return laneOp{code: opRelFactor, dst: dst, dim: dim, sigma: sigma}
+	}
+	p.ops[0] = vth(facVthN, dimVthN, base.NMOS.Vth)
+	p.ops[1] = vth(facVthP, dimVthP, base.PMOS.Vth)
+	p.ops[2] = rel(facL, dimLength, sp.LengthSigma)
+	p.ops[3] = rel(facW, dimWireWidth, sp.WireWidthSigma)
+	p.ops[4] = rel(facT, dimWireThickness, sp.WireThicknessSigma)
+	p.ops[5] = rel(facILD, dimILD, sp.ILDSigma)
+	p.ops[6] = rel(facRho, dimRho, sp.RhoSigma)
+	return p
+}
+
+// run executes the program over the first n entries of the z arrays.
+func (p *applyProg) run(z *[Dims][]float64, fac *[facCount][]float64, n int) {
+	for o := range p.ops {
+		op := &p.ops[o]
+		dst := fac[op.dst][:n]
+		switch op.code {
+		case opConst:
+			v := op.base
+			for k := range dst {
+				dst[k] = v
+			}
+		case opVth:
+			zz := z[op.dim][:n]
+			sg, b, hi := op.sigma, op.base, p.vthMax
+			for k := range dst {
+				v := b + sg*zz[k]
+				if v < 0.05 {
+					v = 0.05
+				}
+				if v > hi {
+					v = hi
+				}
+				dst[k] = v
+			}
+		case opRelFactor:
+			zz := z[op.dim][:n]
+			sg := op.sigma
+			for k := range dst {
+				f := 1 + sg*zz[k]
+				if f < 0.6 {
+					f = 0.6
+				}
+				if f > 1.4 {
+					f = 1.4
+				}
+				dst[k] = f
+			}
+		}
+	}
+}
+
+// laneScale holds the sample-invariant half of ScaleInto: the nominal
+// drive resistances (the rNom of model.driveRatio, computed once
+// instead of once per sample) and the nominal gate-capacitance sum.
+type laneScale struct {
+	vdd            float64
+	kN, kP         float64
+	alphaN, alphaP float64
+	rNomN, rNomP   float64
+	odNPos, odPPos bool
+	cgN, cgP       float64
+	cgSum          float64
+	cgPos          bool
+}
+
+func laneScaleFor(base *tech.Technology) laneScale {
+	sc := laneScale{
+		vdd:    base.Vdd,
+		kN:     base.NMOS.K,
+		kP:     base.PMOS.K,
+		alphaN: base.NMOS.Alpha,
+		alphaP: base.PMOS.Alpha,
+		cgN:    base.NMOS.CGate,
+		cgP:    base.PMOS.CGate,
+	}
+	// The exact expression of model.driveRatio's rNom, evaluated once:
+	// the per-sample ratio divides by the identical value.
+	if od := sc.vdd - base.NMOS.Vth; od > 0 {
+		sc.odNPos = true
+		sc.rNomN = sc.vdd / (sc.kN * math.Pow(od, sc.alphaN))
+	}
+	if od := sc.vdd - base.PMOS.Vth; od > 0 {
+		sc.odPPos = true
+		sc.rNomP = sc.vdd / (sc.kP * math.Pow(od, sc.alphaP))
+	}
+	sc.cgSum = sc.cgN + sc.cgP
+	sc.cgPos = sc.cgSum > 0
+	return sc
+}
+
+// laneSeg holds one segment geometry's sample-invariant constants for
+// the wire-extraction phase (perturbSegment + model.SegmentRC fused).
+type laneSeg struct {
+	w0, sp0, th0, ild0 float64
+	minSp              float64 // 0.25·sp0, the clampSpacing floor
+	twoEps, c12eps     float64 // 2ε and 1.2ε of the layer dielectric
+	shielded           bool
+}
+
+func laneSegFor(seg wire.Segment) laneSeg {
+	eps := tech.Eps0 * seg.Layer.EpsRel
+	return laneSeg{
+		w0:       seg.Width,
+		sp0:      seg.Spacing,
+		th0:      seg.Layer.Thickness,
+		ild0:     seg.Layer.ILD,
+		minSp:    0.25 * seg.Spacing,
+		twoEps:   2 * eps,
+		c12eps:   1.2 * eps,
+		shielded: seg.Style == wire.Shielded,
+	}
+}
+
+// laneCand holds one candidate's sample-invariant constants: the
+// repeater widths (unperturbed technology fields), stage length,
+// Miller coefficient, and the unscaled coefficients of the repeater
+// kind the candidate actually uses — the lane scales only those,
+// skipping the other kind and the leakage/area terms the delay never
+// reads.
+type laneCand struct {
+	wn, wp, wnwp float64
+	stageLen     float64
+	lambdaHalf   float64
+	stages       int
+	inverter     bool
+	kappa0       float64
+	rise, fall   model.EdgeCoeffs
+	inputSlew    float64
+	staggered    bool
+}
+
+// laneKernel is the compiled per-run state of the lane path: the apply
+// program plus every per-scenario constant, shared read-only by all
+// workers.
+type laneKernel struct {
+	ms        *MultiScenario
+	prog      applyProg
+	scale     laneScale
+	segs      []laneSeg
+	cands     []laneCand
+	sharedSeg bool
+	target    float64
+	seed      uint64
+	sampler   Sampler
+
+	// Tech-level wire constants (identical for every segment).
+	bar, bar2 float64
+	scmfp     float64
+	rho0      float64
+
+	// Shifted (ISLE) mode.
+	shifts   [][]float64
+	shiftedC []bool
+	shiftSq  []float64
+	halfSq   []float64
+	anyShift bool
+
+	// QMC mode.
+	qmc     bool
+	qshifts [][]uint64
+}
+
+func newLaneKernel(ms *MultiScenario, ro Options, sharedSeg bool, shifts [][]float64, shiftedC []bool, shiftSq []float64, anyShift bool, qshifts [][]uint64) *laneKernel {
+	lk := &laneKernel{
+		ms:        ms,
+		prog:      compileApplyProg(ms.Space, ms.Base),
+		scale:     laneScaleFor(ms.Base),
+		sharedSeg: sharedSeg,
+		target:    ms.Target,
+		seed:      ro.Seed,
+		sampler:   resolveSampler(ro.Sampler),
+		bar:       ms.Base.Barrier,
+		bar2:      2 * ms.Base.Barrier,
+		scmfp:     ms.Base.ScatterCoeff * ms.Base.MeanFreePath,
+		rho0:      ms.Base.RhoBulk,
+		shifts:    shifts,
+		shiftedC:  shiftedC,
+		shiftSq:   shiftSq,
+		anyShift:  anyShift,
+		qshifts:   qshifts,
+		qmc:       qshifts != nil,
+	}
+	if shiftSq != nil {
+		lk.halfSq = make([]float64, len(shiftSq))
+		for c, s := range shiftSq {
+			lk.halfSq[c] = s / 2
+		}
+	}
+	lk.segs = make([]laneSeg, len(ms.Specs))
+	lk.cands = make([]laneCand, len(ms.Specs))
+	for c := range ms.Specs {
+		spec := &ms.Specs[c]
+		lk.segs[c] = laneSegFor(spec.Segment)
+		wn, wp := ms.Base.InverterWidths(spec.Size)
+		kc := &ms.Coeffs.Inv
+		if spec.Kind == liberty.Buffer {
+			kc = &ms.Coeffs.Buf
+		}
+		lk.cands[c] = laneCand{
+			wn:         wn,
+			wp:         wp,
+			wnwp:       wn + wp,
+			stageLen:   spec.Segment.Length / float64(spec.N),
+			lambdaHalf: spec.Segment.Style.MillerFactor() / 2,
+			stages:     spec.N,
+			inverter:   spec.Kind == liberty.Inverter,
+			kappa0:     kc.Kappa,
+			rise:       kc.Rise,
+			fall:       kc.Fall,
+			inputSlew:  spec.InputSlew,
+			staggered:  spec.Segment.Style == wire.Staggered,
+		}
+	}
+	return lk
+}
+
+// laneScratch is one worker's lane state: fixed-shape arrays of
+// laneSize entries carved from one backing slice, plus a scalar
+// multiScratch for the rare validation-fallback samples. The shape is
+// scenario-independent, so scratches are pooled across runs (and
+// across the coordinator's shard waves).
+type laneScratch struct {
+	backing []float64
+	epsT    [Dims][]float64     // transposed base draws
+	zs      [Dims][]float64     // transposed shifted draws (ISLE)
+	fac     [facCount][]float64 // apply-program outputs
+	rdN     []float64
+	rdP     []float64
+	rCap    []float64
+	dot     []float64
+	w       []float64
+	wid     []float64
+	rPerM   []float64
+	gPerM   []float64
+	cPerM   []float64
+	cl      []float64
+	dw      []float64
+	tot     []float64
+	tot2    []float64
+	slw     []float64
+	slw2    []float64
+	fb      []bool
+	scalar  multiScratch
+}
+
+const laneArrays = Dims + Dims + facCount + 15
+
+var laneScratchPool = sync.Pool{New: func() any {
+	ls := &laneScratch{backing: make([]float64, laneArrays*laneSize)}
+	b := ls.backing
+	carve := func() []float64 {
+		a := b[:laneSize:laneSize]
+		b = b[laneSize:]
+		return a
+	}
+	for d := 0; d < Dims; d++ {
+		ls.epsT[d] = carve()
+	}
+	for d := 0; d < Dims; d++ {
+		ls.zs[d] = carve()
+	}
+	for f := 0; f < facCount; f++ {
+		ls.fac[f] = carve()
+	}
+	ls.rdN, ls.rdP, ls.rCap = carve(), carve(), carve()
+	ls.dot, ls.w = carve(), carve()
+	ls.wid = carve()
+	ls.rPerM, ls.gPerM, ls.cPerM = carve(), carve(), carve()
+	ls.cl, ls.dw = carve(), carve()
+	ls.tot, ls.tot2 = carve(), carve()
+	ls.slw, ls.slw2 = carve(), carve()
+	ls.fb = make([]bool, laneSize)
+	draws := make([]float64, 2*Dims)
+	ls.scalar.eps = draws[:Dims]
+	ls.scalar.z = draws[Dims:]
+	return ls
+}}
+
+func getLaneScratch() *laneScratch   { return laneScratchPool.Get().(*laneScratch) }
+func putLaneScratch(ls *laneScratch) { laneScratchPool.Put(ls) }
+
+// drawPhase fills the transposed base-draw arrays for global sample
+// indices [start, start+n): per-sample PRNG streams in dimension order
+// (exactly the order the scalar path fills its draw buffer), or Sobol
+// points in QMC mode.
+func (lk *laneKernel) drawPhase(ls *laneScratch, start, n int) {
+	if lk.qmc {
+		buf := ls.scalar.eps
+		for k := 0; k < n; k++ {
+			i := start + k
+			estimator.SobolNormal(uint64(i/qmcReplicates), lk.qshifts[i%qmcReplicates], buf)
+			for d := 0; d < Dims; d++ {
+				ls.epsT[d][k] = buf[d]
+			}
+		}
+		return
+	}
+	st := &ls.scalar.stream
+	if lk.sampler == SamplerBoxMuller {
+		for k := 0; k < n; k++ {
+			st.Reset(lk.seed, uint64(start+k))
+			for d := 0; d < Dims; d++ {
+				ls.epsT[d][k] = st.Norm()
+			}
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		st.Reset(lk.seed, uint64(start+k))
+		for d := 0; d < Dims; d++ {
+			ls.epsT[d][k] = st.NormZig()
+		}
+	}
+}
+
+// shiftCand prepares candidate c's shifted draws and likelihood-ratio
+// weights: z ← ε + θ with w = exp(−⟨θ,z⟩ + |θ|²/2), the dot product
+// accumulated in dimension order exactly as evalShifted does.
+func (lk *laneKernel) shiftCand(ls *laneScratch, c, n int) {
+	dot := ls.dot[:n]
+	for k := range dot {
+		dot[k] = 0
+	}
+	th := lk.shifts[c]
+	for d := 0; d < Dims; d++ {
+		t := th[d]
+		e := ls.epsT[d][:n]
+		zz := ls.zs[d][:n]
+		for k := range zz {
+			z := e[k] + t
+			zz[k] = z
+			dot[k] += t * z
+		}
+	}
+	w := ls.w[:n]
+	half := lk.halfSq[c]
+	for k := range w {
+		w[k] = math.Exp(-dot[k] + half)
+	}
+}
+
+// scalePhase derives the per-sample drive and capacitance ratios —
+// the subset of ScaleInto the delay path consumes — from the apply
+// program's outputs. The expressions mirror model.driveRatio and
+// ScaleInto exactly (perturbed K is nominal/fL, perturbed CGate is
+// nominal·fL, same association order); only the nominal halves are
+// precomputed.
+func (lk *laneKernel) scalePhase(ls *laneScratch, n int) {
+	sc := &lk.scale
+	fL := ls.fac[facL][:n]
+	vthN := ls.fac[facVthN][:n]
+	vthP := ls.fac[facVthP][:n]
+	rdN := ls.rdN[:n]
+	rdP := ls.rdP[:n]
+	rCap := ls.rCap[:n]
+	for k := range fL {
+		r := 1.0
+		if sc.odNPos {
+			if od := sc.vdd - vthN[k]; od > 0 {
+				r = (sc.vdd / ((sc.kN / fL[k]) * math.Pow(od, sc.alphaN))) / sc.rNomN
+			}
+		}
+		rdN[k] = r
+		r = 1.0
+		if sc.odPPos {
+			if od := sc.vdd - vthP[k]; od > 0 {
+				r = (sc.vdd / ((sc.kP / fL[k]) * math.Pow(od, sc.alphaP))) / sc.rNomP
+			}
+		}
+		rdP[k] = r
+		rc := 1.0
+		if sc.cgPos {
+			rc = ((sc.cgN * fL[k]) + (sc.cgP * fL[k])) / sc.cgSum
+		}
+		rCap[k] = rc
+	}
+}
+
+// wirePhase fuses perturbSegment with model.SegmentRC: perturb the
+// drawn geometry (width at constant pitch, clamped spacing, thickness
+// and ILD factors) and extract the corrected per-meter resistance and
+// the style-resolved capacitances, mirroring wire.ResistancePerMeter /
+// GroundCapPerMeter / CouplingCapPerMeter operation for operation.
+func (lk *laneKernel) wirePhase(ls *laneScratch, sg *laneSeg, n int) {
+	fW := ls.fac[facW][:n]
+	fT := ls.fac[facT][:n]
+	fI := ls.fac[facILD][:n]
+	fR := ls.fac[facRho][:n]
+	wid := ls.wid[:n]
+	rp := ls.rPerM[:n]
+	gp := ls.gPerM[:n]
+	cp := ls.cPerM[:n]
+	for k := range fW {
+		dw := sg.w0 * (fW[k] - 1)
+		w := sg.w0 + dw
+		sp := sg.sp0 - dw
+		if sp < sg.minSp {
+			sp = sg.minSp
+		}
+		th := sg.th0 * fT[k]
+		ild := sg.ild0 * fI[k]
+		rho := lk.rho0 * fR[k]
+
+		coreW := w - lk.bar2
+		coreH := th - lk.bar
+		if coreW <= 0 || coreH <= 0 {
+			rp[k] = 1e12
+		} else {
+			core := w - lk.bar2
+			if core <= 0 {
+				core = 1e-10
+			}
+			rp[k] = rho * (1 + lk.scmfp/core) / (coreW * coreH)
+		}
+
+		g := sg.twoEps * (1.15*(w/ild) + 2.80*math.Pow(th/ild, 0.222))
+		cc := sg.c12eps * th / sp
+		if sg.shielded {
+			gp[k] = g + 2*cc
+			cp[k] = 0
+		} else {
+			gp[k] = g
+			cp[k] = 2 * cc
+		}
+		wid[k] = w
+	}
+}
+
+// flagFallback marks samples whose perturbed width fails the scalar
+// path's per-sample validation (no copper core left after the
+// barrier); those replay through the scalar evaluator to surface the
+// identical error.
+func (lk *laneKernel) flagFallback(ls *laneScratch, n int) bool {
+	wid := ls.wid[:n]
+	any := false
+	for k := range wid {
+		if wid[k] <= lk.bar2 {
+			ls.fb[k] = true
+			any = true
+		}
+	}
+	return any
+}
+
+// candPhase scores candidate c across the lane: load and wire-delay
+// arrays, both edge polarities, worst edge against the target. wts is
+// nil for unit contributions (plain MC/QMC) or the likelihood-ratio
+// weights (ISLE).
+func (lk *laneKernel) candPhase(ls *laneScratch, c, n int, contrib []float64, K int, wts []float64) {
+	cd := &lk.cands[c]
+	rCap := ls.rCap[:n]
+	gp := ls.gPerM[:n]
+	cp := ls.cPerM[:n]
+	rp := ls.rPerM[:n]
+	cl := ls.cl[:n]
+	dwv := ls.dw[:n]
+	for k := range rCap {
+		ci := (cd.kappa0 * rCap[k]) * cd.wnwp
+		ground := gp[k] * cd.stageLen
+		coupling := cp[k] * cd.stageLen
+		quiet, coupled := ground, coupling
+		if cd.staggered {
+			quiet = ground + coupling
+			coupled = 0
+		}
+		cl[k] = quiet + 2*coupled + ci
+		dwv[k] = rp[k] * cd.stageLen * (0.4*quiet + cd.lambdaHalf*coupled + 0.7*ci)
+	}
+	lk.edgePass(ls, cd, true, ls.tot, ls.slw, n)
+	lk.edgePass(ls, cd, false, ls.tot2, ls.slw2, n)
+	tR := ls.tot[:n]
+	tF := ls.tot2[:n]
+	tgt := lk.target
+	if wts == nil {
+		for k := range tR {
+			d := tR[k]
+			if !(tR[k] >= tF[k]) {
+				d = tF[k]
+			}
+			if d > tgt {
+				contrib[k*K+c] = 1
+			} else {
+				contrib[k*K+c] = 0
+			}
+		}
+		return
+	}
+	w := wts[:n]
+	for k := range tR {
+		d := tR[k]
+		if !(tR[k] >= tF[k]) {
+			d = tF[k]
+		}
+		if d > tgt {
+			contrib[k*K+c] = w[k]
+		} else {
+			contrib[k*K+c] = 0
+		}
+	}
+}
+
+// edgePass evaluates one starting polarity across the lane, mirroring
+// Coefficients.lineEdge with the coefficient scaling (scaleEdge's
+// rd·rc products) fused into the stage loop.
+func (lk *laneKernel) edgePass(ls *laneScratch, cd *laneCand, startRising bool, tot, slw []float64, n int) {
+	tot = tot[:n]
+	slw = slw[:n]
+	for k := range tot {
+		tot[k] = 0
+		slw[k] = cd.inputSlew
+	}
+	rCap := ls.rCap[:n]
+	cl := ls.cl[:n]
+	dwv := ls.dw[:n]
+	outRising := startRising
+	if cd.inverter {
+		outRising = !startRising
+	}
+	for i := 0; i < cd.stages; i++ {
+		rd := ls.rdN[:n]
+		wr := cd.wn
+		e := &cd.fall
+		if outRising {
+			rd = ls.rdP[:n]
+			wr = cd.wp
+			e = &cd.rise
+		}
+		a0, a1, a2 := e.A0, e.A1, e.A2
+		b0, b1 := e.Beta0, e.Beta1
+		g0, g1, g2 := e.Gamma0, e.Gamma1, e.Gamma2
+		for k := range tot {
+			rdv := rd[k]
+			rdrc := rdv * rCap[k]
+			s := slw[k]
+			clv := cl[k]
+			delay := (a0*rdrc + a1*rdrc*s + a2*rdrc*s*s) +
+				(b0*rdv/wr+b1*rdv/wr*s)*clv
+			tot[k] += delay
+			tot[k] += dwv[k]
+			sl := g0*rdv + g1*rdv*s/wr + g2*rdv*clv
+			if sl < 1e-15 {
+				sl = 1e-15
+			}
+			slw[k] = sl
+		}
+		if cd.inverter {
+			outRising = !outRising
+		}
+	}
+}
+
+// fallback replays flagged samples through the scalar evaluator —
+// same draws, same eval — overwriting their contribution rows and
+// surfacing the exact error the scalar kernel would (lowest flagged
+// sample first, matching the pool's lowest-index error selection).
+func (lk *laneKernel) fallback(ls *laneScratch, start, n int, contrib []float64, K int, active []bool) error {
+	s := &ls.scalar
+	for k := 0; k < n; k++ {
+		if !ls.fb[k] {
+			continue
+		}
+		i := start + k
+		if lk.qmc {
+			estimator.SobolNormal(uint64(i/qmcReplicates), lk.qshifts[i%qmcReplicates], s.eps)
+		} else {
+			s.stream.Reset(lk.seed, uint64(i))
+			s.stream.normsInto(s.eps, lk.sampler)
+		}
+		row := contrib[k*K : (k+1)*K]
+		var err error
+		if lk.anyShift {
+			err = lk.ms.evalShifted(s, row, active, lk.shifts, lk.shiftedC, lk.shiftSq)
+		} else {
+			err = lk.ms.evalShared(s, row, active, lk.sharedSeg)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eval scores one lane: global sample indices [start, start+n) into
+// contribution rows contrib[k*K+c]. Only active candidates are
+// written, mirroring the scalar evaluators.
+func (lk *laneKernel) eval(ls *laneScratch, start, n int, contrib []float64, K int, active []bool) error {
+	lk.drawPhase(ls, start, n)
+	fb := ls.fb[:n]
+	for k := range fb {
+		fb[k] = false
+	}
+	anyFB := false
+	if !lk.anyShift {
+		lk.prog.run(&ls.epsT, &ls.fac, n)
+		lk.scalePhase(ls, n)
+		if lk.sharedSeg {
+			lk.wirePhase(ls, &lk.segs[0], n)
+			anyFB = lk.flagFallback(ls, n)
+			for c := range lk.cands {
+				if !active[c] {
+					continue
+				}
+				lk.candPhase(ls, c, n, contrib, K, nil)
+			}
+		} else {
+			for c := range lk.cands {
+				if !active[c] {
+					continue
+				}
+				lk.wirePhase(ls, &lk.segs[c], n)
+				if lk.flagFallback(ls, n) {
+					anyFB = true
+				}
+				lk.candPhase(ls, c, n, contrib, K, nil)
+			}
+		}
+	} else {
+		for c := range lk.cands {
+			if !active[c] {
+				continue
+			}
+			var wts []float64
+			if lk.shiftedC[c] {
+				lk.shiftCand(ls, c, n)
+				lk.prog.run(&ls.zs, &ls.fac, n)
+				wts = ls.w
+			} else {
+				lk.prog.run(&ls.epsT, &ls.fac, n)
+			}
+			lk.scalePhase(ls, n)
+			lk.wirePhase(ls, &lk.segs[c], n)
+			if lk.flagFallback(ls, n) {
+				anyFB = true
+			}
+			lk.candPhase(ls, c, n, contrib, K, wts)
+		}
+	}
+	if anyFB {
+		return lk.fallback(ls, start, n, contrib, K, active)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package variation
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/estimator"
+	"repro/internal/model"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+// withScalarKernel runs f with the lane kernel disabled, restoring the
+// default afterwards. The hook is package-internal and only flipped
+// between estimations, never during one.
+func withScalarKernel(f func()) {
+	laneKernelDisabled = true
+	defer func() { laneKernelDisabled = false }()
+	f()
+}
+
+// TestLaneBitIdenticalToScalar is the tentpole acceptance matrix: for
+// every sampling rung (mc, isle, qmc), both samplers, shared and
+// per-candidate segments, and workers 1/4/GOMAXPROCS, the lane kernel
+// returns Estimates bit-identical to the scalar per-sample kernel. No
+// tolerance anywhere: the lane preserves the scalar path's expression
+// association and the caller's fold order, so the comparison is ==.
+func TestLaneBitIdenticalToScalar(t *testing.T) {
+	tc := tech.MustLookup("90nm")
+	coeffs := model.MustDefault("90nm")
+	seg := wire.NewSegment(tc, 5e-3, wire.SWSS)
+
+	shared := sweepSpecs(seg)
+	mixed := sweepSpecs(seg)
+	segB := wire.NewSegmentOn(tc, tc.Intermediate, 3e-3, wire.Shielded)
+	mixed[1].Segment = segB
+	mixed[3].Segment = segB
+	mixed[3].N = 9
+
+	for _, geom := range []struct {
+		name  string
+		specs []model.LineSpec
+	}{{"shared-seg", shared}, {"mixed-seg", mixed}} {
+		for _, est := range []estimator.Kind{estimator.MC, estimator.ISLE, estimator.QMC} {
+			for _, sampler := range []Sampler{SamplerBoxMuller, SamplerZiggurat} {
+				if est == estimator.QMC && sampler == SamplerZiggurat {
+					continue // QMC draws Sobol points; the sampler is inert
+				}
+				o := YieldOptions{
+					Samples: 2048, Seed: 11, RelErr: 0.15,
+					Estimator: est, Sampler: sampler,
+				}
+				ms := &MultiScenario{Base: tc, Coeffs: coeffs, Space: DefaultSpace(), Specs: geom.specs, Target: 500e-12}
+				var want []Estimate
+				withScalarKernel(func() {
+					var err error
+					want, err = EstimateYieldsShared(ms, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+				for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+					o.Workers = workers
+					got, err := EstimateYieldsShared(ms, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/%s/%s workers=%d: lane diverged from scalar:\n got %+v\nwant %+v",
+							geom.name, est, resolveSampler(sampler), workers, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLanePartialBitIdentity covers the coordinator shard path: a
+// shard's sparse contributions from the lane kernel must equal the
+// scalar kernel's exactly, for every shardable rung, at shard
+// boundaries that are not lane- or batch-aligned.
+func TestLanePartialBitIdentity(t *testing.T) {
+	sc := testScenario(t, 520e-12)
+	for _, est := range []estimator.Kind{estimator.MC, estimator.ISLE, estimator.QMC} {
+		o := YieldOptions{Samples: 2048, Seed: 5, Estimator: est, Workers: 3}
+		for _, shard := range []struct{ start, count int }{{0, 700}, {700, 1348}} {
+			var want Partial
+			withScalarKernel(func() {
+				var err error
+				want, _, _, err = CollectPartialCtx(context.Background(), sc, o, shard.start, shard.count)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			got, _, _, err := CollectPartialCtx(context.Background(), sc, o, shard.start, shard.count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s shard [%d,%d): lane partial diverged from scalar:\n got %+v\nwant %+v",
+					est, shard.start, shard.start+shard.count, got, want)
+			}
+		}
+	}
+}
+
+// TestLaneLegacySamplerMatchesHistoricalKernel pins that the pinned
+// legacy sampler really is the historical sequence: the lane kernel
+// under SamplerBoxMuller reproduces the pre-lane per-sample kernel
+// (RunCtx over LinkScenario.Delay) bit-exactly — the same fixture
+// TestSharedKernelBitIdenticalToLegacy uses.
+func TestLaneLegacySamplerMatchesHistoricalKernel(t *testing.T) {
+	sc := testScenario(t, 480e-12)
+	o := YieldOptions{Samples: 2048, Seed: 3, Sampler: SamplerBoxMuller}
+	want := legacyLinkYield(t, sc, o)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		o.Workers = workers
+		got, err := EstimateLinkYield(sc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: lane+box-muller diverged from historical kernel:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestLaneValidationFallback forces the one per-sample branch the lane
+// cannot precompute — a perturbed width thin enough to lose its copper
+// core — and checks the lane surfaces the identical error the scalar
+// kernel does.
+func TestLaneValidationFallback(t *testing.T) {
+	sc := testScenario(t, 480e-12)
+	// Nominal width just above the validity floor (2·barrier), with a
+	// wide width sigma: a one-sided draw shrinks the line below the
+	// floor, which the scalar path rejects per sample.
+	sc.Spec.Segment.Width = 2.5 * sc.Base.Barrier
+	sc.Spec.Segment.Spacing += sc.Spec.Segment.Width
+	sc.Space.WireWidthSigma = 0.3
+
+	o := YieldOptions{Samples: 512, Seed: 2}
+	var wantErr error
+	withScalarKernel(func() {
+		_, err := EstimateLinkYield(sc, o)
+		if err == nil {
+			t.Fatal("scalar kernel accepted a sub-barrier width; fixture is broken")
+		}
+		wantErr = err
+	})
+	for _, workers := range []int{1, 4} {
+		o.Workers = workers
+		_, err := EstimateLinkYield(sc, o)
+		if err == nil {
+			t.Fatalf("workers=%d: lane kernel missed the validation failure", workers)
+		}
+		if err.Error() != wantErr.Error() {
+			t.Fatalf("workers=%d: lane error %q != scalar error %q", workers, err, wantErr)
+		}
+	}
+}
+
+// TestLaneChunk pins the lane scheduling policy: full lanes serial,
+// shrunk-but-bounded lanes parallel, never exceeding the batch.
+func TestLaneChunk(t *testing.T) {
+	for _, c := range []struct {
+		batch, workers, want int
+	}{
+		{256, 1, 64},  // serial: full lanes
+		{256, 4, 64},  // 64 samples/worker: full lanes still fit
+		{256, 8, 32},  // shrink so every worker gets a lane
+		{256, 32, 16}, // floor at laneMin
+		{8, 4, 8},     // tiny batch: laneMin floor, then capped at batch
+		{1, 1, 1},
+		{10, 64, 10}, // laneMin capped by the batch itself
+	} {
+		if got := laneChunk(c.batch, c.workers); got != c.want {
+			t.Fatalf("laneChunk(%d, %d) = %d, want %d", c.batch, c.workers, got, c.want)
+		}
+	}
+}

@@ -328,12 +328,37 @@ func runMCSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOptions, ro O
 	}
 	left := K
 
-	maxW := pool.Workers(ro.Workers, ro.Batch)
-	scratch := make([]multiScratch, maxW)
-	draws := make([]float64, 2*maxW*Dims)
-	for w := range scratch {
-		scratch[w].eps = draws[2*w*Dims : (2*w+1)*Dims]
-		scratch[w].z = draws[(2*w+1)*Dims : (2*w+2)*Dims]
+	// The lane kernel is the default evaluation path; the scalar
+	// per-sample path stays behind the test hook (and serves as the
+	// lane's validation fallback). Both produce bit-identical
+	// contribution rows, and the fold below never knows which ran.
+	useLane := !laneKernelDisabled
+	var lk *laneKernel
+	var lsc []*laneScratch
+	chunk := 1
+	if useLane {
+		lk = newLaneKernel(ms, ro, sharedSeg, shifts, shiftedC, shiftSq, anyShift, nil)
+		chunk = laneChunk(ro.Batch, pool.Workers(ro.Workers, ro.Batch))
+		lanesMax := (ro.Batch + chunk - 1) / chunk
+		lsc = make([]*laneScratch, pool.Workers(ro.Workers, lanesMax))
+		for w := range lsc {
+			lsc[w] = getLaneScratch()
+		}
+		defer func() {
+			for _, s := range lsc {
+				putLaneScratch(s)
+			}
+		}()
+	}
+	var scratch []multiScratch
+	if !useLane {
+		maxW := pool.Workers(ro.Workers, ro.Batch)
+		scratch = make([]multiScratch, maxW)
+		draws := make([]float64, 2*maxW*Dims)
+		for w := range scratch {
+			scratch[w].eps = draws[2*w*Dims : (2*w+1)*Dims]
+			scratch[w].z = draws[(2*w+1)*Dims : (2*w+2)*Dims]
+		}
 	}
 
 	// contrib row k holds sample (start+k)'s K candidate
@@ -353,16 +378,35 @@ func runMCSharedCtx(ctx context.Context, ms *MultiScenario, o YieldOptions, ro O
 			batch = rem
 		}
 		start := done
-		err := pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
-			s := &scratch[worker]
-			s.stream.Reset(ro.Seed, uint64(start+k))
-			s.stream.NormsInto(s.eps)
-			row := contrib[k*K : (k+1)*K]
-			if !anyShift {
-				return ms.evalShared(s, row, active, sharedSeg)
-			}
-			return ms.evalShifted(s, row, active, shifts, shiftedC, shiftSq)
-		})
+		var err error
+		if useLane {
+			// Lane-granular dispatch: each pool item is one lane of
+			// up to chunk samples, amortizing the per-item handoff
+			// that made per-sample dispatch slower in parallel than
+			// serial. Errors still resolve to the lowest failing
+			// sample: lanes cover ascending index ranges and the
+			// kernel reports a lane's lowest-index error.
+			lanes := (batch + chunk - 1) / chunk
+			err = pool.ForEachWorkerCtx(ctx, ro.Workers, lanes, func(l, worker int) error {
+				off := l * chunk
+				n := chunk
+				if off+n > batch {
+					n = batch - off
+				}
+				return lk.eval(lsc[worker], start+off, n, contrib[off*K:(off+n)*K], K, active)
+			})
+		} else {
+			err = pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
+				s := &scratch[worker]
+				s.stream.Reset(ro.Seed, uint64(start+k))
+				s.stream.normsInto(s.eps, ro.Sampler)
+				row := contrib[k*K : (k+1)*K]
+				if !anyShift {
+					return ms.evalShared(s, row, active, sharedSeg)
+				}
+				return ms.evalShifted(s, row, active, shifts, shiftedC, shiftSq)
+			})
+		}
 		if err != nil {
 			return nil, err
 		}

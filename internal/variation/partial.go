@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/estimator"
 	"repro/internal/faultinject"
@@ -44,6 +46,26 @@ import (
 var ErrNotShardable = errors.New("variation: estimator rung cannot be sharded by sample index")
 
 var metShardsCollected = obs.NewCounter("variation.shards_collected")
+
+// contribPool recycles the batch-contribution row across shard
+// collections: a coordinator worker serving successive shard waves
+// reuses one row instead of allocating a fresh batch-sized slice per
+// RPC (the laneScratch pool already does the same for the kernel's
+// per-worker scratch).
+var contribPool sync.Pool
+
+func getContrib(n int) []float64 {
+	if v := contribPool.Get(); v != nil {
+		if b := v.(*[]float64); cap(*b) >= n {
+			return (*b)[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putContrib(b []float64) {
+	contribPool.Put(&b)
+}
 
 // Partial is one contiguous shard's contribution to an estimation:
 // the sparse nonzero sample contributions over global sample indices
@@ -198,18 +220,45 @@ func CollectPartialCtx(ctx context.Context, sc *LinkScenario, o YieldOptions, st
 		}
 	}
 
-	maxW := pool.Workers(ro.Workers, ro.Batch)
-	scratch := make([]multiScratch, maxW)
-	draws := make([]float64, 2*maxW*Dims)
-	for w := range scratch {
-		scratch[w].eps = draws[2*w*Dims : (2*w+1)*Dims]
-		scratch[w].z = draws[(2*w+1)*Dims : (2*w+2)*Dims]
+	// Lane kernel by default, scalar per-sample path behind the test
+	// hook — see runMCSharedCtx. The per-worker lane scratch comes from
+	// a process-wide pool, so a coordinator worker serving successive
+	// shard waves reuses the same buffers instead of reallocating per
+	// request.
+	useLane := !laneKernelDisabled
+	var lk *laneKernel
+	var lsc []*laneScratch
+	chunk := 1
+	if useLane {
+		lk = newLaneKernel(ms, ro, true, shifts, shiftedC, shiftSq, shifted, qshifts)
+		chunk = laneChunk(ro.Batch, pool.Workers(ro.Workers, ro.Batch))
+		lanesMax := (ro.Batch + chunk - 1) / chunk
+		lsc = make([]*laneScratch, pool.Workers(ro.Workers, lanesMax))
+		for w := range lsc {
+			lsc[w] = getLaneScratch()
+		}
+		defer func() {
+			for _, s := range lsc {
+				putLaneScratch(s)
+			}
+		}()
+	}
+	var scratch []multiScratch
+	if !useLane {
+		maxW := pool.Workers(ro.Workers, ro.Batch)
+		scratch = make([]multiScratch, maxW)
+		draws := make([]float64, 2*maxW*Dims)
+		for w := range scratch {
+			scratch[w].eps = draws[2*w*Dims : (2*w+1)*Dims]
+			scratch[w].z = draws[(2*w+1)*Dims : (2*w+2)*Dims]
+		}
 	}
 	active := []bool{true}
 
 	var failIdx []int
 	var wts []float64
-	contrib := make([]float64, ro.Batch)
+	contrib := getContrib(ro.Batch)
+	defer putContrib(contrib)
 	for done := 0; done < count; {
 		if err := ctx.Err(); err != nil {
 			return Partial{}, kind, shifted, err
@@ -222,28 +271,55 @@ func CollectPartialCtx(ctx context.Context, sc *LinkScenario, o YieldOptions, st
 			batch = rem
 		}
 		base := start + done
-		err := pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
-			s := &scratch[worker]
-			i := base + k
-			if kind == estimator.QMC {
-				estimator.SobolNormal(uint64(i/qmcReplicates), qshifts[i%qmcReplicates], s.eps)
-				return ms.evalShared(s, contrib[k:k+1], active, true)
-			}
-			s.stream.Reset(ro.Seed, uint64(i))
-			s.stream.NormsInto(s.eps)
-			if !shifted {
-				return ms.evalShared(s, contrib[k:k+1], active, true)
-			}
-			return ms.evalShifted(s, contrib[k:k+1], active, shifts, shiftedC, shiftSq)
-		})
+		var err error
+		if useLane {
+			lanes := (batch + chunk - 1) / chunk
+			err = pool.ForEachWorkerCtx(ctx, ro.Workers, lanes, func(l, worker int) error {
+				off := l * chunk
+				n := chunk
+				if off+n > batch {
+					n = batch - off
+				}
+				return lk.eval(lsc[worker], base+off, n, contrib[off:off+n], 1, active)
+			})
+		} else {
+			err = pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
+				s := &scratch[worker]
+				i := base + k
+				if kind == estimator.QMC {
+					estimator.SobolNormal(uint64(i/qmcReplicates), qshifts[i%qmcReplicates], s.eps)
+					return ms.evalShared(s, contrib[k:k+1], active, true)
+				}
+				s.stream.Reset(ro.Seed, uint64(i))
+				s.stream.normsInto(s.eps, ro.Sampler)
+				if !shifted {
+					return ms.evalShared(s, contrib[k:k+1], active, true)
+				}
+				return ms.evalShifted(s, contrib[k:k+1], active, shifts, shiftedC, shiftSq)
+			})
+		}
 		if err != nil {
 			return Partial{}, kind, shifted, err
 		}
+		// Count first, grow exactly: the retained fail lists take one
+		// allocation per batch at most instead of append's doubling walk.
+		nf := 0
 		for k := 0; k < batch; k++ {
-			if x := contrib[k]; x != 0 {
-				failIdx = append(failIdx, base+k)
-				if shifted {
-					wts = append(wts, x)
+			if contrib[k] != 0 {
+				nf++
+			}
+		}
+		if nf > 0 {
+			failIdx = slices.Grow(failIdx, nf)
+			if shifted {
+				wts = slices.Grow(wts, nf)
+			}
+			for k := 0; k < batch; k++ {
+				if x := contrib[k]; x != 0 {
+					failIdx = append(failIdx, base+k)
+					if shifted {
+						wts = append(wts, x)
+					}
 				}
 			}
 		}

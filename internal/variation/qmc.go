@@ -69,11 +69,34 @@ func runQMCSharedCtx(ctx context.Context, ms *MultiScenario, ro Options) ([]Esti
 	}
 	left := K
 
-	maxW := pool.Workers(ro.Workers, ro.Batch)
-	scratch := make([]multiScratch, maxW)
-	draws := make([]float64, maxW*Dims)
-	for w := range scratch {
-		scratch[w].eps = draws[w*Dims : (w+1)*Dims]
+	// Lane kernel by default, scalar per-sample path behind the test
+	// hook — see runMCSharedCtx.
+	useLane := !laneKernelDisabled
+	var lk *laneKernel
+	var lsc []*laneScratch
+	chunk := 1
+	if useLane {
+		lk = newLaneKernel(ms, ro, sharedSeg, nil, nil, nil, false, shifts)
+		chunk = laneChunk(ro.Batch, pool.Workers(ro.Workers, ro.Batch))
+		lanesMax := (ro.Batch + chunk - 1) / chunk
+		lsc = make([]*laneScratch, pool.Workers(ro.Workers, lanesMax))
+		for w := range lsc {
+			lsc[w] = getLaneScratch()
+		}
+		defer func() {
+			for _, s := range lsc {
+				putLaneScratch(s)
+			}
+		}()
+	}
+	var scratch []multiScratch
+	if !useLane {
+		maxW := pool.Workers(ro.Workers, ro.Batch)
+		scratch = make([]multiScratch, maxW)
+		draws := make([]float64, maxW*Dims)
+		for w := range scratch {
+			scratch[w].eps = draws[w*Dims : (w+1)*Dims]
+		}
 	}
 
 	contrib := make([]float64, ro.Batch*K)
@@ -89,13 +112,26 @@ func runQMCSharedCtx(ctx context.Context, ms *MultiScenario, ro Options) ([]Esti
 			batch = rem
 		}
 		start := done
-		err := pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
-			i := start + k
-			s := &scratch[worker]
-			estimator.SobolNormal(uint64(i/qmcReplicates), shifts[i%qmcReplicates], s.eps)
-			row := contrib[k*K : (k+1)*K]
-			return ms.evalShared(s, row, active, sharedSeg)
-		})
+		var err error
+		if useLane {
+			lanes := (batch + chunk - 1) / chunk
+			err = pool.ForEachWorkerCtx(ctx, ro.Workers, lanes, func(l, worker int) error {
+				off := l * chunk
+				n := chunk
+				if off+n > batch {
+					n = batch - off
+				}
+				return lk.eval(lsc[worker], start+off, n, contrib[off*K:(off+n)*K], K, active)
+			})
+		} else {
+			err = pool.ForEachWorkerCtx(ctx, ro.Workers, batch, func(k, worker int) error {
+				i := start + k
+				s := &scratch[worker]
+				estimator.SobolNormal(uint64(i/qmcReplicates), shifts[i%qmcReplicates], s.eps)
+				row := contrib[k*K : (k+1)*K]
+				return ms.evalShared(s, row, active, sharedSeg)
+			})
+		}
 		if err != nil {
 			return nil, err
 		}

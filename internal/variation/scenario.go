@@ -128,6 +128,14 @@ type YieldOptions struct {
 	// at ≥3σ it arms the worst-case-distance pre-filter: the analytic
 	// bound answers certified-either-way queries without sampling.
 	TargetSigma float64
+	// Sampler selects the normal sampler for the mc/isle rungs:
+	// SamplerZiggurat (default when empty) or SamplerBoxMuller (the
+	// pinned legacy sequence). qmc (Sobol points), ais (its own
+	// proposal sampling), and wcd (no sampling) ignore it. Estimates
+	// stay bit-identical across worker counts and shard layouts under
+	// either sampler; the two samplers produce different draw
+	// sequences at the same seed.
+	Sampler Sampler
 }
 
 // resolveKind maps the options' estimator hints to the concrete rung
@@ -164,6 +172,7 @@ func (o YieldOptions) runOptions() Options {
 		AbsErr:     o.AbsErr,
 		Workers:    o.Workers,
 		Seed:       o.Seed,
+		Sampler:    o.Sampler,
 	}
 }
 

@@ -33,9 +33,25 @@
 # JSON, index-ordered partial merge) is bookkeeping around the same
 # sample evaluations and must stay a small constant factor.
 #
+# With a seventh argument (or MC_NS_PER_SAMPLE_CEILING), the script
+# fails when the plain-MC serial benchmark (.../mc-serial) exceeds that
+# many ns per sample — the throughput gate on the SoA lane kernel.
+#
+# With an eighth argument (or MC_PARALLEL_FACTOR), the script fails
+# when mc-parallel runs more than that factor slower than mc-serial per
+# sample: parallel dispatch must never lose to serial (the lane-granular
+# pool dispatch exists precisely so per-sample dispatch overhead cannot
+# eat the parallel speedup).
+#
+# With a ninth argument (or COORD_ALLOCS_CEILING), the script fails
+# when the coordinator loopback benchmark allocates more than that many
+# heap objects per operation — the guard on the shard protocol's pooled
+# encode/decode scratch.
+#
 # Usage: scripts/bench_yield.sh [benchtime] [alloc ceiling] [surface ns ceiling] \
 #                               [ais ns/sample ceiling] [wcd prefilter ns ceiling] \
-#                               [coordinator overhead factor]
+#                               [coordinator overhead factor] [mc ns/sample ceiling] \
+#                               [mc parallel factor] [coordinator allocs ceiling]
 #        (default 5x, no gates)
 set -eu
 
@@ -46,17 +62,25 @@ surface_ceiling="${3:-${SURFACE_NS_CEILING:-}}"
 ais_ceiling="${4:-${AIS_NS_PER_SAMPLE_CEILING:-}}"
 wcd_ceiling="${5:-${WCD_PREFILTER_NS_CEILING:-}}"
 coord_factor="${6:-${COORD_OVERHEAD_FACTOR:-}}"
+mc_ceiling="${7:-${MC_NS_PER_SAMPLE_CEILING:-}}"
+mc_par_factor="${8:-${MC_PARALLEL_FACTOR:-}}"
+coord_allocs="${9:-${COORD_ALLOCS_CEILING:-}}"
 out="BENCH_yield.json"
 
-go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem . |
+{
+	go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem .
+	go test -run '^$' -bench 'BenchmarkNormsInto|BenchmarkLaneKernel' -benchtime "$benchtime" -benchmem ./internal/variation
+} |
 	awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
-	/^BenchmarkLinkYield/ {
+	/^Benchmark(LinkYield|NormsInto|LaneKernel)/ {
 		# Fields: name iterations [value unit]...
 		bench = $1
 		sub(/-[0-9]+$/, "", bench) # -GOMAXPROCS suffix, when present
 		sub(/^BenchmarkLinkYieldSweep\//, "sweep-", bench)
 		sub(/^BenchmarkLinkYield\//, "", bench)
 		sub(/^BenchmarkLinkYield/, "", bench) # slash-less top-level benches, e.g. SurfaceWarm
+		sub(/^BenchmarkNormsInto\//, "norms-", bench)
+		sub(/^BenchmarkLaneKernel\//, "kernel-", bench)
 		split("", m)
 		m["iterations"] = $2
 		for (i = 3; i < NF; i += 2) {
@@ -71,7 +95,7 @@ go test -run '^$' -bench 'BenchmarkLinkYield' -benchtime "$benchtime" -benchmem 
 			m["bytes_per_sample"] = m["B_op"] / m["samples_op"]
 		}
 		printf "%s{\"bench\":\"%s\",\"commit\":\"%s\"", (n++ ? ",\n" : "[\n"), bench, commit
-		nk = split("iterations ns_op ns_sample samples_op yield fail_prob var_reduction_x beta band conclusive_frac model_evals B_op allocs_op bytes_per_sample allocs_per_sample", keys, " ")
+		nk = split("iterations ns_op ns_sample ns_draw samples_op yield fail_prob var_reduction_x beta band conclusive_frac model_evals B_op allocs_op bytes_per_sample allocs_per_sample", keys, " ")
 		for (i = 1; i <= nk; i++)
 			if (keys[i] in m) printf ",\"%s\":%s", keys[i], m[keys[i]] + 0
 		printf "}"
@@ -175,4 +199,65 @@ if [ -n "$coord_factor" ]; then
 			}
 		}' "$out"
 	echo "coordinator merge overhead within factor $coord_factor of direct" >&2
+fi
+
+if [ -n "$mc_ceiling" ]; then
+	awk -v ceiling="$mc_ceiling" '
+		/"bench":"mc-serial"/ {
+			seen = 1
+			if (match($0, /"ns_sample":[0-9.e+]+/)) {
+				ns = substr($0, RSTART + 12, RLENGTH - 12)
+				if (ns + 0 > ceiling + 0) {
+					bad = 1
+					print "mc-serial " ns " ns/sample exceeds ceiling " ceiling > "/dev/stderr"
+				}
+			}
+		}
+		END {
+			if (!seen) { print "no mc-serial benchmark in output" > "/dev/stderr"; exit 1 }
+			exit bad
+		}' "$out"
+	echo "mc-serial ns/sample within ceiling $mc_ceiling" >&2
+fi
+
+if [ -n "$mc_par_factor" ]; then
+	awk -v factor="$mc_par_factor" '
+		/"bench":"mc-serial"/ {
+			if (match($0, /"ns_sample":[0-9.e+]+/))
+				serial = substr($0, RSTART + 12, RLENGTH - 12) + 0
+		}
+		/"bench":"mc-parallel"/ {
+			if (match($0, /"ns_sample":[0-9.e+]+/))
+				parallel = substr($0, RSTART + 12, RLENGTH - 12) + 0
+		}
+		END {
+			if (!serial || !parallel) {
+				print "missing mc-serial or mc-parallel benchmark" > "/dev/stderr"
+				exit 1
+			}
+			if (parallel > factor * serial) {
+				printf "mc-parallel %g ns/sample exceeds %g x mc-serial %g ns/sample\n", parallel, factor, serial > "/dev/stderr"
+				exit 1
+			}
+		}' "$out"
+	echo "mc-parallel within factor $mc_par_factor of mc-serial" >&2
+fi
+
+if [ -n "$coord_allocs" ]; then
+	awk -v ceiling="$coord_allocs" '
+		/"bench":"Coordinator\/loopback"/ {
+			seen = 1
+			if (match($0, /"allocs_op":[0-9.e+]+/)) {
+				a = substr($0, RSTART + 12, RLENGTH - 12)
+				if (a + 0 > ceiling + 0) {
+					bad = 1
+					print "coordinator loopback " a " allocs/op exceeds ceiling " ceiling > "/dev/stderr"
+				}
+			}
+		}
+		END {
+			if (!seen) { print "no Coordinator/loopback benchmark in output" > "/dev/stderr"; exit 1 }
+			exit bad
+		}' "$out"
+	echo "coordinator loopback allocs/op within ceiling $coord_allocs" >&2
 fi

@@ -45,6 +45,9 @@ var (
 	// ErrUnknownEstimator rejects an Estimator name outside the
 	// registered ladder (see internal/estimator).
 	ErrUnknownEstimator = errors.New("predint: unknown estimator")
+	// ErrUnknownSampler rejects a Sampler name outside the known set
+	// ("ziggurat", "box-muller").
+	ErrUnknownSampler = errors.New("predint: unknown sampler")
 )
 
 // YieldRequest describes a timing-yield estimation for a buffered
@@ -111,6 +114,16 @@ type YieldRequest struct {
 	// nil means no declared level; explicit negative, NaN, or infinite
 	// values are rejected with ErrInvalidSigma.
 	TargetSigma *float64
+	// Sampler pins the normal sampler behind the mc and isle rungs:
+	// "ziggurat" (the default fast sampler) or "box-muller" (the
+	// pinned legacy sequence — every estimate produced before the
+	// ziggurat landed used it, so historical fixtures replay
+	// bit-exactly under it). The qmc rung draws scrambled Sobol points
+	// and ais keeps its own legacy stream, so both ignore the setting;
+	// wcd does not sample at all. Unknown names are rejected with
+	// ErrUnknownSampler. Like Seed, the sampler changes the realized
+	// draws but not the estimated quantity.
+	Sampler string
 	// SigmaScale multiplies every sigma of the default variation
 	// space; nil means 1. An explicit Float(0) is honored: it
 	// disables variation, collapsing yield to a 0/1 step around the
@@ -269,6 +282,10 @@ func (req YieldRequest) plan() (*yieldPlan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %q (known: auto, mc, qmc, isle, ais, wcd)", ErrUnknownEstimator, req.Estimator)
 	}
+	sampler, err := variation.ParseSampler(req.Sampler)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (known: ziggurat, box-muller)", ErrUnknownSampler, req.Sampler)
+	}
 	targetSigma := 0.0
 	if req.TargetSigma != nil {
 		targetSigma = *req.TargetSigma
@@ -302,6 +319,7 @@ func (req YieldRequest) plan() (*yieldPlan, error) {
 			ImportanceSampling: req.ImportanceSampling,
 			Estimator:          kind,
 			TargetSigma:        targetSigma,
+			Sampler:            sampler,
 		},
 		target: target,
 		slew:   slew,

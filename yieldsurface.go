@@ -115,7 +115,9 @@ func (sf Surfaced) RecordYield(req YieldRequest, res YieldResult) error {
 // surfaceKey derives the link-class key of a validated plan: everything
 // that changes the estimated quantity is in it — the technology (by
 // descriptor hash), the routed geometry and style, the slew and power
-// weight shaping the buffering, and the scaled variation space.
+// weight shaping the buffering, and the scaled variation space. Seed
+// and Sampler stay out: both change the realized draws, not the
+// estimand, and the band gate already bounds a warm answer's error.
 func (p *yieldPlan) surfaceKey() surface.Key {
 	return surface.Key{
 		TechHash:    surface.TechHash(p.tc),
